@@ -1,0 +1,84 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Every paper figure has one benchmark that *is* the experiment: the timed
+callable runs the full (reduced-length) sweep, and the bench then prints
+the same series the paper plots plus PASS/FAIL lines for the paper's
+qualitative claims (see EXPERIMENTS.md).
+
+Knobs (environment variables):
+
+* ``REPRO_BENCH_SLOTS`` — slots per sweep point (default 8000; the paper
+  used 10^6).
+* ``REPRO_FULL=1`` — paper-scale: 10^6 slots and the full load grid.
+  Expect hours, not minutes.
+* ``REPRO_BENCH_SEED`` — base seed (default 2004, the publication year).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+
+import pytest
+
+from repro.experiments import check_expectations, get_figure, run_figure
+from repro.experiments.sweep import FigureResult
+
+FULL = bool(os.environ.get("REPRO_FULL"))
+BENCH_SLOTS = int(
+    os.environ.get("REPRO_BENCH_SLOTS", 1_000_000 if FULL else 8_000)
+)
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", 2004))
+
+
+def sweep_and_report(
+    figure_id: str,
+    benchmark,
+    capsys,
+    *,
+    loads: Sequence[float] | None = None,
+    min_pass_fraction: float = 0.7,
+) -> FigureResult:
+    """Run one figure sweep under the benchmark timer, print the paper-
+    style series and claim checks, and assert most claims hold.
+
+    ``min_pass_fraction`` is deliberately below 1.0: short benchmark runs
+    are noisy and a single flaky borderline claim should not fail the
+    whole bench (EXPERIMENTS.md records the long-run results).
+    """
+    spec = get_figure(figure_id)
+    sweep_loads = tuple(loads) if (loads is not None and not FULL) else spec.loads
+
+    result_box: list[FigureResult] = []
+
+    def _run() -> None:
+        result_box.append(
+            run_figure(spec, num_slots=BENCH_SLOTS, seed=BENCH_SEED, loads=sweep_loads)
+        )
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+    result = result_box[-1]
+    expectations = check_expectations(result)
+    with capsys.disabled():
+        print()
+        print(result.to_text(charts=True))
+        for e in expectations:
+            print(e)
+    if expectations:
+        passed = sum(e.passed for e in expectations)
+        assert passed / len(expectations) >= min_pass_fraction, (
+            f"{figure_id}: only {passed}/{len(expectations)} paper claims "
+            "reproduced — see the printed report"
+        )
+    return result
+
+
+@pytest.fixture
+def report(capsys):
+    """Print through pytest's capture (for non-sweep benches)."""
+
+    def _p(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _p

@@ -1,0 +1,7 @@
+"""Legacy shim so `pip install -e .` works in offline environments
+without the `wheel` package (falls back to `setup.py develop`).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

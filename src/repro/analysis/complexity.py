@@ -1,0 +1,117 @@
+"""The paper's §IV complexity accounting, as executable formulas.
+
+Space (§IV.B): the multicast VOQ structure stores each payload once plus
+one small address cell per destination, versus either 2^N − 1 queues
+(traditional VOQ) or full payload replication (how iSLIP must run
+multicast). Time (§IV.C): per-round comparator work and the worst-case
+round count.
+
+These are exact combinatorial statements, so tests can pin them; the
+:mod:`repro.hw` package builds the corresponding gate-level comparator
+model whose measured depth/counts must match these formulas.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_port_count
+
+__all__ = [
+    "queue_count_traditional_voq",
+    "queue_count_multicast_voq",
+    "address_cell_bits",
+    "space_bits_multicast_voq",
+    "space_bits_replicated_voq",
+    "scheduler_comparisons_per_round",
+    "fifoms_worst_case_rounds",
+]
+
+
+def queue_count_traditional_voq(num_ports: int) -> int:
+    """Queues per input in a destination-set-keyed VOQ switch: 2^N − 1.
+
+    This is the exponential blow-up (paper §I) that makes the traditional
+    VOQ structure infeasible for multicast.
+    """
+    n = check_port_count(num_ports)
+    return 2**n - 1
+
+
+def queue_count_multicast_voq(num_ports: int) -> int:
+    """Queues per input in the paper's structure: N address-cell VOQs."""
+    return check_port_count(num_ports)
+
+
+def address_cell_bits(num_ports: int, *, timestamp_bits: int = 32, buffer_slots: int = 4096) -> int:
+    """Size of one address cell: a timestamp and a data-cell pointer.
+
+    The paper (§IV.B): "the data structure of an address cell only
+    includes an integer field and a pointer field, and a small constant
+    number of bytes should be sufficient." The pointer addresses the
+    input's data-cell buffer, so its width is log2(buffer slots).
+    """
+    check_port_count(num_ports)
+    if timestamp_bits < 1:
+        raise ConfigurationError(f"timestamp_bits must be >= 1, got {timestamp_bits}")
+    if buffer_slots < 2:
+        raise ConfigurationError(f"buffer_slots must be >= 2, got {buffer_slots}")
+    return timestamp_bits + math.ceil(math.log2(buffer_slots))
+
+
+def space_bits_multicast_voq(
+    num_packets: int,
+    mean_fanout: float,
+    *,
+    data_bits: int = 512 * 8,
+    addr_bits: int = 44,
+    counter_bits: int = 16,
+) -> float:
+    """Expected buffer bits for ``num_packets`` queued multicast packets
+    under the paper's structure: one payload + counter each, one address
+    cell per destination."""
+    if num_packets < 0 or mean_fanout < 1:
+        raise ConfigurationError(
+            f"need num_packets >= 0 and mean_fanout >= 1, got "
+            f"{num_packets}, {mean_fanout}"
+        )
+    return num_packets * (data_bits + counter_bits) + num_packets * mean_fanout * addr_bits
+
+
+def space_bits_replicated_voq(
+    num_packets: int,
+    mean_fanout: float,
+    *,
+    data_bits: int = 512 * 8,
+) -> float:
+    """Buffer bits when multicast is replicated into unicast copies
+    (the iSLIP strategy): every destination stores the full payload."""
+    if num_packets < 0 or mean_fanout < 1:
+        raise ConfigurationError(
+            f"need num_packets >= 0 and mean_fanout >= 1, got "
+            f"{num_packets}, {mean_fanout}"
+        )
+    return num_packets * mean_fanout * data_bits
+
+
+def scheduler_comparisons_per_round(num_ports: int, *, parallel: bool = False) -> int:
+    """Comparator operations (serial) or tree depth (parallel) for one
+    FIFOMS round.
+
+    Serial (§IV.C): each of the N input comparators scans up to N HOL
+    timestamps (N−1 comparisons) and each of the N output comparators
+    scans up to N request weights — ``2·N·(N−1)`` total. Parallel: a
+    balanced min-tree over N values has depth ceil(log2 N), and the input
+    and output stages run back-to-back — ``2·ceil(log2 N)``.
+    """
+    n = check_port_count(num_ports)
+    if parallel:
+        return 2 * math.ceil(math.log2(n)) if n > 1 else 0
+    return 2 * n * (n - 1)
+
+
+def fifoms_worst_case_rounds(num_ports: int) -> int:
+    """Worst-case FIFOMS rounds per slot = N (§IV.C: every productive
+    round reserves at least one output)."""
+    return check_port_count(num_ports)

@@ -1,0 +1,80 @@
+"""Fairness metrics over per-port statistics.
+
+The paper argues FIFOMS is starvation-free via its FIFO property (§VI);
+fairness *metrics* make that claim measurable. Jain's index
+
+    J(x) = (Σ x_i)² / (n · Σ x_i²)
+
+is 1.0 when all ports get identical service and 1/n under total capture.
+Used with the per-port delay tracker to compare FIFOMS's FIFO arbitration
+against the pointer/greedy schedulers on the same structure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.packet import Delivery
+
+__all__ = ["jain_index", "PerPortDelayTracker"]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index of a non-negative allocation vector."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("fairness of an empty vector is undefined")
+    if (arr < 0).any():
+        raise ConfigurationError("fairness values must be >= 0")
+    total = arr.sum()
+    if total == 0:
+        return 1.0  # everyone equally gets nothing
+    return float(total * total / (arr.size * (arr * arr).sum()))
+
+
+class PerPortDelayTracker:
+    """Per-input mean delivery delay + cells served, for fairness math."""
+
+    def __init__(self, num_ports: int, warmup_slot: int = 0) -> None:
+        if num_ports < 1:
+            raise ConfigurationError(f"num_ports must be >= 1, got {num_ports}")
+        self.num_ports = num_ports
+        self.warmup_slot = warmup_slot
+        self.delay_sums = np.zeros(num_ports, dtype=np.float64)
+        self.counts = np.zeros(num_ports, dtype=np.int64)
+
+    def on_delivery(self, delivery: Delivery) -> None:
+        """Attribute one delivery's delay to its input port."""
+        if delivery.packet.arrival_slot < self.warmup_slot:
+            return
+        i = delivery.packet.input_port
+        self.delay_sums[i] += delivery.delay
+        self.counts[i] += 1
+
+    # ------------------------------------------------------------------ #
+    def mean_delays(self) -> np.ndarray:
+        """Per-input mean delay (NaN for inputs that sent nothing)."""
+        with np.errstate(invalid="ignore"):
+            return np.where(
+                self.counts > 0, self.delay_sums / self.counts, np.nan
+            )
+
+    def delay_fairness(self) -> float:
+        """Jain index over per-input mean delays (1.0 = equal delays).
+
+        Computed over inputs that actually sent traffic; delay fairness
+        uses the *inverse* delays so that "smaller is better" maps to the
+        usual throughput-style allocation semantics.
+        """
+        means = self.mean_delays()
+        active = means[~np.isnan(means)]
+        if active.size == 0:
+            raise ConfigurationError("no delivered traffic to assess")
+        return jain_index(1.0 / active)
+
+    def service_fairness(self) -> float:
+        """Jain index over per-input delivered-cell counts."""
+        return jain_index(self.counts.astype(np.float64))

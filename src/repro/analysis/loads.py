@@ -1,0 +1,107 @@
+"""Exact effective-load algebra for the paper's traffic models.
+
+The paper parameterizes its x-axes by *effective load* (cells per output
+per slot). These helpers convert between model parameters and effective
+load, including the empty-fanout resampling correction for the binomial
+destination vector (DESIGN.md §5, substitution 2), so that sweep points
+land exactly where the figure says they are.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_port_count, check_positive, check_probability
+
+__all__ = [
+    "bernoulli_mean_fanout",
+    "bernoulli_effective_load",
+    "bernoulli_arrival_probability",
+    "uniform_effective_load",
+    "uniform_arrival_probability",
+    "burst_effective_load",
+    "burst_e_off_for_load",
+]
+
+
+def bernoulli_mean_fanout(num_ports: int, b: float) -> float:
+    """E[fanout] of a binomial destination vector conditioned non-empty.
+
+    The unconditioned mean is ``b·N`` (what the paper quotes); the
+    conditional mean divides by ``1 − (1−b)^N``.
+    """
+    n = check_port_count(num_ports)
+    b = check_probability(b, "b", allow_zero=False)
+    return b * n / (1.0 - (1.0 - b) ** n)
+
+
+def bernoulli_effective_load(num_ports: int, p: float, b: float) -> float:
+    """Effective load of Bernoulli(p, b) traffic (cells/output/slot)."""
+    p = check_probability(p, "p")
+    return p * bernoulli_mean_fanout(num_ports, b)
+
+
+def bernoulli_arrival_probability(num_ports: int, load: float, b: float) -> float:
+    """Invert :func:`bernoulli_effective_load`: the ``p`` that offers
+    ``load``. Raises if the load is unreachable (p would exceed 1)."""
+    if load < 0:
+        raise ConfigurationError(f"load must be >= 0, got {load}")
+    p = load / bernoulli_mean_fanout(num_ports, b)
+    if p > 1.0 + 1e-12:
+        raise ConfigurationError(
+            f"load {load} unreachable with b={b}, N={num_ports} (needs p={p:.3f})"
+        )
+    return min(p, 1.0)
+
+
+def uniform_effective_load(p: float, max_fanout: int) -> float:
+    """Effective load of Uniform(p, maxFanout) traffic."""
+    p = check_probability(p, "p")
+    if max_fanout < 1:
+        raise ConfigurationError(f"max_fanout must be >= 1, got {max_fanout}")
+    return p * (1 + max_fanout) / 2.0
+
+
+def uniform_arrival_probability(load: float, max_fanout: int) -> float:
+    """Invert :func:`uniform_effective_load`."""
+    if load < 0:
+        raise ConfigurationError(f"load must be >= 0, got {load}")
+    if max_fanout < 1:
+        raise ConfigurationError(f"max_fanout must be >= 1, got {max_fanout}")
+    p = 2.0 * load / (1 + max_fanout)
+    if p > 1.0 + 1e-12:
+        raise ConfigurationError(
+            f"load {load} unreachable with max_fanout={max_fanout} (needs p={p:.3f})"
+        )
+    return min(p, 1.0)
+
+
+def burst_effective_load(num_ports: int, e_off: float, e_on: float, b: float) -> float:
+    """Effective load of Burst(e_off, e_on, b) traffic."""
+    e_off = check_positive(e_off, "e_off")
+    e_on = check_positive(e_on, "e_on")
+    rate = e_on / (e_off + e_on)
+    return rate * bernoulli_mean_fanout(num_ports, b)
+
+
+def burst_e_off_for_load(num_ports: int, load: float, e_on: float, b: float) -> float:
+    """The mean off-period placing Burst traffic at ``load``.
+
+    Solves ``load = fanout · e_on / (e_off + e_on)`` for ``e_off``. The
+    result must be >= 1 slot (the chain's resolution); loads demanding a
+    shorter off period are unreachable at this (e_on, b).
+    """
+    if load <= 0:
+        raise ConfigurationError(f"load must be > 0, got {load}")
+    e_on = check_positive(e_on, "e_on")
+    fanout = bernoulli_mean_fanout(num_ports, b)
+    if load > fanout:
+        raise ConfigurationError(
+            f"load {load} exceeds the model's maximum {fanout:.3f} "
+            f"(always-on inputs)"
+        )
+    e_off = e_on * (fanout / load - 1.0)
+    if e_off < 1.0:
+        raise ConfigurationError(
+            f"load {load} needs e_off={e_off:.3f} < 1 slot; lower e_on or b"
+        )
+    return e_off

@@ -1,0 +1,79 @@
+"""Queueing-theory results the paper cites, used to validate the simulator.
+
+* Karol, Hluchyj & Morgan (1987): a single-input-queued switch under
+  uniform i.i.d. Bernoulli unicast traffic saturates at ``2 − √2 ≈ 0.586``
+  as N → ∞ (the paper checks TATRA against this in Fig. 6).
+* The same paper's output-queueing analysis: with per-slot binomial
+  arrivals of total rate ρ to an output FIFO, the mean steady-state wait
+  is ``(N−1)/N · ρ / (2(1−ρ))`` slots.
+
+Tests drive the OQFIFO simulator and assert agreement with these
+formulas — a strong end-to-end check of the arrival processes, the switch
+mechanics and the statistics pipeline all at once.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_port_count
+
+__all__ = [
+    "KAROL_SATURATION",
+    "siq_saturation_load",
+    "oq_average_delay",
+    "oq_average_queue",
+]
+
+#: The N→∞ HOL-blocking saturation throughput, 2 − √2.
+KAROL_SATURATION = 2.0 - math.sqrt(2.0)
+
+
+def siq_saturation_load(num_ports: int) -> float:
+    """Saturation throughput of FIFO single-input-queueing, finite N.
+
+    Karol et al., Table I: the exact finite-N values descend from 0.75
+    (N=2) toward 2−√2. The closed finite-N recursion is unwieldy; beyond
+    the tabulated sizes we return the asymptote, which understates the
+    finite-N value by a few percent (e.g. the measured N=16 wall sits
+    near 0.60–0.62) — adequate for placing "TATRA should die around
+    here" markers.
+    """
+    table = {1: 1.0, 2: 0.75, 3: 0.6825, 4: 0.6553, 5: 0.6399, 6: 0.6302, 7: 0.6234, 8: 0.6184}
+    n = check_port_count(num_ports)
+    return table.get(n, KAROL_SATURATION)
+
+
+def oq_average_delay(num_ports: int, rho: float) -> float:
+    """Mean cell delay of an output-queued FIFO switch, in slots.
+
+    ``rho`` is the per-output offered load. Uses Karol et al.'s mean wait
+    plus 1 for the service slot itself, matching this package's
+    delay-convention (a cell served in its arrival slot has delay 1).
+    """
+    n = check_port_count(num_ports)
+    if not 0.0 <= rho < 1.0:
+        raise ConfigurationError(f"rho must be in [0, 1), got {rho}")
+    if n == 1:
+        # Degenerate single-queue case: same formula with the (N-1)/N
+        # factor zeroing the wait only if arrivals are never batched.
+        return 1.0 + 0.0 if rho == 0 else 1.0
+    wait = ((n - 1) / n) * rho / (2.0 * (1.0 - rho))
+    return 1.0 + wait
+
+
+def oq_average_queue(num_ports: int, rho: float) -> float:
+    """Mean output-queue length (cells) by Little's law, L = λ·W.
+
+    ``W`` here is the *waiting* time only: our queue-size metric samples
+    occupancy at the end of the slot, after the slot's departure, so the
+    cell in service does not linger in the sample.
+    """
+    n = check_port_count(num_ports)
+    if not 0.0 <= rho < 1.0:
+        raise ConfigurationError(f"rho must be in [0, 1), got {rho}")
+    if n == 1:
+        return 0.0
+    wait = ((n - 1) / n) * rho / (2.0 * (1.0 - rho))
+    return rho * wait

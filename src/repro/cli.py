@@ -1,0 +1,259 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-sim list                         # algorithms / figures / traffic
+    repro-sim run --algorithm fifoms ...   # one simulation, print summary
+    repro-sim figure --id fig4 ...         # regenerate a paper figure
+    repro-sim campaign --out REPORT.md     # several figures -> one report
+    repro-sim trace record|run ...         # persist / replay workloads
+    repro-sim verify -a fifoms ...         # exhaustive small-state check
+
+Also runnable as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.errors import ReproError
+from repro.experiments import FIGURES, check_expectations, get_figure, run_figure
+from repro.report.ascii import format_table
+from repro.report.export import write_csv, write_json
+from repro.schedulers.registry import available_schedulers
+from repro.sim.runner import TRAFFIC_MODELS, run_simulation
+from repro.stats.summary import SimulationSummary
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description=(
+            "Simulator for 'FIFO Based Multicast Scheduling Algorithm for "
+            "VOQ Packet Switches' (Pan & Yang, ICPP 2004)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list algorithms, figures and traffic models")
+
+    run_p = sub.add_parser("run", help="run one simulation")
+    run_p.add_argument("--algorithm", "-a", required=True, help="scheduler name")
+    run_p.add_argument("--ports", "-n", type=int, default=16, help="switch size N")
+    run_p.add_argument(
+        "--traffic", "-t", default="bernoulli", choices=sorted(TRAFFIC_MODELS)
+    )
+    run_p.add_argument("--p", type=float, default=0.2, help="arrival probability")
+    run_p.add_argument("--b", type=float, default=0.2, help="per-output probability")
+    run_p.add_argument("--max-fanout", type=int, default=4, help="uniform max fanout")
+    run_p.add_argument("--e-on", type=float, default=16.0, help="burst mean on period")
+    run_p.add_argument("--e-off", type=float, default=48.0, help="burst mean off period")
+    run_p.add_argument("--slots", type=int, default=100_000, help="simulated slots")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--json", action="store_true", help="print JSON, not a table")
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure / ablation")
+    fig_p.add_argument("--id", required=True, help="figure id, e.g. fig4")
+    fig_p.add_argument("--slots", type=int, default=100_000, help="slots per point")
+    fig_p.add_argument("--seed", type=int, default=0)
+    fig_p.add_argument(
+        "--loads", type=float, nargs="*", default=None, help="override load points"
+    )
+    fig_p.add_argument("--workers", type=int, default=None, help="process-pool size")
+    fig_p.add_argument("--charts", action="store_true", help="add ASCII charts")
+    fig_p.add_argument("--csv", default=None, help="also write results CSV here")
+    fig_p.add_argument("--json", dest="json_path", default=None, help="write JSON here")
+
+    tr_p = sub.add_parser("trace", help="record or replay arrival traces")
+    tr_sub = tr_p.add_subparsers(dest="trace_command", required=True)
+    rec_p = tr_sub.add_parser("record", help="record a stochastic model to a file")
+    rec_p.add_argument("--out", required=True, help="trace file to write (JSONL)")
+    rec_p.add_argument("--ports", "-n", type=int, default=16)
+    rec_p.add_argument(
+        "--traffic", "-t", default="bernoulli", choices=sorted(TRAFFIC_MODELS)
+    )
+    rec_p.add_argument("--p", type=float, default=0.2)
+    rec_p.add_argument("--b", type=float, default=0.2)
+    rec_p.add_argument("--max-fanout", type=int, default=4)
+    rec_p.add_argument("--e-on", type=float, default=16.0)
+    rec_p.add_argument("--e-off", type=float, default=48.0)
+    rec_p.add_argument("--slots", type=int, default=10_000)
+    rec_p.add_argument("--seed", type=int, default=0)
+    run_t = tr_sub.add_parser("run", help="run a simulation from a trace file")
+    run_t.add_argument("--file", required=True, help="trace file (JSONL)")
+    run_t.add_argument("--algorithm", "-a", required=True)
+    run_t.add_argument("--seed", type=int, default=0)
+
+    camp_p = sub.add_parser(
+        "campaign", help="regenerate several figures into one Markdown report"
+    )
+    camp_p.add_argument(
+        "--figures", nargs="*", default=None,
+        help="figure ids (default: the five paper figures)",
+    )
+    camp_p.add_argument("--slots", type=int, default=30_000)
+    camp_p.add_argument("--seed", type=int, default=2004)
+    camp_p.add_argument("--workers", type=int, default=None)
+    camp_p.add_argument("--out", default="REPORT.md", help="report path")
+    camp_p.add_argument("--csv-dir", default=None)
+
+    ver_p = sub.add_parser(
+        "verify", help="exhaustively verify an algorithm on a tiny domain"
+    )
+    ver_p.add_argument("--algorithm", "-a", required=True)
+    ver_p.add_argument("--ports", "-n", type=int, default=2)
+    ver_p.add_argument("--horizon", type=int, default=2)
+    return parser
+
+
+def _traffic_spec(args: argparse.Namespace) -> dict[str, object]:
+    if args.traffic == "bernoulli":
+        return {"model": "bernoulli", "p": args.p, "b": args.b}
+    if args.traffic == "uniform":
+        return {"model": "uniform", "p": args.p, "max_fanout": args.max_fanout}
+    if args.traffic == "burst":
+        return {"model": "burst", "e_off": args.e_off, "e_on": args.e_on, "b": args.b}
+    if args.traffic == "mixed":
+        return {"model": "mixed", "p": args.p, "unicast_fraction": 0.5, "b": args.b}
+    return {"model": "hotspot", "p": args.p, "max_fanout": args.max_fanout}
+
+
+def _print_summary(summary: SimulationSummary) -> None:
+    rows = [
+        ("algorithm", summary.algorithm),
+        ("ports", summary.num_ports),
+        ("slots run", summary.slots_run),
+        ("offered load", round(summary.offered_load, 4)),
+        ("carried load", round(summary.carried_load, 4)),
+        ("avg input delay", round(summary.average_input_delay, 3)),
+        ("avg output delay", round(summary.average_output_delay, 3)),
+        ("avg queue size", round(summary.average_queue_size, 4)),
+        ("max queue size", summary.max_queue_size),
+        ("avg rounds", round(summary.average_rounds, 3)),
+        ("unstable", summary.unstable),
+    ]
+    print(format_table(("metric", "value"), rows))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            print("algorithms: " + ", ".join(available_schedulers()))
+            print("traffic models: " + ", ".join(sorted(TRAFFIC_MODELS)))
+            print("figures:")
+            for fid in sorted(FIGURES):
+                print(f"  {fid}: {FIGURES[fid].title}")
+            return 0
+        if args.command == "run":
+            summary = run_simulation(
+                args.algorithm,
+                args.ports,
+                _traffic_spec(args),
+                num_slots=args.slots,
+                seed=args.seed,
+            )
+            if args.json:
+                print(summary.to_json())
+            else:
+                _print_summary(summary)
+            return 0
+        if args.command == "trace":
+            return _trace_command(args)
+        if args.command == "campaign":
+            from pathlib import Path
+
+            from repro.experiments.campaign import (
+                PAPER_FIGURES,
+                render_markdown_report,
+                run_campaign,
+            )
+
+            campaign = run_campaign(
+                tuple(args.figures) if args.figures else PAPER_FIGURES,
+                num_slots=args.slots,
+                seed=args.seed,
+                workers=args.workers,
+                csv_dir=args.csv_dir,
+            )
+            Path(args.out).write_text(render_markdown_report(campaign))
+            print(
+                f"wrote {args.out}: {campaign.claims_passed}/"
+                f"{campaign.claims_total} paper claims PASS"
+            )
+            return 0
+        if args.command == "verify":
+            from repro.verify.exhaustive import exhaustive_verify
+
+            report = exhaustive_verify(
+                args.algorithm, num_ports=args.ports, horizon=args.horizon
+            )
+            print(report)
+            for v in report.violations[:5]:
+                print(f"  {v.kind}: {v.detail} on trace {v.trace}")
+            return 0 if report.ok else 1
+        # figure
+        spec = get_figure(args.id)
+        result = run_figure(
+            spec,
+            num_slots=args.slots,
+            seed=args.seed,
+            loads=args.loads,
+            workers=args.workers,
+        )
+        print(result.to_text(charts=args.charts))
+        for exp in check_expectations(result):
+            print(exp)
+        if args.csv:
+            write_csv(args.csv, result.all_summaries())
+            print(f"wrote {args.csv}")
+        if args.json_path:
+            write_json(args.json_path, result.all_summaries())
+            print(f"wrote {args.json_path}")
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _trace_command(args: argparse.Namespace) -> int:
+    from repro.sim.engine import SimulationEngine
+    from repro.sim.config import SimulationConfig
+    from repro.schedulers.registry import make_switch
+    from repro.sim.runner import build_traffic
+    from repro.traffic.trace import record_trace
+    from repro.traffic.traceio import load_trace_traffic, save_trace
+
+    if args.trace_command == "record":
+        model = build_traffic(_traffic_spec(args), args.ports, rng=args.seed)
+        packets = record_trace(model, args.slots)
+        path = save_trace(args.out, args.ports, packets)
+        print(
+            f"wrote {path}: {len(packets)} packets over {args.slots} slots "
+            f"({args.ports} ports)"
+        )
+        return 0
+    # trace run
+    traffic = load_trace_traffic(args.file)
+    horizon = traffic.horizon
+    switch = make_switch(args.algorithm, traffic.num_ports, rng=args.seed)
+    cfg = SimulationConfig(
+        num_slots=max(horizon * 2, horizon + 100),
+        warmup_fraction=0.0,
+        stability_window=0,
+    )
+    summary = SimulationEngine(
+        switch, traffic, cfg, seed=args.seed, algorithm_name=args.algorithm
+    ).run()
+    _print_summary(summary)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""The paper's primary contribution: the multicast VOQ queue structure
+(data cells + address cells, Section II) and the FIFOMS scheduling
+algorithm (Section III, Table 2).
+"""
+
+from repro.core.cells import AddressCell, DataCell
+from repro.core.buffers import DataCellBuffer
+from repro.core.voq import MulticastVOQInputPort, VirtualOutputQueue
+from repro.core.preprocess import preprocess_packet
+from repro.core.matching import GrantSet, ScheduleDecision
+from repro.core.fifoms import FIFOMSScheduler, TieBreak
+
+__all__ = [
+    "AddressCell",
+    "DataCell",
+    "DataCellBuffer",
+    "MulticastVOQInputPort",
+    "VirtualOutputQueue",
+    "preprocess_packet",
+    "GrantSet",
+    "ScheduleDecision",
+    "FIFOMSScheduler",
+    "TieBreak",
+]

@@ -1,0 +1,122 @@
+"""The per-input data-cell buffer pool.
+
+Each input port of the multicast VOQ switch owns one buffer that stores
+the data cells of packets that still have unserved destinations (paper
+Fig. 2, left). The pool tracks live cells, enforces the
+allocate/decrement/release life cycle, and exposes the occupancy counters
+used by the paper's *average queue size* and *maximum queue size* metrics
+("the number of data cells in the buffer of an input port").
+
+An optional ``capacity`` models a finite hardware buffer; allocation
+beyond capacity raises, which tests use for loss-free-buffer sizing.
+"""
+
+from __future__ import annotations
+
+from repro.core.cells import DataCell
+from repro.errors import BufferError_, ConfigurationError
+from repro.packet import Packet
+
+__all__ = ["DataCellBuffer"]
+
+
+class DataCellBuffer:
+    """Pool of live :class:`DataCell` objects for one input port."""
+
+    __slots__ = ("_live", "_capacity", "_peak", "_allocated_total", "_released_total")
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ConfigurationError(f"buffer capacity must be >= 1, got {capacity}")
+        self._live: dict[int, DataCell] = {}
+        self._capacity = capacity
+        self._peak = 0
+        self._allocated_total = 0
+        self._released_total = 0
+
+    # ------------------------------------------------------------------ #
+    # Life cycle
+    # ------------------------------------------------------------------ #
+    def allocate(self, packet: Packet) -> DataCell:
+        """Create and register the data cell for a newly arrived packet."""
+        if self._capacity is not None and len(self._live) >= self._capacity:
+            raise BufferError_(
+                f"data-cell buffer overflow: capacity {self._capacity} reached"
+            )
+        cell = DataCell(packet)
+        key = id(cell)
+        cell.buffer_slot = key
+        self._live[key] = cell
+        self._allocated_total += 1
+        if len(self._live) > self._peak:
+            self._peak = len(self._live)
+        return cell
+
+    def release(self, cell: DataCell) -> None:
+        """Destroy an exhausted data cell and return its buffer space."""
+        if not cell.exhausted:
+            raise BufferError_(
+                f"releasing data cell of packet {cell.packet.packet_id} with "
+                f"fanout_counter={cell.fanout_counter} != 0"
+            )
+        try:
+            del self._live[cell.buffer_slot]
+        except KeyError:
+            raise BufferError_(
+                f"double free / unknown data cell for packet {cell.packet.packet_id}"
+            ) from None
+        cell.buffer_slot = -1
+        self._released_total += 1
+
+    def record_service(self, cell: DataCell) -> bool:
+        """Decrement the cell's fanout counter; release it when exhausted.
+
+        Returns True if the cell was destroyed by this service. This is the
+        paper's post-transmission processing, fused into one call.
+        """
+        if cell.decrement():
+            self.release(cell)
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Introspection (metrics)
+    # ------------------------------------------------------------------ #
+    @property
+    def occupancy(self) -> int:
+        """Number of live data cells (= unsent packets held), right now."""
+        return len(self._live)
+
+    @property
+    def peak_occupancy(self) -> int:
+        """Largest occupancy ever observed (max queue size contribution)."""
+        return self._peak
+
+    @property
+    def capacity(self) -> int | None:
+        """Configured hardware capacity, or None for unbounded."""
+        return self._capacity
+
+    @property
+    def allocated_total(self) -> int:
+        """Total data cells ever allocated (== packets preprocessed)."""
+        return self._allocated_total
+
+    @property
+    def released_total(self) -> int:
+        """Total data cells ever released (== packets fully served)."""
+        return self._released_total
+
+    def live_cells(self) -> list[DataCell]:
+        """Snapshot of live cells (stable order: allocation order)."""
+        return list(self._live.values())
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, cell: DataCell) -> bool:
+        return self._live.get(cell.buffer_slot) is cell
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = "inf" if self._capacity is None else self._capacity
+        return f"DataCellBuffer(occupancy={len(self._live)}, capacity={cap})"

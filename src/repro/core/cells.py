@@ -1,0 +1,83 @@
+"""Data cells and address cells — the paper's Section II data structures.
+
+The paper splits a packet into the information used for *data forwarding*
+(the payload, stored once in a :class:`DataCell` with a ``fanout_counter``)
+and the information used for *scheduling* (one :class:`AddressCell` per
+destination, carrying the arrival ``timestamp`` and a pointer to the data
+cell). This is exactly what lets a multicast VOQ switch keep N queues per
+input instead of 2^N − 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BufferError_
+from repro.packet import Packet
+
+__all__ = ["DataCell", "AddressCell"]
+
+
+@dataclass(slots=True, eq=False)
+class DataCell:
+    """One buffered copy of a packet's payload.
+
+    Mirrors the paper's ``DataCell { binary dataContent; int
+    fanoutCounter; }``. We keep a reference to the originating
+    :class:`~repro.packet.Packet` in place of the opaque payload bytes —
+    the simulator never inspects payload contents, only their occupancy.
+
+    ``fanout_counter`` counts destinations *not yet served*. It starts at
+    the packet's fanout and the cell must be destroyed (via
+    :meth:`~repro.core.buffers.DataCellBuffer.release`) when it reaches 0.
+    """
+
+    packet: Packet
+    fanout_counter: int = field(default=-1)
+    #: Set by DataCellBuffer when the cell is allocated; -1 = unpooled.
+    buffer_slot: int = field(default=-1, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.fanout_counter < 0:
+            self.fanout_counter = self.packet.fanout
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every destination of the packet has been served."""
+        return self.fanout_counter == 0
+
+    def decrement(self) -> bool:
+        """Record one served destination; return True if now exhausted.
+
+        Matches the paper's post-transmission processing: "decrease the
+        fanoutCounter field ... by 1; if [it] becomes 0, destroy the data
+        cell".
+        """
+        if self.fanout_counter <= 0:
+            raise BufferError_(
+                f"fanout_counter underflow for packet {self.packet.packet_id}"
+            )
+        self.fanout_counter -= 1
+        return self.fanout_counter == 0
+
+
+@dataclass(slots=True, eq=False, frozen=True)
+class AddressCell:
+    """A per-destination scheduling placeholder.
+
+    Mirrors the paper's address cell: a ``timeStamp`` (the packet's arrival
+    slot — equal across all address cells of one packet, which is how the
+    independently-arbitrating output ports coordinate on the same multicast
+    packet) and ``pDataCell`` (the pointer the input port follows to find
+    what to transmit). We additionally record ``output_port`` — in hardware
+    it is implicit in which VOQ the cell sits in.
+    """
+
+    timestamp: int
+    data_cell: DataCell
+    output_port: int
+
+    @property
+    def packet(self) -> Packet:
+        """The packet this address cell belongs to."""
+        return self.data_cell.packet

@@ -1,0 +1,91 @@
+"""Schedule-decision value objects shared by all schedulers.
+
+A scheduling pass over one time slot produces a :class:`ScheduleDecision`:
+for each matched input port, a :class:`GrantSet` naming the output ports
+the input will drive in this slot. For the multicast VOQ switch all
+outputs in one grant set receive the *same* data cell (the crossbar fans
+it out); for unicast switches every grant set has exactly one output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+
+__all__ = ["GrantSet", "ScheduleDecision"]
+
+
+@dataclass(frozen=True, slots=True)
+class GrantSet:
+    """Outputs granted to one input in one slot (one data cell's fanout)."""
+
+    input_port: int
+    output_ports: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        outs = tuple(sorted(set(self.output_ports)))
+        if not outs:
+            raise SchedulingError(f"empty grant set for input {self.input_port}")
+        if outs != tuple(self.output_ports):
+            object.__setattr__(self, "output_ports", outs)
+
+    @property
+    def fanout(self) -> int:
+        return len(self.output_ports)
+
+
+@dataclass(slots=True)
+class ScheduleDecision:
+    """All grants of one time slot, plus scheduling metadata.
+
+    Attributes
+    ----------
+    grants:
+        One :class:`GrantSet` per matched input, keyed by input index.
+    rounds:
+        Number of productive iterations the scheduler ran (see DESIGN.md
+        §5 for the counting convention). 0 when nothing was schedulable.
+    requests_made:
+        True when at least one request was issued this slot; slots with no
+        requests are excluded from the convergence-rounds average.
+    """
+
+    grants: dict[int, GrantSet] = field(default_factory=dict)
+    rounds: int = 0
+    requests_made: bool = False
+
+    def add(self, input_port: int, output_ports: tuple[int, ...]) -> None:
+        """Record one input's grant set (each input at most once)."""
+        if input_port in self.grants:
+            raise SchedulingError(f"input {input_port} granted twice in one slot")
+        self.grants[input_port] = GrantSet(input_port, output_ports)
+
+    def validate(self, num_inputs: int, num_outputs: int) -> None:
+        """Check crossbar feasibility: each output driven by <= 1 input."""
+        seen_outputs: dict[int, int] = {}
+        for inp, grant in self.grants.items():
+            if inp != grant.input_port:
+                raise SchedulingError("grant keyed under wrong input")
+            if not 0 <= inp < num_inputs:
+                raise SchedulingError(f"input index {inp} out of range")
+            for out in grant.output_ports:
+                if not 0 <= out < num_outputs:
+                    raise SchedulingError(f"output index {out} out of range")
+                if out in seen_outputs:
+                    raise SchedulingError(
+                        f"output {out} granted to inputs {seen_outputs[out]} "
+                        f"and {inp} in the same slot"
+                    )
+                seen_outputs[out] = inp
+
+    @property
+    def matched_outputs(self) -> int:
+        """Total output ports served this slot (switch throughput in cells)."""
+        return sum(g.fanout for g in self.grants.values())
+
+    def __bool__(self) -> bool:
+        return bool(self.grants)
+
+    def __len__(self) -> int:
+        return len(self.grants)

@@ -1,0 +1,56 @@
+"""Packet preprocessing — the paper's Table 1.
+
+Upon arrival of a packet with fanout ``k``:
+
+1. one data cell is created in the input port's data buffer, with
+   ``fanoutCounter = k``;
+2. ``k`` address cells are created, each stamped with the current slot and
+   pointing at the data cell, and appended to the VOQs of the packet's
+   destinations.
+
+The paper notes (§IV.C) this is O(N) serially but O(1) with per-queue
+parallel hardware and can overlap scheduling; the simulator performs it at
+the start of the slot, before scheduling, so a packet can be served in its
+arrival slot.
+"""
+
+from __future__ import annotations
+
+from repro.core.cells import AddressCell, DataCell
+from repro.core.voq import MulticastVOQInputPort
+from repro.errors import TrafficError
+from repro.packet import Packet
+
+__all__ = ["preprocess_packet"]
+
+
+def preprocess_packet(
+    port: MulticastVOQInputPort, packet: Packet, current_slot: int
+) -> DataCell:
+    """Install ``packet`` into ``port`` per Table 1; return its data cell.
+
+    Raises :class:`~repro.errors.TrafficError` if the packet is addressed
+    to this switch's nonexistent outputs or arrived on the wrong port, and
+    propagates :class:`~repro.errors.BufferError_` on buffer overflow.
+    """
+    if packet.input_port != port.port_index:
+        raise TrafficError(
+            f"packet for input {packet.input_port} preprocessed at "
+            f"port {port.port_index}"
+        )
+    if packet.destinations[-1] >= port.num_outputs:
+        raise TrafficError(
+            f"packet destination {packet.destinations[-1]} out of range for "
+            f"{port.num_outputs} outputs"
+        )
+    if packet.arrival_slot != current_slot:
+        raise TrafficError(
+            f"packet stamped {packet.arrival_slot} preprocessed at slot "
+            f"{current_slot}"
+        )
+    data_cell = port.buffer.allocate(packet)
+    for dest in packet.destinations:
+        port.voqs[dest].push(
+            AddressCell(timestamp=current_slot, data_cell=data_cell, output_port=dest)
+        )
+    return data_cell

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate untouched.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "FabricConflictError",
+    "SchedulingError",
+    "TrafficError",
+    "BufferError_",
+    "SimulationError",
+    "UnstableSimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter or inconsistent combination of parameters."""
+
+
+class FabricConflictError(ReproError):
+    """A crossbar configuration violated the one-input-per-output rule."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler produced a decision that violates switch constraints."""
+
+
+class TrafficError(ReproError):
+    """A traffic model produced an invalid packet or was misconfigured."""
+
+
+class BufferError_(ReproError):
+    """Misuse of the data-cell buffer pool (double free, unknown handle...).
+
+    The trailing underscore avoids shadowing the builtin ``BufferError``.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation engine detected an internal inconsistency."""
+
+
+class UnstableSimulationError(SimulationError):
+    """Raised (optionally) when the switch cannot sustain the offered load.
+
+    The engine only raises this when ``raise_on_unstable=True``; by default
+    instability is recorded on the result object instead, mirroring how the
+    paper truncates curves at the saturation point.
+    """

@@ -1,0 +1,116 @@
+"""Campaign runner: regenerate a set of figures into one report.
+
+One call runs any subset of the figure catalogue (default: the five
+paper figures), checks every registered paper claim, and renders a
+single self-contained Markdown report — the machine-written counterpart
+of EXPERIMENTS.md, stamped with the exact configuration used. CSVs for
+each figure can be written alongside.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.experiments.figures import FIGURES, get_figure
+from repro.experiments.paper import ExpectationResult, check_expectations
+from repro.experiments.spec import METRIC_LABELS
+from repro.experiments.sweep import FigureResult, run_figure
+from repro.report.export import write_csv
+
+__all__ = ["CampaignResult", "run_campaign", "render_markdown_report"]
+
+#: The paper's evaluation figures, in order.
+PAPER_FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8")
+
+
+@dataclass(slots=True)
+class CampaignResult:
+    """Everything one campaign produced."""
+
+    num_slots: int
+    seed: int
+    figures: dict[str, FigureResult] = field(default_factory=dict)
+    expectations: dict[str, list[ExpectationResult]] = field(default_factory=dict)
+
+    @property
+    def claims_total(self) -> int:
+        return sum(len(v) for v in self.expectations.values())
+
+    @property
+    def claims_passed(self) -> int:
+        return sum(e.passed for v in self.expectations.values() for e in v)
+
+
+def run_campaign(
+    figure_ids: Sequence[str] = PAPER_FIGURES,
+    *,
+    num_slots: int = 30_000,
+    seed: int = 2004,
+    workers: int | None = None,
+    csv_dir: str | Path | None = None,
+) -> CampaignResult:
+    """Run every requested figure sweep and collect claim checks."""
+    unknown = [f for f in figure_ids if f not in FIGURES]
+    if unknown:
+        raise ConfigurationError(f"unknown figures {unknown}")
+    if not figure_ids:
+        raise ConfigurationError("no figures requested")
+    result = CampaignResult(num_slots=num_slots, seed=seed)
+    for fid in figure_ids:
+        fig = run_figure(
+            get_figure(fid), num_slots=num_slots, seed=seed, workers=workers
+        )
+        result.figures[fid] = fig
+        result.expectations[fid] = check_expectations(fig)
+        if csv_dir is not None:
+            out = Path(csv_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            write_csv(out / f"{fid}.csv", fig.all_summaries())
+    return result
+
+
+def render_markdown_report(campaign: CampaignResult) -> str:
+    """Render the campaign as a self-contained Markdown document."""
+    lines = [
+        "# Reproduction report",
+        "",
+        f"Configuration: {campaign.num_slots} slots per point, base seed "
+        f"{campaign.seed}.",
+        "",
+        f"**Paper claims: {campaign.claims_passed} / {campaign.claims_total} "
+        "PASS.**",
+        "",
+    ]
+    for fid, fig in campaign.figures.items():
+        lines.append(f"## {fig.spec.title}")
+        lines.append("")
+        lines.append(fig.spec.description)
+        lines.append("")
+        for metric in fig.spec.metrics:
+            series = fig.series(metric)
+            lines.append(f"### {METRIC_LABELS[metric]}")
+            lines.append("")
+            header = "| load | " + " | ".join(series) + " |"
+            rule = "|" + "---|" * (len(series) + 1)
+            lines.extend([header, rule])
+            for k, load in enumerate(fig.loads):
+                cells = []
+                for alg in series:
+                    v = series[alg][k]
+                    cells.append(
+                        "unstable" if v == float("inf") else f"{v:.3g}"
+                    )
+                lines.append(f"| {load} | " + " | ".join(cells) + " |")
+            lines.append("")
+        checks = campaign.expectations.get(fid, [])
+        if checks:
+            lines.append("### Paper claims")
+            lines.append("")
+            for e in checks:
+                mark = "✅" if e.passed else "❌"
+                lines.append(f"* {mark} {e.claim} — {e.detail}")
+            lines.append("")
+    return "\n".join(lines)

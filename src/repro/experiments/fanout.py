@@ -1,0 +1,101 @@
+"""Fanout-sensitivity study (extension).
+
+The paper fixes the fanout distribution per figure; this harness sweeps
+the *mean fanout itself* at constant effective load, asking: how fast
+does the multicast advantage grow? For each (mean fanout, load) cell it
+runs the chosen algorithms and reports a metric grid — the natural
+companion to Fig. 4 (fanout ≈ 3.3) and Fig. 7 (fanout 4.5).
+
+Two standard readouts:
+
+* ``advantage_grid`` — iSLIP delay / FIFOMS delay per cell: the price of
+  copy-splitting as fanout grows (1.0 = no advantage).
+* TATRA's improvement with fanout (the paper's own observation in §V.B).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.loads import bernoulli_arrival_probability
+from repro.errors import ConfigurationError
+from repro.sim.runner import run_simulation
+from repro.stats.summary import SimulationSummary
+
+__all__ = ["FanoutSweepResult", "run_fanout_sweep"]
+
+
+@dataclass(slots=True)
+class FanoutSweepResult:
+    """Grid of summaries indexed by (algorithm, mean fanout, load)."""
+
+    num_ports: int
+    fanouts: tuple[float, ...]
+    loads: tuple[float, ...]
+    algorithms: tuple[str, ...]
+    summaries: dict[tuple[str, float, float], SimulationSummary] = field(
+        default_factory=dict
+    )
+
+    def metric_grid(self, algorithm: str, metric: str) -> np.ndarray:
+        """(len(fanouts), len(loads)) array of one algorithm's metric."""
+        grid = np.full((len(self.fanouts), len(self.loads)), np.nan)
+        for fi, fanout in enumerate(self.fanouts):
+            for li, load in enumerate(self.loads):
+                s = self.summaries[(algorithm, fanout, load)]
+                grid[fi, li] = s.metric(metric)
+        return grid
+
+    def advantage_grid(
+        self, metric: str = "output_delay", *,
+        over: str = "islip", of: str = "fifoms",
+    ) -> np.ndarray:
+        """Ratio grid ``over / of`` (how much worse the baseline is)."""
+        return self.metric_grid(over, metric) / self.metric_grid(of, metric)
+
+
+def run_fanout_sweep(
+    *,
+    num_ports: int = 16,
+    fanouts: Sequence[float] = (1.5, 2.0, 4.0, 8.0),
+    loads: Sequence[float] = (0.4, 0.7),
+    algorithms: Sequence[str] = ("fifoms", "islip", "tatra", "oqfifo"),
+    num_slots: int = 6_000,
+    seed: int = 0,
+) -> FanoutSweepResult:
+    """Sweep Bernoulli traffic's mean fanout at constant effective load.
+
+    The per-output probability ``b = fanout / N`` is the nominal knob;
+    the arrival probability is inverted per cell so the effective load is
+    exact including the empty-vector conditioning.
+    """
+    if not fanouts or not loads or not algorithms:
+        raise ConfigurationError("fanouts, loads and algorithms must be non-empty")
+    if max(fanouts) > num_ports:
+        raise ConfigurationError(
+            f"mean fanout {max(fanouts)} exceeds N={num_ports}"
+        )
+    if min(fanouts) <= 0:
+        raise ConfigurationError("fanouts must be > 0")
+    result = FanoutSweepResult(
+        num_ports=num_ports,
+        fanouts=tuple(float(f) for f in fanouts),
+        loads=tuple(float(l) for l in loads),
+        algorithms=tuple(algorithms),
+    )
+    for fanout in result.fanouts:
+        b = fanout / num_ports
+        for load in result.loads:
+            p = bernoulli_arrival_probability(num_ports, load, b)
+            for alg in result.algorithms:
+                result.summaries[(alg, fanout, load)] = run_simulation(
+                    alg,
+                    num_ports,
+                    {"model": "bernoulli", "p": p, "b": b},
+                    num_slots=num_slots,
+                    seed=seed + int(fanout * 8),
+                )
+    return result

@@ -1,0 +1,146 @@
+"""Sweep execution: run a figure's grid of points, serially or in a
+process pool, and assemble per-metric series.
+
+Each :class:`~repro.experiments.spec.SweepPoint` is a pure function of its
+fields (the seed pins all randomness), so points can run in any order and
+in separate processes with bit-identical results — the rank-decomposition
+pattern of the MPI guide, realized with ``concurrent.futures`` since the
+offline environment has no MPI.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.experiments.figures import ALGO_ALIASES
+from repro.experiments.spec import METRIC_LABELS, FigureSpec, SweepPoint
+from repro.report.ascii import format_series, render_ascii_chart
+from repro.sim.runner import run_simulation
+from repro.stats.summary import SimulationSummary
+
+__all__ = ["run_sweep_point", "run_figure", "FigureResult"]
+
+
+def run_sweep_point(point: SweepPoint) -> SimulationSummary:
+    """Execute one grid point (top-level function: picklable for pools)."""
+    base_algorithm = ALGO_ALIASES.get(point.algorithm, point.algorithm)
+    summary = run_simulation(
+        base_algorithm,
+        point.num_ports,
+        point.traffic_spec,
+        num_slots=point.num_slots,
+        seed=point.seed,
+        **point.switch_kwargs,
+    )
+    if point.algorithm != base_algorithm:
+        # Re-label variant runs so result tables show the alias name.
+        summary = SimulationSummary(
+            **{**summary.to_dict(), "algorithm": point.algorithm}
+        )
+    return summary
+
+
+@dataclass(slots=True)
+class FigureResult:
+    """All runs of one figure sweep, indexed for presentation."""
+
+    spec: FigureSpec
+    loads: tuple[float, ...]
+    algorithms: tuple[str, ...]
+    summaries: dict[tuple[str, float], SimulationSummary] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def series(self, metric: str, *, censor_unstable: bool = True) -> dict[str, list[float]]:
+        """Per-algorithm metric values across the load axis.
+
+        ``censor_unstable`` replaces values measured on diverging runs by
+        +inf (delay/queue metrics are meaningless there), mirroring how
+        the paper's curves stop at the saturation point.
+        """
+        out: dict[str, list[float]] = {}
+        for alg in self.algorithms:
+            vals = []
+            for load in self.loads:
+                s = self.summaries[(alg, load)]
+                v = s.metric(metric)
+                if censor_unstable and s.unstable and metric != "throughput":
+                    v = math.inf
+                vals.append(v)
+            out[alg] = vals
+        return out
+
+    def saturation_load(self, algorithm: str) -> float | None:
+        """Smallest swept load at which ``algorithm`` went unstable."""
+        for load in self.loads:
+            if self.summaries[(algorithm, load)].unstable:
+                return load
+        return None
+
+    def to_text(self, *, charts: bool = False) -> str:
+        """Render the figure as paper-style panels (one table per metric)."""
+        blocks = [self.spec.title, self.spec.description, ""]
+        for metric in self.spec.metrics:
+            data = self.series(metric)
+            blocks.append(
+                format_series(
+                    "load",
+                    self.loads,
+                    data,
+                    title=f"[{self.spec.figure_id}] {METRIC_LABELS[metric]}",
+                )
+            )
+            if charts:
+                blocks.append(render_ascii_chart(self.loads, data))
+            blocks.append("")
+        sat = [
+            f"{alg}: unstable from load {self.saturation_load(alg)}"
+            for alg in self.algorithms
+            if self.saturation_load(alg) is not None
+        ]
+        if sat:
+            blocks.append("Saturation points: " + "; ".join(sat))
+        return "\n".join(blocks)
+
+    def all_summaries(self) -> list[SimulationSummary]:
+        """Every run of the sweep, algorithm-major then load order."""
+        return [self.summaries[(a, l)] for a in self.algorithms for l in self.loads]
+
+
+def run_figure(
+    spec: FigureSpec,
+    *,
+    num_slots: int,
+    seed: int = 0,
+    loads: Sequence[float] | None = None,
+    algorithms: Sequence[str] | None = None,
+    workers: int | None = None,
+) -> FigureResult:
+    """Run a figure sweep and collect the results.
+
+    ``workers=None`` chooses serial execution for small grids and a
+    process pool sized to the CPU count for larger ones; pass ``workers=1``
+    to force serial (e.g. inside tests) or an explicit count.
+    """
+    points = spec.points(
+        num_slots=num_slots, seed=seed, loads=loads, algorithms=algorithms
+    )
+    if not points:
+        raise ConfigurationError("empty sweep grid")
+    if workers is None:
+        workers = min(os.cpu_count() or 1, len(points)) if len(points) > 4 else 1
+    if workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(run_sweep_point, points, chunksize=1))
+    else:
+        results = [run_sweep_point(p) for p in points]
+    loads_t = tuple(loads if loads is not None else spec.loads)
+    algos_t = tuple(algorithms if algorithms is not None else spec.algorithms)
+    out = FigureResult(spec=spec, loads=loads_t, algorithms=algos_t)
+    for point, summary in zip(points, results):
+        out.summaries[(point.algorithm, point.load)] = summary
+    return out

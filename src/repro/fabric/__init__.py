@@ -1,0 +1,5 @@
+"""The multicast-capable crossbar switching fabric (paper §I, §III.B.3)."""
+
+from repro.fabric.crossbar import CrossbarConfig, MulticastCrossbar
+
+__all__ = ["MulticastCrossbar", "CrossbarConfig"]

@@ -1,0 +1,29 @@
+"""Optimized whole-switch simulation engines.
+
+The object model in :mod:`repro.switch` is written for clarity and
+auditability; these engines re-implement the two iterative schedulers the
+paper spends most of its simulation time on (FIFOMS and iSLIP) with flat
+NumPy state — an (N, N) HOL-timestamp/occupancy matrix updated in place,
+preallocated round buffers, no per-slot object allocation — following the
+optimization guides' make-it-right-then-fast workflow. Under the
+deterministic lowest-input tie-break the fast FIFOMS engine is
+slot-for-slot **identical** to the reference switch (see
+:mod:`repro.fast.parity` and the parity tests); under random tie-breaking
+it is statistically equivalent.
+"""
+
+from repro.fast.fifoms_engine import FastFIFOMSEngine
+from repro.fast.islip_engine import FastISLIPEngine
+from repro.fast.tatra_engine import FastTATRAEngine
+from repro.fast.parity import compare_summaries, run_pair
+from repro.fast.runner import FAST_ALGORITHMS, run_fast_simulation
+
+__all__ = [
+    "FastFIFOMSEngine",
+    "FastISLIPEngine",
+    "FastTATRAEngine",
+    "run_pair",
+    "compare_summaries",
+    "run_fast_simulation",
+    "FAST_ALGORITHMS",
+]

@@ -1,0 +1,113 @@
+"""Reference-vs-fast equivalence helpers.
+
+:func:`run_pair` pins both implementations to the *identical* arrival
+sequence by recording a stochastic traffic model into a trace and
+replaying it twice. Under deterministic arbitration (FIFOMS with
+lowest-input ties; iSLIP always) the two stacks must then produce
+identical statistics — :func:`compare_summaries` checks every
+load-bearing field and returns the list of mismatches (empty = parity).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.core.fifoms import FIFOMSScheduler, TieBreak
+from repro.errors import ConfigurationError
+from repro.fast.fifoms_engine import FastFIFOMSEngine
+from repro.fast.islip_engine import FastISLIPEngine
+from repro.fast.tatra_engine import FastTATRAEngine
+from repro.schedulers.islip import ISLIPScheduler
+from repro.schedulers.tatra import TATRAScheduler
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.stats.summary import SimulationSummary
+from repro.switch.single_queue import SingleInputQueueSwitch
+from repro.switch.voq_multicast import MulticastVOQSwitch
+from repro.switch.voq_unicast import UnicastVOQSwitch
+from repro.traffic.base import TrafficModel
+from repro.traffic.trace import TraceTraffic, record_trace
+
+__all__ = ["run_pair", "compare_summaries", "PARITY_FIELDS"]
+
+#: Summary fields that must agree exactly for parity.
+PARITY_FIELDS: tuple[str, ...] = (
+    "slots_run",
+    "average_input_delay",
+    "average_output_delay",
+    "average_queue_size",
+    "max_queue_size",
+    "average_rounds",
+    "max_rounds",
+    "packets_offered",
+    "cells_offered",
+    "cells_delivered",
+    "final_backlog",
+    "unstable",
+)
+
+
+def run_pair(
+    algorithm: str,
+    traffic: TrafficModel,
+    num_slots: int,
+    *,
+    warmup_fraction: float = 0.5,
+) -> tuple[SimulationSummary, SimulationSummary]:
+    """Run (reference, fast) on one recorded trace; return both summaries.
+
+    ``algorithm`` is "fifoms" (deterministic lowest-input ties are forced
+    on both sides), "islip" or "tatra" (both inherently deterministic).
+    """
+    packets = record_trace(traffic, num_slots)
+    n = traffic.num_ports
+    cfg = SimulationConfig(
+        num_slots=num_slots,
+        warmup_fraction=warmup_fraction,
+        stability_window=max(100, num_slots // 100),
+    )
+    if algorithm == "fifoms":
+        switch = MulticastVOQSwitch(
+            n, FIFOMSScheduler(n, tie_break=TieBreak.LOWEST_INPUT)
+        )
+        fast: Any = FastFIFOMSEngine(
+            TraceTraffic(n, packets), cfg, tie_break="lowest_input"
+        )
+    elif algorithm == "islip":
+        switch = UnicastVOQSwitch(n, ISLIPScheduler(n))
+        fast = FastISLIPEngine(TraceTraffic(n, packets), cfg)
+    elif algorithm == "tatra":
+        switch = SingleInputQueueSwitch(n, TATRAScheduler(n))
+        fast = FastTATRAEngine(TraceTraffic(n, packets), cfg)
+    else:
+        raise ConfigurationError(
+            f"parity supports 'fifoms', 'islip' and 'tatra', got {algorithm!r}"
+        )
+    ref = SimulationEngine(
+        switch, TraceTraffic(n, packets), cfg, algorithm_name=algorithm
+    ).run()
+    return ref, fast.run()
+
+
+def compare_summaries(
+    ref: SimulationSummary,
+    fast: SimulationSummary,
+    *,
+    fields: tuple[str, ...] = PARITY_FIELDS,
+    rel_tol: float = 1e-12,
+) -> list[str]:
+    """Return a description of every field where the two summaries differ."""
+    problems = []
+    for name in fields:
+        a, b = getattr(ref, name), getattr(fast, name)
+        if isinstance(a, float) or isinstance(b, float):
+            a_f, b_f = float(a), float(b)
+            same = (math.isnan(a_f) and math.isnan(b_f)) or math.isclose(
+                a_f, b_f, rel_tol=rel_tol, abs_tol=0.0
+            )
+        else:
+            same = a == b
+        if not same:
+            problems.append(f"{name}: reference={a!r} fast={b!r}")
+    return problems

@@ -1,0 +1,70 @@
+"""One-call runner for the fast engines, mirroring ``run_simulation``.
+
+``run_fast_simulation("fifoms", ...)`` accepts the same plain values as
+:func:`repro.sim.runner.run_simulation` and returns the same
+:class:`~repro.stats.summary.SimulationSummary`, but executes on the
+flat-state engine — the drop-in accelerator for long single runs. The
+same named RNG streams are used, so a fast run and a reference run with
+one seed consume identical traffic (and, under deterministic
+arbitration, produce identical results; see :mod:`repro.fast.parity`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.fast.fifoms_engine import FastFIFOMSEngine
+from repro.fast.islip_engine import FastISLIPEngine
+from repro.fast.tatra_engine import FastTATRAEngine
+from repro.sim.config import SimulationConfig
+from repro.sim.runner import build_traffic
+from repro.stats.summary import SimulationSummary
+from repro.utils.rng import RngStreams
+
+__all__ = ["run_fast_simulation", "FAST_ALGORITHMS"]
+
+#: Algorithms with a fast engine.
+FAST_ALGORITHMS = ("fifoms", "islip", "tatra")
+
+
+def run_fast_simulation(
+    algorithm: str,
+    num_ports: int,
+    traffic_spec: dict[str, Any],
+    *,
+    num_slots: int = 100_000,
+    warmup_fraction: float = 0.5,
+    seed: int | None = 0,
+    config: SimulationConfig | None = None,
+    tie_break: str = "random",
+    max_iterations: int | None = None,
+) -> SimulationSummary:
+    """Run one simulation on the fast engine for ``algorithm``.
+
+    ``tie_break`` applies to FIFOMS only ("random" per the paper, or
+    "lowest_input" for determinism); ``max_iterations`` to iSLIP only.
+    """
+    if algorithm not in FAST_ALGORITHMS:
+        raise ConfigurationError(
+            f"no fast engine for {algorithm!r}; one of {FAST_ALGORITHMS}"
+        )
+    streams = RngStreams(seed)
+    traffic = build_traffic(traffic_spec, num_ports, rng=streams.get("traffic"))
+    cfg = config or SimulationConfig(
+        num_slots=num_slots,
+        warmup_fraction=warmup_fraction,
+        stability_window=max(100, num_slots // 100),
+    )
+    if algorithm == "fifoms":
+        engine = FastFIFOMSEngine(
+            traffic, cfg, seed=seed, tie_break=tie_break,
+            rng=streams.get("scheduler"),
+        )
+    elif algorithm == "islip":
+        engine = FastISLIPEngine(
+            traffic, cfg, seed=seed, max_iterations=max_iterations
+        )
+    else:
+        engine = FastTATRAEngine(traffic, cfg, seed=seed)
+    return engine.run()

@@ -1,0 +1,29 @@
+"""Variable-size frames over the fixed-cell switch.
+
+The paper (like most crossbar scheduling work) assumes fixed-length
+packets; real line cards carry variable-size frames and run a
+segmentation-and-reassembly (SAR) shim around the cell switch. This
+subpackage provides that shim so realistic workloads can drive the
+simulator:
+
+* :class:`FrameSegmenter` — splits frames into per-slot cell arrivals
+  (one cell per input per slot, as the switch model requires),
+* :class:`FrameReassembler` — collects the cells at each output and
+  reports frame completion times,
+* :class:`FrameTrafficAdapter` — a :class:`~repro.traffic.base.TrafficModel`
+  that feeds a frame workload through the segmenter,
+* :class:`FrameDelayTracker` — frame-level (not cell-level) delay stats.
+"""
+
+from repro.frames.segmentation import Frame, FrameSegmenter
+from repro.frames.reassembly import FrameDelayTracker, FrameReassembler
+from repro.frames.adapter import FrameTrafficAdapter, FrameWorkload
+
+__all__ = [
+    "Frame",
+    "FrameSegmenter",
+    "FrameReassembler",
+    "FrameDelayTracker",
+    "FrameTrafficAdapter",
+    "FrameWorkload",
+]

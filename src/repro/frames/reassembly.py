@@ -1,0 +1,156 @@
+"""Frame reassembly at the outputs and frame-level delay statistics.
+
+Each output port keeps per-(input, frame) reassembly state; a frame is
+complete at an output when all its cells have been delivered there, and
+complete overall when every destination output has reassembled it. The
+tracker reports frame latency under the same max/mean (input/output
+oriented) conventions as the cell-level statistics, one level up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.frames.segmentation import Frame, FrameSegmenter
+from repro.packet import Delivery
+
+__all__ = ["FrameReassembler", "FrameDelayTracker"]
+
+
+@dataclass(slots=True)
+class _PerOutput:
+    received: set = field(default_factory=set)
+    complete_slot: int | None = None
+
+
+@dataclass(slots=True)
+class _FrameState:
+    frame: Frame
+    outputs: dict[int, _PerOutput]
+
+    def complete(self) -> bool:
+        return all(o.complete_slot is not None for o in self.outputs.values())
+
+
+class FrameReassembler:
+    """Rebuilds frames from cell deliveries; detects loss/duplication."""
+
+    def __init__(self, segmenter: FrameSegmenter) -> None:
+        self.segmenter = segmenter
+        self._states: dict[int, _FrameState] = {}
+        self.frames_completed = 0
+        self.cells_received = 0
+
+    # ------------------------------------------------------------------ #
+    def on_delivery(
+        self, delivery: Delivery
+    ) -> tuple[Frame, dict[int, int]] | None:
+        """Feed one switch delivery.
+
+        Returns ``(frame, per-output completion slots)`` when this cell
+        completed the frame at its *last* destination, else None.
+        """
+        mapping = self.segmenter.cell_of.get(delivery.packet.packet_id)
+        if mapping is None:
+            raise SimulationError(
+                f"delivered cell {delivery.packet.packet_id} unknown to the "
+                "segmenter"
+            )
+        frame, cell_index = mapping
+        state = self._states.get(frame.frame_id)
+        if state is None:
+            state = _FrameState(
+                frame=frame,
+                outputs={j: _PerOutput() for j in frame.destinations},
+            )
+            self._states[frame.frame_id] = state
+        per_out = state.outputs.get(delivery.output_port)
+        if per_out is None:
+            raise SimulationError(
+                f"frame {frame.frame_id} cell delivered to non-destination "
+                f"output {delivery.output_port}"
+            )
+        if cell_index in per_out.received:
+            raise SimulationError(
+                f"duplicate cell {cell_index} of frame {frame.frame_id} at "
+                f"output {delivery.output_port}"
+            )
+        per_out.received.add(cell_index)
+        self.cells_received += 1
+        if len(per_out.received) == frame.size_cells:
+            per_out.complete_slot = delivery.service_slot
+        if state.complete():
+            slots = {
+                j: o.complete_slot
+                for j, o in state.outputs.items()
+                if o.complete_slot is not None
+            }
+            del self._states[frame.frame_id]
+            self.frames_completed += 1
+            return frame, slots
+        return None
+
+    def completion_slots(self, frame_id: int) -> dict[int, int | None]:
+        """Per-output completion slots of an in-flight frame (tests)."""
+        state = self._states.get(frame_id)
+        if state is None:
+            raise SimulationError(f"frame {frame_id} not in flight")
+        return {j: o.complete_slot for j, o in state.outputs.items()}
+
+    @property
+    def frames_in_flight(self) -> int:
+        return len(self._states)
+
+
+class FrameDelayTracker:
+    """Frame-level latency statistics (the SAR analogue of DelayTracker).
+
+    A frame's delay at one output = (output's completion slot −
+    frame arrival slot + 1); the *frame input-oriented delay* takes the
+    max over destinations, the *output-oriented* the mean, mirroring §V.
+    """
+
+    def __init__(self, warmup_slot: int = 0) -> None:
+        self.warmup_slot = warmup_slot
+        self._per_output_pending: dict[int, dict[int, int]] = {}
+        self.frame_count = 0
+        self.input_delay_sum = 0
+        self.output_delay_sum = 0.0
+        self.max_frame_delay = 0
+
+    def on_frame_complete(
+        self, frame: Frame, completion_slots: dict[int, int]
+    ) -> None:
+        """Record a fully-reassembled frame and its per-output slots."""
+        if set(completion_slots) != set(frame.destinations):
+            raise SimulationError(
+                f"completion slots {sorted(completion_slots)} do not match "
+                f"frame destinations {frame.destinations}"
+            )
+        if frame.arrival_slot < self.warmup_slot:
+            return
+        delays = [s - frame.arrival_slot + 1 for s in completion_slots.values()]
+        if min(delays) < frame.size_cells:
+            raise SimulationError(
+                f"frame of {frame.size_cells} cells cannot complete in "
+                f"{min(delays)} slots"
+            )
+        self.frame_count += 1
+        worst = max(delays)
+        self.input_delay_sum += worst
+        self.output_delay_sum += sum(delays) / len(delays)
+        if worst > self.max_frame_delay:
+            self.max_frame_delay = worst
+
+    @property
+    def average_input_delay(self) -> float:
+        if self.frame_count == 0:
+            return float("nan")
+        return self.input_delay_sum / self.frame_count
+
+    @property
+    def average_output_delay(self) -> float:
+        if self.frame_count == 0:
+            return float("nan")
+        return self.output_delay_sum / self.frame_count

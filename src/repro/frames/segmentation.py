@@ -1,0 +1,126 @@
+"""Frame definition and segmentation into fixed cells.
+
+A :class:`Frame` is a variable-length unit (size in cells) bound for a
+destination set. The :class:`FrameSegmenter` turns queued frames into the
+one-cell-per-input-per-slot arrival stream the switch consumes, stamping
+every cell packet with frame metadata so the reassembler can reconstruct
+completion times at the outputs.
+
+Cells of one frame are emitted back-to-back (no interleaving between
+frames of the same input): this models a line card that cuts the frame
+into cells as it serializes in, which also guarantees in-order cell
+arrival per (input, frame).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import TrafficError
+from repro.packet import Packet
+from repro.utils.validation import check_port_count
+
+__all__ = ["Frame", "FrameSegmenter"]
+
+_frame_ids = itertools.count()
+
+
+@dataclass(frozen=True, slots=True)
+class Frame:
+    """One variable-size frame: ``size_cells`` cells to ``destinations``."""
+
+    input_port: int
+    destinations: tuple[int, ...]
+    size_cells: int
+    arrival_slot: int
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_cells < 1:
+            raise TrafficError(f"frame needs >= 1 cell, got {self.size_cells}")
+        if not self.destinations:
+            raise TrafficError("frame needs >= 1 destination")
+        dests = tuple(sorted(set(self.destinations)))
+        if dests != tuple(self.destinations):
+            object.__setattr__(self, "destinations", dests)
+
+    @property
+    def fanout(self) -> int:
+        return len(self.destinations)
+
+
+class FrameSegmenter:
+    """Per-input frame queues emitting one cell packet per slot.
+
+    ``cell_of`` maps emitted :class:`~repro.packet.Packet` ids back to
+    (frame, cell index) so the reassembler can track completion.
+    """
+
+    def __init__(self, num_ports: int) -> None:
+        self.num_ports = check_port_count(num_ports)
+        self._queues: list[deque[tuple[Frame, int]]] = [
+            deque() for _ in range(num_ports)
+        ]
+        #: packet_id -> (frame, cell_index)
+        self.cell_of: dict[int, tuple[Frame, int]] = {}
+        self.frames_accepted = 0
+        self.cells_emitted = 0
+
+    # ------------------------------------------------------------------ #
+    def offer(self, frame: Frame) -> None:
+        """Queue a frame for segmentation at its input port."""
+        if frame.input_port >= self.num_ports:
+            raise TrafficError(
+                f"frame input {frame.input_port} out of range "
+                f"({self.num_ports} ports)"
+            )
+        if frame.destinations[-1] >= self.num_ports:
+            raise TrafficError(
+                f"frame destination {frame.destinations[-1]} out of range"
+            )
+        q = self._queues[frame.input_port]
+        # Frames must be offered in arrival order per input.
+        if q and q[-1][0].arrival_slot > frame.arrival_slot:
+            raise TrafficError(
+                f"frames offered out of order at input {frame.input_port}"
+            )
+        for cell_index in range(frame.size_cells):
+            q.append((frame, cell_index))
+        self.frames_accepted += 1
+
+    def emit(self, slot: int) -> list[Packet | None]:
+        """The slot's cell arrivals: the head cell of each input queue.
+
+        A cell is only emitted once its frame has (logically) started
+        arriving, i.e. at or after the frame's arrival slot.
+        """
+        arrivals: list[Packet | None] = [None] * self.num_ports
+        for i, q in enumerate(self._queues):
+            if not q:
+                continue
+            frame, cell_index = q[0]
+            if frame.arrival_slot > slot:
+                continue
+            q.popleft()
+            pkt = Packet(
+                input_port=i,
+                destinations=frame.destinations,
+                arrival_slot=slot,
+            )
+            self.cell_of[pkt.packet_id] = (frame, cell_index)
+            arrivals[i] = pkt
+            self.cells_emitted += 1
+        return arrivals
+
+    # ------------------------------------------------------------------ #
+    def pending_cells(self, input_port: int | None = None) -> int:
+        """Cells still waiting to enter the switch."""
+        if input_port is not None:
+            return len(self._queues[input_port])
+        return sum(len(q) for q in self._queues)
+
+    @property
+    def drained(self) -> bool:
+        return all(not q for q in self._queues)

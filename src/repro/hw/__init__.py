@@ -1,0 +1,17 @@
+"""Hardware model of the FIFOMS scheduler (paper §IV, Fig. 3).
+
+:mod:`repro.hw.comparator` builds balanced min-comparator trees with gate
+and depth accounting; :mod:`repro.hw.scheduler_rtl` wires them into the
+control unit of Fig. 3 (input-side HOL comparators, output-side grant
+comparators, grant feedback) and executes FIFOMS cycle-accurately. Its
+decisions must match the behavioural
+:class:`~repro.core.fifoms.FIFOMSScheduler` bit-for-bit under the
+deterministic tie-break — one of the strongest cross-checks in the test
+suite — while its measured comparator depth matches
+:func:`repro.analysis.complexity.scheduler_comparisons_per_round`.
+"""
+
+from repro.hw.comparator import ComparatorStats, MinComparatorTree
+from repro.hw.scheduler_rtl import FIFOMSControlUnit
+
+__all__ = ["MinComparatorTree", "ComparatorStats", "FIFOMSControlUnit"]

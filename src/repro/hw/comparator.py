@@ -1,0 +1,83 @@
+"""Balanced min-comparator trees with gate/latency accounting.
+
+The WBA-style parallel comparator the paper invokes for its O(1)-per-round
+claim (§IV.C) is a tree of 2-input min stages. This model computes the
+minimum *and its index* the way hardware does — pairwise, level by level,
+ties resolved toward the lower index, exactly the behaviour of a
+comparator whose "less-or-equal" output favours its first operand — while
+counting comparator instances and levels so tests can pin the
+O(log N)-depth claim.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ComparatorStats", "MinComparatorTree"]
+
+
+@dataclass(slots=True)
+class ComparatorStats:
+    """Cumulative hardware-cost counters of one tree instance."""
+
+    comparisons: int = 0  # 2-input comparator evaluations
+    evaluations: int = 0  # full-tree evaluations performed
+    depth: int = 0  # levels of the last evaluation
+
+
+class MinComparatorTree:
+    """Find (min value, argmin) over up to ``width`` inputs.
+
+    Inputs may be masked out (``None``), modelling lanes whose request
+    lines are deasserted; an all-masked evaluation returns ``(None,
+    None)``, modelling the tree's "no valid input" flag.
+    """
+
+    def __init__(self, width: int) -> None:
+        if width < 1:
+            raise ConfigurationError(f"width must be >= 1, got {width}")
+        self.width = width
+        self.stats = ComparatorStats()
+
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self, values: Sequence[int | float | None]
+    ) -> tuple[int | float | None, int | None]:
+        """One combinational evaluation; returns (min value, its index)."""
+        if len(values) != self.width:
+            raise ConfigurationError(
+                f"tree built for {self.width} lanes, got {len(values)}"
+            )
+        self.stats.evaluations += 1
+        # level holds (value, original index) for still-live candidates,
+        # positionally — Nones propagate like deasserted valid bits.
+        level: list[tuple[int | float, int] | None] = [
+            (v, i) if v is not None else None for i, v in enumerate(values)
+        ]
+        depth = 0
+        while len(level) > 1:
+            depth += 1
+            nxt: list[tuple[int | float, int] | None] = []
+            for k in range(0, len(level) - 1, 2):
+                a, b = level[k], level[k + 1]
+                if a is not None and b is not None:
+                    self.stats.comparisons += 1
+                    # <= favours the first operand: lower index wins ties.
+                    nxt.append(a if a[0] <= b[0] else b)
+                else:
+                    nxt.append(a if a is not None else b)
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        self.stats.depth = depth
+        if level[0] is None:
+            return None, None
+        return level[0][0], level[0][1]
+
+    @property
+    def theoretical_depth(self) -> int:
+        """ceil(log2 width): the latency the §IV.C O(1) claim rests on."""
+        return (self.width - 1).bit_length()

@@ -1,0 +1,15 @@
+"""Strict-priority QoS extension of the multicast VOQ switch.
+
+The paper notes OQ switches "can easily meet different QoS requirements"
+while input-queued designs struggle; this extension shows the multicast
+VOQ structure carries over to service classes naturally: each input port
+keeps one full set of address-cell VOQs *per class* (still linear — P·N
+queues), data cells are shared per packet exactly as before, and the
+scheduler runs one FIFOMS pass per class from highest to lowest, carrying
+port reservations down — strict priority with FIFO order inside a class.
+"""
+
+from repro.qos.switch import PriorityMulticastVOQSwitch
+from repro.qos.traffic import PriorityTagger
+
+__all__ = ["PriorityMulticastVOQSwitch", "PriorityTagger"]

@@ -1,0 +1,118 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints each paper figure as one table per metric
+panel (rows = load points, columns = algorithms) — the same series the
+paper plots — plus an optional log-scale ASCII chart for eyeballing curve
+shapes in a terminal. No plotting dependency is required or used.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "render_ascii_chart"]
+
+
+def _fmt(value: object, width: int) -> str:
+    if value is None:
+        return "-".rjust(width)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan".rjust(width)
+        if math.isinf(value):
+            return "inf".rjust(width)
+        if value and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.2e}".rjust(width)
+        return f"{value:.3f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width table with a rule under the header."""
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[k], 1).strip()) for r in rows)) if rows else len(str(h))
+        for k, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_fmt(v, w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render one metric panel: x column plus one column per algorithm."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for k, x in enumerate(x_values):
+        rows.append([round(float(x), 4), *(vals[k] for vals in series.values())])
+    return format_table(headers, rows, title=title)
+
+
+def render_ascii_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    height: int = 12,
+    width: int = 60,
+    log_y: bool = True,
+    title: str | None = None,
+) -> str:
+    """Tiny terminal line chart; one marker character per series.
+
+    Non-finite points (saturated algorithms) are simply not drawn, the
+    textual analogue of the paper's truncated curves.
+    """
+    markers = "*o+x#@%&"
+    finite = [
+        v
+        for vals in series.values()
+        for v in vals
+        if v is not None and math.isfinite(v) and (not log_y or v > 0)
+    ]
+    if not finite or len(x_values) < 2:
+        return "(no finite data to chart)"
+    lo, hi = min(finite), max(finite)
+    if log_y:
+        lo, hi = math.log10(lo), math.log10(hi)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    x_lo, x_hi = min(x_values), max(x_values)
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (name, vals) in enumerate(series.items()):
+        m = markers[s_idx % len(markers)]
+        for x, v in zip(x_values, vals):
+            if v is None or not math.isfinite(v) or (log_y and v <= 0):
+                continue
+            y = math.log10(v) if log_y else v
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = height - 1 - round((y - lo) / (hi - lo) * (height - 1))
+            grid[row][col] = m
+    lines = []
+    if title:
+        lines.append(title)
+    scale = "log10" if log_y else "linear"
+    lines.append(f"y: [{min(finite):.3g}, {max(finite):.3g}] ({scale})")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" x: [{x_lo:.3g}, {x_hi:.3g}]")
+    legend = "  ".join(
+        f"{markers[k % len(markers)]}={name}" for k, name in enumerate(series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""CSV / JSON export of simulation summaries."""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.stats.summary import SimulationSummary
+
+__all__ = ["summaries_to_csv", "summaries_to_json", "write_csv", "write_json"]
+
+#: Flat columns exported for each run, in order.
+CSV_COLUMNS: tuple[str, ...] = (
+    "algorithm",
+    "num_ports",
+    "seed",
+    "slots_run",
+    "warmup_slots",
+    "effective_load",
+    "average_input_delay",
+    "average_output_delay",
+    "average_queue_size",
+    "max_queue_size",
+    "average_rounds",
+    "max_rounds",
+    "offered_load",
+    "carried_load",
+    "delivery_ratio",
+    "final_backlog",
+    "unstable",
+    # Extended-stats columns (blank unless extended_stats was enabled).
+    "delay_p50",
+    "delay_p99",
+    "delay_max",
+    "split_ratio",
+    "avg_service_slots",
+)
+
+_EXTRA_COLUMNS = frozenset(
+    {"delay_p50", "delay_p99", "delay_max", "split_ratio", "avg_service_slots"}
+)
+
+
+def _row(summary: SimulationSummary) -> list[object]:
+    row: list[object] = []
+    for col in CSV_COLUMNS:
+        if col == "effective_load":
+            value = summary.traffic.get("effective_load")
+        elif col in _EXTRA_COLUMNS:
+            value = summary.extra.get(col, "")
+        else:
+            value = getattr(summary, col)
+        if isinstance(value, float) and not math.isfinite(value):
+            value = ""
+        row.append(value)
+    return row
+
+
+def summaries_to_csv(summaries: Iterable[SimulationSummary]) -> str:
+    """Render summaries as a CSV string (header + one row per run)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(CSV_COLUMNS)
+    for s in summaries:
+        writer.writerow(_row(s))
+    return buf.getvalue()
+
+
+def summaries_to_json(summaries: Sequence[SimulationSummary]) -> str:
+    """Render summaries as a JSON array (NaN/inf become null)."""
+    return "[" + ", ".join(s.to_json() for s in summaries) + "]"
+
+
+def write_csv(path: str | Path, summaries: Iterable[SimulationSummary]) -> Path:
+    """Write CSV to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(summaries_to_csv(summaries))
+    return path
+
+
+def write_json(path: str | Path, summaries: Sequence[SimulationSummary]) -> Path:
+    """Write JSON to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(summaries_to_json(summaries))
+    return path

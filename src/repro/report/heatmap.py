@@ -1,0 +1,93 @@
+"""ASCII heatmap rendering for 2-D parameter grids.
+
+Small terminal-friendly heatmaps for results indexed by two parameters
+(e.g. the fanout × load advantage grid): one shaded character per cell
+plus row/column labels and a value legend. NaN cells (unstable or
+unmeasured) print as ``.``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["render_heatmap"]
+
+#: Shade ramp, light to dark.
+_RAMP = " ░▒▓█"
+_ASCII_RAMP = " .:*#"
+
+
+def render_heatmap(
+    grid: np.ndarray,
+    *,
+    row_labels: Sequence[object],
+    col_labels: Sequence[object],
+    title: str | None = None,
+    row_title: str = "",
+    col_title: str = "",
+    ascii_only: bool = False,
+    show_values: bool = True,
+) -> str:
+    """Render a (rows, cols) value grid as an ASCII heatmap.
+
+    With ``show_values`` each cell prints its number alongside the shade;
+    otherwise one shade character per cell (compact form).
+    """
+    grid = np.asarray(grid, dtype=np.float64)
+    if grid.ndim != 2:
+        raise ConfigurationError(f"heatmap needs a 2-D grid, got shape {grid.shape}")
+    if grid.shape != (len(row_labels), len(col_labels)):
+        raise ConfigurationError(
+            f"grid shape {grid.shape} does not match labels "
+            f"({len(row_labels)}, {len(col_labels)})"
+        )
+    ramp = _ASCII_RAMP if ascii_only else _RAMP
+    finite = grid[np.isfinite(grid)]
+    lo = float(finite.min()) if finite.size else 0.0
+    hi = float(finite.max()) if finite.size else 1.0
+    span = hi - lo if hi > lo else 1.0
+
+    def shade(v: float) -> str:
+        if not np.isfinite(v):
+            return "."
+        level = int((v - lo) / span * (len(ramp) - 1) + 0.5)
+        return ramp[min(max(level, 0), len(ramp) - 1)]
+
+    row_width = max((len(str(r)) for r in row_labels), default=1)
+    row_width = max(row_width, len(row_title))
+    if show_values:
+        cells = [[("." if not np.isfinite(v) else f"{v:.2f}") for v in row] for row in grid]
+        col_w = [
+            max(len(str(col_labels[c])), *(len(cells[r][c]) + 1 for r in range(len(row_labels))))
+            for c in range(len(col_labels))
+        ]
+    else:
+        col_w = [max(len(str(c)), 1) for c in col_labels]
+
+    lines = []
+    if title:
+        lines.append(title)
+    if finite.size:
+        lines.append(f"scale: {lo:.3g} '{ramp[0]}' .. {hi:.3g} '{ramp[-1]}'  (. = n/a)")
+    header = " " * (row_width + 2) + "  ".join(
+        str(c).rjust(w) for c, w in zip(col_labels, col_w)
+    )
+    if col_title:
+        lines.append(" " * (row_width + 2) + col_title)
+    lines.append(header)
+    for r, label in enumerate(row_labels):
+        if show_values:
+            row_cells = [
+                (shade(grid[r, c]) + cells[r][c]).rjust(w)
+                for c, w in enumerate(col_w)
+            ]
+        else:
+            row_cells = [shade(grid[r, c]).rjust(w) for c, w in enumerate(col_w)]
+        lines.append(f"{str(label).rjust(row_width)}  " + "  ".join(row_cells))
+    if row_title:
+        lines.append(f"(rows: {row_title})")
+    return "\n".join(lines)

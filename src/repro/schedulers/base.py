@@ -1,0 +1,71 @@
+"""Scheduler-facing views of the two baseline switch architectures.
+
+Unicast VOQ schedulers (iSLIP, PIM, MaxWeight) do not need to see queue
+contents — only occupancy counts and head-of-line ages — so the switch
+hands them a :class:`UnicastVOQView` of NumPy arrays that it maintains
+incrementally. Single-input-queue schedulers (TATRA, WBA, SIQ-FIFO) see
+one :class:`SIQHolCell` per non-empty input: the HOL packet's remaining
+destination set and arrival time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["UnicastVOQView", "SIQHolCell"]
+
+
+@dataclass(slots=True)
+class UnicastVOQView:
+    """Snapshot arrays describing a unicast VOQ switch's N² queues.
+
+    Attributes
+    ----------
+    occupancy:
+        ``occupancy[i, j]`` = number of cells queued at input i for
+        output j.
+    hol_arrival:
+        ``hol_arrival[i, j]`` = arrival slot of the HOL cell of VOQ (i, j),
+        or -1 when the VOQ is empty. Used by OCF weights and by tests.
+    current_slot:
+        The slot being scheduled (for age computations).
+    """
+
+    occupancy: np.ndarray
+    hol_arrival: np.ndarray
+    current_slot: int
+
+    @property
+    def num_ports(self) -> int:
+        return self.occupancy.shape[0]
+
+    def request_matrix(self) -> np.ndarray:
+        """Boolean (N, N): input i has something for output j."""
+        return self.occupancy > 0
+
+    def hol_age(self) -> np.ndarray:
+        """(N, N) waiting time of HOL cells (+1 so a fresh cell has weight
+        1, not 0); 0 where the VOQ is empty."""
+        age = np.where(
+            self.hol_arrival >= 0, self.current_slot - self.hol_arrival + 1, 0
+        )
+        return age.astype(np.int64)
+
+
+@dataclass(frozen=True, slots=True)
+class SIQHolCell:
+    """The visible HOL cell of one single-input-queue input port.
+
+    ``remaining`` is the set of destinations not yet served (fanout
+    splitting leaves a residue at the HOL, per TATRA/WBA semantics);
+    ``arrival_slot`` is the packet's arrival time; ``packet_id``
+    identifies the cell across slots so stateful schedulers (TATRA's
+    Tetris box) can tell a residue from a fresh HOL cell.
+    """
+
+    input_port: int
+    remaining: frozenset[int]
+    arrival_slot: int
+    packet_id: int

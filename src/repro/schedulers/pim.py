@@ -1,0 +1,100 @@
+"""PIM — Parallel Iterative Matching (Anderson et al., ACM TOCS 1993).
+
+Structurally identical to iSLIP (request / grant / accept iterations) but
+both the grant and accept arbiters choose **uniformly at random** instead
+of round-robin. PIM converges in O(log N) expected iterations but, with a
+single iteration, caps at about 63% throughput under uniform traffic —
+the weakness iSLIP's pointers fix. Included as a baseline/extension (the
+paper cites it as prior VOQ work).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.matching import ScheduleDecision
+from repro.errors import ConfigurationError
+from repro.schedulers.base import UnicastVOQView
+from repro.utils.rng import make_rng
+
+__all__ = ["PIMScheduler"]
+
+
+class PIMScheduler:
+    """Reference PIM implementation (random grant, random accept)."""
+
+    name = "pim"
+
+    def __init__(
+        self,
+        num_ports: int,
+        *,
+        max_iterations: int | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if num_ports < 1:
+            raise ConfigurationError(f"num_ports must be >= 1, got {num_ports}")
+        if max_iterations is not None and max_iterations < 1:
+            raise ConfigurationError(
+                f"max_iterations must be >= 1 or None, got {max_iterations}"
+            )
+        self.num_ports = num_ports
+        self.max_iterations = max_iterations
+        self._rng = make_rng(rng)
+
+    def schedule(self, view: UnicastVOQView) -> ScheduleDecision:
+        """Run random grant/accept iterations for one slot."""
+        n = self.num_ports
+        if view.num_ports != n:
+            raise ConfigurationError(
+                f"view has {view.num_ports} ports, scheduler built for {n}"
+            )
+        wants = view.occupancy > 0
+        input_matched = [False] * n
+        output_matched = [False] * n
+        match_of_input: list[int | None] = [None] * n
+        decision = ScheduleDecision()
+        rounds = 0
+        iteration = 0
+
+        while self.max_iterations is None or iteration < self.max_iterations:
+            iteration += 1
+            any_request = False
+            grants_to_input: list[list[int]] = [[] for _ in range(n)]
+            for j in range(n):
+                if output_matched[j]:
+                    continue
+                requesters = [
+                    i for i in range(n) if not input_matched[i] and wants[i, j]
+                ]
+                if not requesters:
+                    continue
+                any_request = True
+                chosen = requesters[int(self._rng.integers(len(requesters)))]
+                grants_to_input[chosen].append(j)
+            if any_request:
+                decision.requests_made = True
+            else:
+                break
+            new_match = False
+            for i in range(n):
+                grants = grants_to_input[i]
+                if not grants:
+                    continue
+                j = grants[int(self._rng.integers(len(grants)))]
+                input_matched[i] = True
+                output_matched[j] = True
+                match_of_input[i] = j
+                new_match = True
+            if not new_match:
+                break
+            rounds += 1
+
+        for i, j in enumerate(match_of_input):
+            if j is not None:
+                decision.add(i, (j,))
+        decision.rounds = rounds
+        return decision
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PIMScheduler(N={self.num_ports}, max_iterations={self.max_iterations})"

@@ -1,0 +1,182 @@
+"""SERENA — matching by arrival-graph merging (Giaccone, Prabhakar, Shah).
+
+The paper's reference [7]: a "simple, high performance" scheduler that
+reuses the previous slot's matching and refreshes it with the slot's new
+arrivals, achieving MaxWeight-like stability at far lower cost.
+
+Per slot:
+
+1. **Arrival graph** — every input that received a cell this slot
+   proposes the edge to that cell's output (if several cells arrived at
+   one input — multicast copies — the heaviest VOQ wins the proposal);
+   colliding proposals on one output keep the heaviest edge.
+2. **Merge** — take the union of the arrival matching A and the previous
+   matching P. The union decomposes into disjoint paths/cycles that
+   alternate between A-edges and P-edges; in each component keep
+   whichever alternating half has the larger total queue weight.
+3. The merged matching (completed to cover leftover ports greedily by
+   weight) is used for transfer and remembered for the next slot.
+
+Weights are current VOQ occupancies (LQF weights), per the original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.matching import ScheduleDecision
+from repro.errors import ConfigurationError
+from repro.schedulers.base import UnicastVOQView
+from repro.utils.rng import make_rng
+
+__all__ = ["SerenaScheduler"]
+
+
+class SerenaScheduler:
+    """Arrival-graph merge scheduler with remembered matchings."""
+
+    name = "serena"
+
+    def __init__(
+        self, num_ports: int, *, rng: int | np.random.Generator | None = None
+    ) -> None:
+        if num_ports < 1:
+            raise ConfigurationError(f"num_ports must be >= 1, got {num_ports}")
+        self.num_ports = num_ports
+        self._rng = make_rng(rng)
+        # previous matching: prev[i] = output matched to input i, or -1.
+        self._prev = np.full(num_ports, -1, dtype=np.int64)
+        self._last_occupancy: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    def _arrival_matching(self, view: UnicastVOQView) -> np.ndarray:
+        """Derive this slot's arrival proposals (one output per input)."""
+        n = self.num_ports
+        occ = view.occupancy
+        arrivals = (
+            occ - self._last_occupancy
+            if self._last_occupancy is not None
+            else occ
+        )
+        proposal = np.full(n, -1, dtype=np.int64)
+        owner_of_output = np.full(n, -1, dtype=np.int64)
+        for i in range(n):
+            grew = np.nonzero(arrivals[i] > 0)[0]
+            if grew.size == 0:
+                continue
+            # Heaviest newly-fed VOQ proposes; random among ties.
+            weights = occ[i, grew]
+            best = grew[weights == weights.max()]
+            j = int(best[self._rng.integers(best.size)]) if best.size > 1 else int(best[0])
+            # Output collision: heavier edge wins.
+            k = owner_of_output[j]
+            if k == -1 or occ[i, j] > occ[k, j]:
+                if k != -1:
+                    proposal[k] = -1
+                owner_of_output[j] = i
+                proposal[i] = j
+        return proposal
+
+    def _merge(
+        self, a: np.ndarray, p: np.ndarray, occ: np.ndarray
+    ) -> np.ndarray:
+        """Keep, per alternating component of A ∪ P, the heavier half."""
+        n = self.num_ports
+        merged = np.full(n, -1, dtype=np.int64)
+        # Build output -> input maps for both matchings.
+        a_in_of_out = np.full(n, -1, dtype=np.int64)
+        p_in_of_out = np.full(n, -1, dtype=np.int64)
+        for i in range(n):
+            if a[i] >= 0:
+                a_in_of_out[a[i]] = i
+            if p[i] >= 0:
+                p_in_of_out[p[i]] = i
+        visited_inputs = [False] * n
+        for start in range(n):
+            if visited_inputs[start] or (a[start] < 0 and p[start] < 0):
+                continue
+            # Trace the alternating component containing `start`.
+            comp_a: list[tuple[int, int]] = []
+            comp_p: list[tuple[int, int]] = []
+            stack = [start]
+            seen_outputs = set()
+            while stack:
+                i = stack.pop()
+                if visited_inputs[i]:
+                    continue
+                visited_inputs[i] = True
+                for matching, comp in ((a, comp_a), (p, comp_p)):
+                    j = matching[i]
+                    if j >= 0:
+                        comp.append((i, int(j)))
+                        if j not in seen_outputs:
+                            seen_outputs.add(j)
+                            for neighbor_map in (a_in_of_out, p_in_of_out):
+                                k = neighbor_map[j]
+                                if k >= 0 and not visited_inputs[k]:
+                                    stack.append(int(k))
+            wa = sum(occ[i, j] for i, j in comp_a)
+            wp = sum(occ[i, j] for i, j in comp_p)
+            keep = comp_a if wa >= wp else comp_p
+            for i, j in keep:
+                merged[i] = j
+        return merged
+
+    def _complete_greedily(self, match: np.ndarray, occ: np.ndarray) -> None:
+        """Fill unmatched port pairs, heaviest eligible VOQ first."""
+        n = self.num_ports
+        out_taken = set(int(j) for j in match if j >= 0)
+        free_in = [i for i in range(n) if match[i] < 0]
+        candidates = [
+            (int(occ[i, j]), i, j)
+            for i in free_in
+            for j in range(n)
+            if j not in out_taken and occ[i, j] > 0
+        ]
+        candidates.sort(reverse=True)
+        used_in = set()
+        for w, i, j in candidates:
+            if i in used_in or j in out_taken:
+                continue
+            match[i] = j
+            used_in.add(i)
+            out_taken.add(j)
+
+    # ------------------------------------------------------------------ #
+    def schedule(self, view: UnicastVOQView) -> ScheduleDecision:
+        """Merge the arrival matching with the remembered one."""
+        n = self.num_ports
+        if view.num_ports != n:
+            raise ConfigurationError(
+                f"view has {view.num_ports} ports, scheduler built for {n}"
+            )
+        occ = view.occupancy
+        decision = ScheduleDecision()
+        if not (occ > 0).any():
+            self._prev.fill(-1)
+            self._last_occupancy = occ.copy()
+            return decision
+        decision.requests_made = True
+        arrival = self._arrival_matching(view)
+        # Previous matching edges are only valid while their VOQ has cells.
+        prev = self._prev.copy()
+        for i in range(n):
+            if prev[i] >= 0 and occ[i, prev[i]] == 0:
+                prev[i] = -1
+        merged = self._merge(arrival, prev, occ)
+        self._complete_greedily(merged, occ)
+        for i in range(n):
+            if merged[i] >= 0:
+                decision.add(i, (int(merged[i]),))
+        decision.rounds = 1 if decision.grants else 0
+        self._prev = merged
+        self._last_occupancy = occ.copy()
+        return decision
+
+    def reset(self) -> None:
+        """Forget the remembered matching and occupancy snapshot."""
+        self._prev.fill(-1)
+        self._last_occupancy = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SerenaScheduler(N={self.num_ports})"

@@ -1,0 +1,14 @@
+"""The discrete-time simulation engine: configuration, slot loop,
+stability monitoring and the one-call run helper."""
+
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.stability import StabilityMonitor
+from repro.sim.runner import run_simulation
+
+__all__ = [
+    "SimulationConfig",
+    "SimulationEngine",
+    "StabilityMonitor",
+    "run_simulation",
+]

@@ -1,0 +1,125 @@
+"""The slot loop: traffic → switch → statistics, with stability watch.
+
+This engine drives any :class:`~repro.switch.base.BaseSwitch` with any
+:class:`~repro.traffic.base.TrafficModel` and produces a
+:class:`~repro.stats.summary.SimulationSummary`. It is deliberately dumb —
+all behaviour lives in the switch/scheduler/traffic objects — so that one
+loop serves every algorithm and every experiment identically.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError, UnstableSimulationError
+from repro.sim.config import SimulationConfig
+from repro.sim.stability import StabilityMonitor
+from repro.stats.collector import StatsCollector
+from repro.stats.summary import SimulationSummary
+from repro.switch.base import BaseSwitch
+from repro.traffic.base import TrafficModel
+
+__all__ = ["SimulationEngine"]
+
+
+class SimulationEngine:
+    """Couples one switch, one traffic model and one config."""
+
+    def __init__(
+        self,
+        switch: BaseSwitch,
+        traffic: TrafficModel,
+        config: SimulationConfig | None = None,
+        *,
+        seed: int | None = None,
+        algorithm_name: str | None = None,
+    ) -> None:
+        if switch.num_ports != traffic.num_ports:
+            raise SimulationError(
+                f"switch has {switch.num_ports} ports but traffic targets "
+                f"{traffic.num_ports}"
+            )
+        self.switch = switch
+        self.traffic = traffic
+        self.config = config or SimulationConfig()
+        self.seed = seed
+        self.algorithm_name = algorithm_name or getattr(switch, "name", "unknown")
+        self.collector = StatsCollector(
+            switch.num_ports,
+            self.config.warmup_slots,
+            extended=self.config.extended_stats,
+        )
+        self.monitor = StabilityMonitor(
+            max_backlog=self.config.max_backlog,
+            growth_windows=self.config.stability_growth_windows,
+        )
+        self.slots_run = 0
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationSummary:
+        """Execute the configured number of slots (or stop at instability)."""
+        cfg = self.config
+        switch = self.switch
+        traffic = self.traffic
+        collector = self.collector
+        window = cfg.stability_window
+        check_every = cfg.check_invariants_every
+        unstable = False
+
+        for slot in range(cfg.num_slots):
+            arrivals = traffic.next_slot()
+            result = switch.step(arrivals, slot)
+            collector.on_slot(slot, arrivals, result, switch.queue_sizes())
+            self.slots_run = slot + 1
+            if check_every and (slot + 1) % check_every == 0:
+                switch.check_invariants()
+            if window and (slot + 1) % window == 0:
+                if self.monitor.observe(switch.total_backlog()):
+                    unstable = True
+                    break
+
+        # Final conservation audit: everything offered is either delivered
+        # or still buffered; the stats and the switch must agree.
+        backlog = switch.total_backlog()
+        pending = collector.delay.pending_cells()
+        if pending != backlog:
+            raise SimulationError(
+                f"conservation violated: stats see {pending} pending cells, "
+                f"switch reports backlog {backlog}"
+            )
+        if unstable and cfg.raise_on_unstable:
+            raise UnstableSimulationError(
+                f"{self.algorithm_name}: {self.monitor.reason} "
+                f"after {self.slots_run} slots"
+            )
+        return self._summarize(unstable)
+
+    # ------------------------------------------------------------------ #
+    def _summarize(self, unstable: bool) -> SimulationSummary:
+        c = self.collector
+        traffic_desc: dict[str, object] = {
+            "model": type(self.traffic).__name__,
+            "effective_load": self.traffic.effective_load,
+            "average_fanout": self.traffic.average_fanout,
+        }
+        return SimulationSummary(
+            algorithm=self.algorithm_name,
+            num_ports=self.switch.num_ports,
+            seed=self.seed,
+            slots_run=self.slots_run,
+            warmup_slots=self.config.warmup_slots,
+            average_input_delay=c.delay.average_input_delay,
+            average_output_delay=c.delay.average_output_delay,
+            average_queue_size=c.occupancy.average_queue_size,
+            max_queue_size=c.occupancy.max_queue_size,
+            average_rounds=c.convergence.average_rounds,
+            max_rounds=c.convergence.max_rounds,
+            offered_load=c.throughput.offered_load,
+            carried_load=c.throughput.carried_load,
+            delivery_ratio=c.throughput.delivery_ratio,
+            packets_offered=c.throughput.packets_offered,
+            cells_offered=c.throughput.cells_offered,
+            cells_delivered=c.throughput.cells_delivered,
+            final_backlog=self.switch.total_backlog(),
+            unstable=unstable,
+            traffic=traffic_desc,
+            extra=c.extended_metrics(),
+        )

@@ -1,0 +1,104 @@
+"""One-call simulation runner.
+
+:func:`run_simulation` builds everything from plain values (algorithm
+name, traffic spec dict, seed) so that it can cross a ``multiprocessing``
+boundary — the sweep harness submits these plain argument tuples to a
+process pool and gets :class:`~repro.stats.summary.SimulationSummary`
+records back.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.schedulers.registry import make_switch
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.stats.summary import SimulationSummary
+from repro.traffic.base import TrafficModel
+from repro.traffic.bernoulli import BernoulliMulticastTraffic
+from repro.traffic.burst import BurstMulticastTraffic
+from repro.traffic.hotspot import HotspotTraffic
+from repro.traffic.mixed import MixedTraffic
+from repro.traffic.uniform import UniformFanoutTraffic
+from repro.utils.rng import RngStreams
+
+__all__ = ["run_simulation", "build_traffic", "TRAFFIC_MODELS"]
+
+TRAFFIC_MODELS: dict[str, type[TrafficModel]] = {
+    "bernoulli": BernoulliMulticastTraffic,
+    "uniform": UniformFanoutTraffic,
+    "burst": BurstMulticastTraffic,
+    "mixed": MixedTraffic,
+    "hotspot": HotspotTraffic,
+}
+
+
+def build_traffic(
+    spec: dict[str, Any], num_ports: int, rng: object = None
+) -> TrafficModel:
+    """Instantiate a traffic model from a plain spec dict.
+
+    The spec has a ``model`` key naming one of :data:`TRAFFIC_MODELS`;
+    every other key is forwarded as a constructor keyword. An optional
+    ``class_shares`` key wraps the model in a
+    :class:`~repro.qos.traffic.PriorityTagger` with those shares.
+    """
+    spec = dict(spec)
+    try:
+        name = spec.pop("model")
+    except KeyError:
+        raise ConfigurationError("traffic spec needs a 'model' key") from None
+    class_shares = spec.pop("class_shares", None)
+    try:
+        cls = TRAFFIC_MODELS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown traffic model {name!r}; one of {sorted(TRAFFIC_MODELS)}"
+        ) from None
+    model: TrafficModel = cls(num_ports, rng=rng, **spec)
+    if class_shares is not None:
+        from repro.qos.traffic import PriorityTagger
+
+        model = PriorityTagger(model, class_shares, rng=rng)
+    return model
+
+
+def run_simulation(
+    algorithm: str,
+    num_ports: int,
+    traffic_spec: dict[str, Any],
+    *,
+    num_slots: int = 100_000,
+    warmup_fraction: float = 0.5,
+    seed: int | None = 0,
+    config: SimulationConfig | None = None,
+    extended_stats: bool = False,
+    **switch_kwargs: Any,
+) -> SimulationSummary:
+    """Build switch + traffic + engine from plain values and run.
+
+    Parameters mirror the registry/traffic specs; ``config`` overrides the
+    (num_slots, warmup_fraction) shorthand when given. Determinism: the
+    ``seed`` spawns two independent named streams, one for the traffic
+    model and one for scheduler tie-breaking.
+    """
+    streams = RngStreams(seed)
+    traffic = build_traffic(traffic_spec, num_ports, rng=streams.get("traffic"))
+    switch = make_switch(
+        algorithm, num_ports, rng=streams.get("scheduler"), **switch_kwargs
+    )
+    cfg = config or SimulationConfig(
+        num_slots=num_slots,
+        warmup_fraction=warmup_fraction,
+        # Scale the divergence-detector window with the run so short
+        # benchmark runs can still flag saturated points (8 growing
+        # windows = ~8% of the run spent strictly climbing).
+        stability_window=max(100, num_slots // 100),
+        extended_stats=extended_stats,
+    )
+    engine = SimulationEngine(
+        switch, traffic, cfg, seed=seed, algorithm_name=algorithm
+    )
+    return engine.run()

@@ -1,0 +1,66 @@
+"""Backlog-based instability detection.
+
+The paper stops a run "if the switch becomes unstable (i.e. it reaches a
+stage where it is unable to sustain the offered load)". Instability of a
+queueing system shows up as unbounded backlog growth, so the monitor
+watches total pending cells two ways:
+
+* a hard **ceiling** — one sample above ``max_backlog`` is decisive;
+* a **trend detector** — ``growth_windows`` consecutive inspection windows
+  each ending with strictly larger backlog than the last. A stable switch
+  near saturation wiggles up *and* down; a supercritical one climbs at a
+  roughly constant rate, so a run of strict increases is a reliable and
+  cheap divergence signature.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["StabilityMonitor"]
+
+
+class StabilityMonitor:
+    """Incremental backlog watcher; feed it one sample per window."""
+
+    def __init__(
+        self,
+        *,
+        max_backlog: int | None = None,
+        growth_windows: int = 8,
+    ) -> None:
+        if growth_windows < 1:
+            raise ConfigurationError(
+                f"growth_windows must be >= 1, got {growth_windows}"
+            )
+        self.max_backlog = max_backlog
+        self.growth_windows = growth_windows
+        self._prev: int | None = None
+        self._streak = 0
+        self.unstable = False
+        self.reason: str | None = None
+        self.samples = 0
+
+    def observe(self, backlog: int) -> bool:
+        """Record one backlog sample; return True if now unstable."""
+        if backlog < 0:
+            raise ConfigurationError(f"backlog must be >= 0, got {backlog}")
+        self.samples += 1
+        if self.max_backlog is not None and backlog > self.max_backlog:
+            self.unstable = True
+            self.reason = (
+                f"backlog {backlog} exceeded ceiling {self.max_backlog}"
+            )
+        if self._prev is not None:
+            if backlog > self._prev:
+                self._streak += 1
+                if self._streak >= self.growth_windows:
+                    self.unstable = True
+                    self.reason = (
+                        f"backlog grew for {self._streak} consecutive windows "
+                        f"(now {backlog})"
+                    )
+            else:
+                self._streak = 0
+        self._prev = backlog
+        return self.unstable

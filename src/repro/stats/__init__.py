@@ -1,0 +1,24 @@
+"""Statistics collection: the paper's four metrics plus convergence
+rounds and throughput (§V, "we collect the following four types of
+statistics").
+"""
+
+from repro.stats.delay import DelayTracker
+from repro.stats.occupancy import OccupancyTracker
+from repro.stats.convergence import ConvergenceTracker
+from repro.stats.throughput import ThroughputTracker
+from repro.stats.histogram import DelayHistogram
+from repro.stats.multicast import MulticastServiceTracker
+from repro.stats.collector import StatsCollector
+from repro.stats.summary import SimulationSummary
+
+__all__ = [
+    "DelayTracker",
+    "OccupancyTracker",
+    "ConvergenceTracker",
+    "ThroughputTracker",
+    "DelayHistogram",
+    "MulticastServiceTracker",
+    "StatsCollector",
+    "SimulationSummary",
+]

@@ -1,0 +1,90 @@
+"""Facade wiring the individual trackers to the engine's slot events."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.packet import Packet
+from repro.stats.convergence import ConvergenceTracker
+from repro.stats.delay import DelayTracker
+from repro.stats.histogram import DelayHistogram
+from repro.stats.multicast import MulticastServiceTracker
+from repro.stats.occupancy import OccupancyTracker
+from repro.stats.throughput import ThroughputTracker
+from repro.switch.base import SlotResult
+
+__all__ = ["StatsCollector"]
+
+
+class StatsCollector:
+    """Receives one callback per slot and fans out to all trackers.
+
+    ``extended=True`` additionally maintains an exact per-delivery delay
+    histogram (percentiles) and the multicast fanout-splitting tracker;
+    both are cheap but off by default to keep paper-metric runs lean.
+    """
+
+    def __init__(
+        self, num_ports: int, warmup_slot: int, *, extended: bool = False
+    ) -> None:
+        self.num_ports = num_ports
+        self.warmup_slot = warmup_slot
+        self.delay = DelayTracker(warmup_slot)
+        self.occupancy = OccupancyTracker(warmup_slot)
+        self.convergence = ConvergenceTracker(warmup_slot)
+        self.throughput = ThroughputTracker(num_ports, warmup_slot)
+        self.extended = extended
+        self.delay_histogram = DelayHistogram() if extended else None
+        self.multicast = MulticastServiceTracker(warmup_slot) if extended else None
+        self._arrival_slots: dict[int, int] = {}
+
+    def on_slot(
+        self,
+        slot: int,
+        arrivals: Sequence[Packet | None],
+        result: SlotResult,
+        queue_sizes: Sequence[int],
+    ) -> None:
+        """Process one completed slot (arrivals already include warmup)."""
+        arrived_cells = 0
+        arrived_packets = 0
+        for pkt in arrivals:
+            if pkt is None:
+                continue
+            arrived_packets += 1
+            arrived_cells += pkt.fanout
+            self.delay.on_arrival(pkt.packet_id, pkt.arrival_slot, pkt.fanout)
+            if self.multicast is not None:
+                self.multicast.on_arrival(
+                    pkt.packet_id, pkt.arrival_slot, pkt.fanout
+                )
+        for delivery in result.deliveries:
+            self.delay.on_delivery(delivery)
+            if self.multicast is not None:
+                self.multicast.on_delivery(delivery)
+            if (
+                self.delay_histogram is not None
+                and delivery.packet.arrival_slot >= self.warmup_slot
+            ):
+                self.delay_histogram.record(delivery.delay)
+        self.occupancy.on_slot(slot, queue_sizes)
+        self.convergence.on_slot(slot, result.rounds, result.requests_made)
+        self.throughput.on_slot(
+            slot, arrived_cells, arrived_packets, result.cells_delivered
+        )
+
+    def extended_metrics(self) -> dict[str, float]:
+        """The extra-summary dict for extended runs (empty otherwise)."""
+        if not self.extended:
+            return {}
+        out: dict[str, float] = {}
+        hist = self.delay_histogram
+        if hist is not None and hist.count:
+            out["delay_p50"] = float(hist.percentile(50))
+            out["delay_p99"] = float(hist.percentile(99))
+            out["delay_max"] = float(hist.max or 0)
+        mc = self.multicast
+        if mc is not None and mc.completed:
+            out["split_ratio"] = mc.split_ratio
+            out["avg_service_slots"] = mc.average_service_slots
+        return out

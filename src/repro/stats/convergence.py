@@ -1,0 +1,39 @@
+"""Convergence-round tracking for iterative schedulers (paper Fig. 5).
+
+Counts the scheduling iterations each slot needed, averaged over slots in
+which at least one request was made (idle slots say nothing about
+convergence; see DESIGN.md §5, convention 4). Also retains the worst case
+observed, which the paper bounds by N.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ConvergenceTracker"]
+
+
+class ConvergenceTracker:
+    """Accumulates scheduler iteration counts."""
+
+    def __init__(self, warmup_slot: int = 0) -> None:
+        self.warmup_slot = warmup_slot
+        self.active_slots = 0
+        self.round_sum = 0
+        self.max_rounds = 0
+        self.histogram: dict[int, int] = {}
+
+    def on_slot(self, slot: int, rounds: int, requests_made: bool) -> None:
+        """Record one slot's iteration count (idle slots excluded)."""
+        if slot < self.warmup_slot or not requests_made:
+            return
+        self.active_slots += 1
+        self.round_sum += rounds
+        if rounds > self.max_rounds:
+            self.max_rounds = rounds
+        self.histogram[rounds] = self.histogram.get(rounds, 0) + 1
+
+    @property
+    def average_rounds(self) -> float:
+        """Mean iterations per active slot. NaN with no active slots."""
+        if self.active_slots == 0:
+            return float("nan")
+        return self.round_sum / self.active_slots

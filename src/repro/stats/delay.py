@@ -1,0 +1,129 @@
+"""Input- and output-oriented delay tracking (paper §V).
+
+* **Input oriented delay** — "the maximum delay that the last destination
+  output port of a multicast packet receives the packet": one sample per
+  *completed packet*, equal to the max over its per-destination delays.
+* **Output oriented delay** — "the average of the delay that the multicast
+  packet is delivered to all its destination output ports": one sample per
+  *delivery*.
+
+Warmup gating: a packet contributes (to both metrics) iff it **arrived**
+at or after the warmup boundary, so both metrics describe the same
+steady-state packet population (DESIGN.md §5, convention 3 and 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.packet import Delivery
+
+__all__ = ["DelayTracker"]
+
+
+@dataclass(slots=True)
+class _Pending:
+    arrival_slot: int
+    fanout: int
+    delivered: int
+    max_service: int
+
+
+class DelayTracker:
+    """Accumulates per-delivery and per-packet delay statistics."""
+
+    def __init__(self, warmup_slot: int = 0) -> None:
+        self.warmup_slot = warmup_slot
+        self._pending: dict[int, _Pending] = {}
+        # Output-oriented accumulators (per delivery).
+        self.delivery_count = 0
+        self.delivery_delay_sum = 0
+        self.delivery_delay_sq_sum = 0
+        self.max_delivery_delay = 0
+        # Input-oriented accumulators (per completed packet).
+        self.packet_count = 0
+        self.packet_delay_sum = 0
+        self.max_packet_delay = 0
+        # Anything delivered at all (incl. warmup), for conservation checks.
+        self.total_deliveries = 0
+
+    # ------------------------------------------------------------------ #
+    def on_arrival(self, packet_id: int, arrival_slot: int, fanout: int) -> None:
+        """Register an accepted packet (every packet, warmup included)."""
+        if packet_id in self._pending:
+            raise SimulationError(f"packet {packet_id} registered twice")
+        self._pending[packet_id] = _Pending(
+            arrival_slot=arrival_slot, fanout=fanout, delivered=0, max_service=-1
+        )
+
+    def on_delivery(self, delivery: Delivery) -> None:
+        """Record one (packet, output) service."""
+        self.total_deliveries += 1
+        pkt = delivery.packet
+        entry = self._pending.get(pkt.packet_id)
+        if entry is None:
+            raise SimulationError(
+                f"delivery for unregistered packet {pkt.packet_id}"
+            )
+        if delivery.service_slot < entry.arrival_slot:
+            raise SimulationError(
+                f"packet {pkt.packet_id} served at {delivery.service_slot} "
+                f"before arrival {entry.arrival_slot}"
+            )
+        entry.delivered += 1
+        if delivery.service_slot > entry.max_service:
+            entry.max_service = delivery.service_slot
+        counted = entry.arrival_slot >= self.warmup_slot
+        if counted:
+            d = delivery.delay
+            self.delivery_count += 1
+            self.delivery_delay_sum += d
+            self.delivery_delay_sq_sum += d * d
+            if d > self.max_delivery_delay:
+                self.max_delivery_delay = d
+        if entry.delivered == entry.fanout:
+            del self._pending[pkt.packet_id]
+            if counted:
+                d = entry.max_service - entry.arrival_slot + 1
+                self.packet_count += 1
+                self.packet_delay_sum += d
+                if d > self.max_packet_delay:
+                    self.max_packet_delay = d
+        elif entry.delivered > entry.fanout:
+            raise SimulationError(
+                f"packet {pkt.packet_id} over-delivered "
+                f"({entry.delivered} > fanout {entry.fanout})"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def average_output_delay(self) -> float:
+        """Mean per-delivery delay (output oriented). NaN if no samples."""
+        if self.delivery_count == 0:
+            return float("nan")
+        return self.delivery_delay_sum / self.delivery_count
+
+    @property
+    def average_input_delay(self) -> float:
+        """Mean per-packet last-destination delay (input oriented)."""
+        if self.packet_count == 0:
+            return float("nan")
+        return self.packet_delay_sum / self.packet_count
+
+    @property
+    def output_delay_variance(self) -> float:
+        """Population variance of per-delivery delay."""
+        if self.delivery_count == 0:
+            return float("nan")
+        mean = self.average_output_delay
+        return self.delivery_delay_sq_sum / self.delivery_count - mean * mean
+
+    @property
+    def incomplete_packets(self) -> int:
+        """Packets with undelivered destinations (the live backlog)."""
+        return len(self._pending)
+
+    def pending_cells(self) -> int:
+        """Undelivered (packet, destination) pairs (backlog in cells)."""
+        return sum(e.fanout - e.delivered for e in self._pending.values())

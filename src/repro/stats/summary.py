@@ -1,0 +1,85 @@
+"""The immutable result record of one simulation run."""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["SimulationSummary"]
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationSummary:
+    """All statistics of one (algorithm, traffic, seed) simulation run.
+
+    Delay/queue figures are post-warmup steady-state values using the
+    conventions of DESIGN.md §5. ``unstable`` marks runs the engine cut
+    short (or finished) with a diverging backlog; their delay numbers
+    describe a non-stationary system and are reported as observed, the
+    way the paper truncates its curves at saturation.
+    """
+
+    algorithm: str
+    num_ports: int
+    seed: int | None
+    slots_run: int
+    warmup_slots: int
+    # --- the paper's four metrics ---
+    average_input_delay: float
+    average_output_delay: float
+    average_queue_size: float
+    max_queue_size: int
+    # --- supporting metrics ---
+    average_rounds: float
+    max_rounds: int
+    offered_load: float
+    carried_load: float
+    delivery_ratio: float
+    packets_offered: int
+    cells_offered: int
+    cells_delivered: int
+    final_backlog: int
+    unstable: bool
+    # --- provenance ---
+    traffic: dict[str, object] = field(default_factory=dict)
+    extra: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (JSON-serializable; NaN/inf preserved)."""
+        return asdict(self)
+
+    def to_json(self) -> str:
+        """JSON string; NaN/Infinity rendered as null for portability."""
+
+        def _clean(value: object) -> object:
+            if isinstance(value, float) and not math.isfinite(value):
+                return None
+            if isinstance(value, dict):
+                return {k: _clean(v) for k, v in value.items()}
+            return value
+
+        return json.dumps({k: _clean(v) for k, v in self.to_dict().items()})
+
+    def metric(self, name: str) -> float:
+        """Fetch a metric by its experiment-harness name.
+
+        Recognized names: ``input_delay``, ``output_delay``, ``avg_queue``,
+        ``max_queue``, ``rounds``, ``throughput``, ``delivery_ratio``.
+        """
+        mapping = {
+            "input_delay": self.average_input_delay,
+            "output_delay": self.average_output_delay,
+            "avg_queue": self.average_queue_size,
+            "max_queue": float(self.max_queue_size),
+            "rounds": self.average_rounds,
+            "throughput": self.carried_load,
+            "delivery_ratio": self.delivery_ratio,
+        }
+        try:
+            return mapping[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown metric {name!r}; one of {sorted(mapping)}"
+            ) from None

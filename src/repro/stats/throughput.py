@@ -1,0 +1,53 @@
+"""Throughput accounting.
+
+Tracks cells offered (arrivals × fanout) and cells delivered, post-warmup,
+normalized per output per slot. For a stable run delivered ≈ offered; the
+gap (plus backlog growth) is the instability signature the paper describes
+as a switch "unable to sustain the offered load".
+"""
+
+from __future__ import annotations
+
+__all__ = ["ThroughputTracker"]
+
+
+class ThroughputTracker:
+    """Counts offered and carried cells over the measurement window."""
+
+    def __init__(self, num_ports: int, warmup_slot: int = 0) -> None:
+        self.num_ports = num_ports
+        self.warmup_slot = warmup_slot
+        self.measured_slots = 0
+        self.cells_offered = 0
+        self.cells_delivered = 0
+        self.packets_offered = 0
+
+    def on_slot(self, slot: int, arrived_cells: int, arrived_packets: int, delivered_cells: int) -> None:
+        """Accumulate one slot's offered and delivered cell counts."""
+        if slot < self.warmup_slot:
+            return
+        self.measured_slots += 1
+        self.cells_offered += arrived_cells
+        self.packets_offered += arrived_packets
+        self.cells_delivered += delivered_cells
+
+    # ------------------------------------------------------------------ #
+    @property
+    def offered_load(self) -> float:
+        """Measured offered load (cells per output per slot)."""
+        denom = self.measured_slots * self.num_ports
+        return self.cells_offered / denom if denom else float("nan")
+
+    @property
+    def carried_load(self) -> float:
+        """Measured carried load (cells per output per slot)."""
+        denom = self.measured_slots * self.num_ports
+        return self.cells_delivered / denom if denom else float("nan")
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / offered over the window (can exceed 1 briefly when
+        a warmup backlog drains into the measurement window)."""
+        if self.cells_offered == 0:
+            return float("nan")
+        return self.cells_delivered / self.cells_offered

@@ -1,0 +1,119 @@
+"""Abstract switch interface shared by all four architectures.
+
+A switch is a discrete-time machine: once per slot the engine calls
+:meth:`BaseSwitch.step` with that slot's arrivals (at most one packet per
+input port, as in all the paper's traffic models) and receives a
+:class:`SlotResult` listing the deliveries that happened in the slot plus
+scheduler metadata. Between steps the engine may query queue occupancy for
+the paper's queue-size metrics and for instability detection.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, TrafficError
+from repro.packet import Delivery, Packet
+from repro.utils.validation import check_port_count
+
+__all__ = ["SlotResult", "BaseSwitch"]
+
+
+@dataclass(slots=True)
+class SlotResult:
+    """Everything that happened inside the switch during one time slot."""
+
+    slot: int
+    deliveries: list[Delivery] = field(default_factory=list)
+    #: Scheduling rounds used this slot (0 for non-iterative switches).
+    rounds: int = 0
+    #: Whether any scheduling request was made (gates the rounds average).
+    requests_made: bool = False
+
+    @property
+    def cells_delivered(self) -> int:
+        return len(self.deliveries)
+
+
+class BaseSwitch(abc.ABC):
+    """Common behaviour: port-count bookkeeping and arrival validation."""
+
+    #: Short identifier used by registries and result labels.
+    name: str = "switch"
+
+    #: Whether the architecture guarantees FIFO service order per
+    #: (input, output) pair across ALL its internal queues. Class-based
+    #: schedulers (ESLIP's multicast priority, the strict-priority QoS
+    #: switch) legitimately serve a newer high-class cell before an older
+    #: low-class one, so they set this False and the verifier/property
+    #: suites skip the cross-class FIFO check for them.
+    fifo_per_pair: bool = True
+
+    def __init__(self, num_ports: int) -> None:
+        self.num_ports = check_port_count(num_ports)
+        self.current_slot = -1
+        self.packets_accepted = 0
+        self.cells_delivered = 0
+
+    # ------------------------------------------------------------------ #
+    # Engine-facing API
+    # ------------------------------------------------------------------ #
+    def step(self, arrivals: Sequence[Packet | None], slot: int) -> SlotResult:
+        """Advance one time slot: accept arrivals, schedule, transmit."""
+        if slot != self.current_slot + 1:
+            raise ConfigurationError(
+                f"non-consecutive slot {slot} after {self.current_slot}"
+            )
+        if len(arrivals) != self.num_ports:
+            raise TrafficError(
+                f"{len(arrivals)} arrival lanes for {self.num_ports} ports"
+            )
+        self.current_slot = slot
+        for i, pkt in enumerate(arrivals):
+            if pkt is None:
+                continue
+            if pkt.input_port != i:
+                raise TrafficError(
+                    f"packet for input {pkt.input_port} in arrival lane {i}"
+                )
+            if pkt.destinations[-1] >= self.num_ports:
+                raise TrafficError(
+                    f"destination {pkt.destinations[-1]} out of range for "
+                    f"{self.num_ports}-port switch"
+                )
+            self._accept(pkt, slot)
+            self.packets_accepted += 1
+        result = self._schedule_and_transmit(slot)
+        self.cells_delivered += result.cells_delivered
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Architecture-specific hooks
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _accept(self, packet: Packet, slot: int) -> None:
+        """Enqueue one arriving packet (architecture-specific buffering)."""
+
+    @abc.abstractmethod
+    def _schedule_and_transmit(self, slot: int) -> SlotResult:
+        """Run the slot's scheduling pass and perform the transfers."""
+
+    @abc.abstractmethod
+    def queue_sizes(self) -> list[int]:
+        """Per-port queue occupancy, per the paper's metric for this
+        architecture (see DESIGN.md §5, item 5)."""
+
+    @abc.abstractmethod
+    def total_backlog(self) -> int:
+        """Total pending (packet, destination) pairs still to deliver."""
+
+    def check_invariants(self) -> None:
+        """Optional deep consistency check; overridden where meaningful."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(N={self.num_ports}, slot={self.current_slot}, "
+            f"delivered={self.cells_delivered})"
+        )

@@ -1,0 +1,247 @@
+"""ESLIP-style hybrid unicast/multicast switch (extension baseline).
+
+McKeown's ESLIP (the scheduler of the Cisco 12000 router; "A Fast
+Switched Backplane for a Gigabit Switched Router", 1997) is the classic
+*deployed* answer to the paper's problem: it extends iSLIP with a single
+multicast queue per input and a **shared multicast grant pointer**, so
+that all output ports favor the *same* input's multicast cell and large
+fanouts complete quickly — the same coordination goal FIFOMS reaches with
+timestamps, achieved with pointers instead.
+
+Structure per input: N unicast VOQs (fanout-1 packets) plus one FIFO of
+multicast packets (fanout >= 2) whose HOL cell carries a residue set.
+
+Per iteration within a slot:
+
+1. *Requests* — every non-empty unicast VOQ (i, j) requests output j;
+   every input's HOL multicast residue requests all its outputs.
+2. *Grant* — each free output prefers a multicast requester, chosen by
+   the **shared** pointer M (round-robin over inputs, identical at every
+   output — that is what synchronizes the outputs onto one multicast
+   cell); with no multicast requester it grants a unicast requester via
+   its own per-output pointer, iSLIP style.
+3. *Accept* — an input holding multicast grants accepts all of them (one
+   data cell through the multicast-capable crossbar); otherwise it
+   accepts one unicast grant via its accept pointer.
+
+Pointer updates: unicast pointers as in iSLIP (first-iteration accepts
+only). The shared multicast pointer advances past input M only when that
+input's HOL multicast cell **completes** (residue empty), which is
+ESLIP's fanout-splitting fairness rule.
+
+Simplifications vs the original (documented deviations): no distinction
+between odd/even cell-time unicast/multicast priority alternation — here
+multicast always has grant priority, which is the configuration McKeown
+recommends for multicast-heavy traffic and makes the comparison with
+FIFOMS most direct.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.matching import ScheduleDecision
+from repro.errors import ConfigurationError, SchedulingError
+from repro.fabric.crossbar import MulticastCrossbar
+from repro.packet import Delivery, Packet
+from repro.switch.base import BaseSwitch, SlotResult
+
+__all__ = ["ESLIPSwitch"]
+
+
+class ESLIPSwitch(BaseSwitch):
+    """Hybrid N×N switch: unicast VOQs + one multicast queue per input."""
+
+    name = "eslip"
+    #: Multicast cells outrank older unicast cells at the same input:
+    #: FIFO holds within each class, not across them.
+    fifo_per_pair = False
+
+    def __init__(self, num_ports: int, *, max_iterations: int | None = None) -> None:
+        super().__init__(num_ports)
+        if max_iterations is not None and max_iterations < 1:
+            raise ConfigurationError(
+                f"max_iterations must be >= 1 or None, got {max_iterations}"
+            )
+        self.max_iterations = max_iterations
+        n = num_ports
+        self.crossbar = MulticastCrossbar(n)
+        # Unicast side (iSLIP state).
+        self.uni_voqs: list[list[deque[Packet]]] = [
+            [deque() for _ in range(n)] for _ in range(n)
+        ]
+        self._uni_occ = np.zeros((n, n), dtype=np.int64)
+        self.grant_ptr = [0] * n
+        self.accept_ptr = [0] * n
+        # Multicast side.
+        self.mc_queues: list[deque[Packet]] = [deque() for _ in range(n)]
+        self._mc_residue: list[set[int]] = [set() for _ in range(n)]
+        self.mcast_ptr = 0  # the SHARED multicast grant pointer
+
+    # ------------------------------------------------------------------ #
+    def _accept(self, packet: Packet, slot: int) -> None:
+        i = packet.input_port
+        if packet.fanout == 1:
+            j = packet.destinations[0]
+            self.uni_voqs[i][j].append(packet)
+            self._uni_occ[i, j] += 1
+        else:
+            q = self.mc_queues[i]
+            q.append(packet)
+            if len(q) == 1:
+                self._mc_residue[i] = set(packet.destinations)
+
+    # ------------------------------------------------------------------ #
+    def _schedule(self) -> tuple[dict[int, list[int]], dict[int, int], int, bool]:
+        """One slot's iterations; returns (mcast grants, unicast matches,
+        rounds, requests_made)."""
+        n = self.num_ports
+        input_busy = [False] * n
+        output_busy = [False] * n
+        mc_grants: dict[int, list[int]] = {}
+        uni_match: dict[int, int] = {}
+        rounds = 0
+        iteration = 0
+        requests_made = False
+        while self.max_iterations is None or iteration < self.max_iterations:
+            iteration += 1
+            # ---- grant ----
+            grants_mc: list[list[int]] = [[] for _ in range(n)]  # input -> outs
+            grants_uni: list[list[int]] = [[] for _ in range(n)]
+            any_request = False
+            for j in range(n):
+                if output_busy[j]:
+                    continue
+                mc_req = [
+                    i
+                    for i in range(n)
+                    if not input_busy[i] and j in self._mc_residue[i]
+                ]
+                uni_req = [
+                    i
+                    for i in range(n)
+                    if not input_busy[i] and self._uni_occ[i, j] > 0
+                ]
+                if mc_req:
+                    any_request = True
+                    winner = min(
+                        mc_req, key=lambda i: (i - self.mcast_ptr) % n
+                    )
+                    grants_mc[winner].append(j)
+                elif uni_req:
+                    any_request = True
+                    ptr = self.grant_ptr[j]
+                    winner = min(uni_req, key=lambda i: (i - ptr) % n)
+                    grants_uni[winner].append(j)
+            if any_request:
+                requests_made = True
+            else:
+                break
+            # ---- accept ----
+            new_match = False
+            for i in range(n):
+                if input_busy[i]:
+                    continue
+                if grants_mc[i]:
+                    # All multicast grants accepted: one data cell fans out.
+                    mc_grants.setdefault(i, []).extend(grants_mc[i])
+                    for j in grants_mc[i]:
+                        output_busy[j] = True
+                    input_busy[i] = True
+                    new_match = True
+                elif grants_uni[i]:
+                    ptr = self.accept_ptr[i]
+                    j = min(grants_uni[i], key=lambda jj: (jj - ptr) % n)
+                    uni_match[i] = j
+                    output_busy[j] = True
+                    input_busy[i] = True
+                    new_match = True
+                    if iteration == 1:
+                        self.grant_ptr[j] = (i + 1) % n
+                        self.accept_ptr[i] = (j + 1) % n
+            if not new_match:
+                break
+            rounds += 1
+        return mc_grants, uni_match, rounds, requests_made
+
+    def _schedule_and_transmit(self, slot: int) -> SlotResult:
+        n = self.num_ports
+        mc_grants, uni_match, rounds, requests_made = self._schedule()
+        decision = ScheduleDecision()
+        for i, outs in mc_grants.items():
+            decision.add(i, tuple(outs))
+        for i, j in uni_match.items():
+            decision.add(i, (j,))
+        decision.validate(n, n)
+        decision.rounds = rounds
+        decision.requests_made = requests_made
+        self.crossbar.configure(decision)
+        result = SlotResult(slot=slot, rounds=rounds, requests_made=requests_made)
+        # Multicast transmissions (+ residue/pointer bookkeeping).
+        for i, outs in mc_grants.items():
+            q = self.mc_queues[i]
+            if not q:
+                raise SchedulingError(f"multicast grant for empty queue {i}")
+            pkt = q[0]
+            residue = self._mc_residue[i]
+            for j in outs:
+                if j not in residue:
+                    raise SchedulingError(
+                        f"output {j} not in input {i}'s multicast residue"
+                    )
+                residue.discard(j)
+                result.deliveries.append(
+                    Delivery(packet=pkt, output_port=j, service_slot=slot)
+                )
+            if not residue:
+                q.popleft()
+                if q:
+                    self._mc_residue[i] = set(q[0].destinations)
+                # ESLIP rule: the shared pointer moves past an input only
+                # when its HOL multicast cell completes.
+                if self.mcast_ptr == i:
+                    self.mcast_ptr = (i + 1) % n
+        # Unicast transmissions.
+        for i, j in uni_match.items():
+            q = self.uni_voqs[i][j]
+            if not q:
+                raise SchedulingError(f"unicast grant for empty VOQ ({i}, {j})")
+            pkt = q.popleft()
+            self._uni_occ[i, j] -= 1
+            result.deliveries.append(
+                Delivery(packet=pkt, output_port=j, service_slot=slot)
+            )
+        self.crossbar.release()
+        return result
+
+    # ------------------------------------------------------------------ #
+    def queue_sizes(self) -> list[int]:
+        """Data cells per input: unicast cells + multicast packets."""
+        return [
+            int(self._uni_occ[i].sum()) + len(self.mc_queues[i])
+            for i in range(self.num_ports)
+        ]
+
+    def total_backlog(self) -> int:
+        total = int(self._uni_occ.sum())
+        for i, q in enumerate(self.mc_queues):
+            if q:
+                total += len(self._mc_residue[i])
+                total += sum(p.fanout for k, p in enumerate(q) if k > 0)
+        return total
+
+    def check_invariants(self) -> None:
+        for i in range(self.num_ports):
+            for j in range(self.num_ports):
+                if len(self.uni_voqs[i][j]) != self._uni_occ[i, j]:
+                    raise SchedulingError(f"unicast occupancy drift ({i}, {j})")
+            q = self.mc_queues[i]
+            if q:
+                if not self._mc_residue[i]:
+                    raise SchedulingError(f"empty residue with queued mcast at {i}")
+                if not self._mc_residue[i] <= set(q[0].destinations):
+                    raise SchedulingError(f"residue not subset of HOL fanout at {i}")
+            elif self._mc_residue[i]:
+                raise SchedulingError(f"residue without multicast queue at {i}")

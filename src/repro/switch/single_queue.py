@@ -1,0 +1,120 @@
+"""Single-input-queued switch (paper Fig. 1b) — the TATRA/WBA substrate.
+
+One FIFO of (multicast) packets per input port; only the HOL packet of
+each input is visible to the scheduler, which is exactly what produces
+head-of-line blocking. Fanout splitting is supported: the HOL packet's
+*residue* (unserved destinations) stays at the HOL until empty, and only
+then does the next packet advance.
+
+Schedulers plug in through ``schedule(hol_cells, slot) ->
+ScheduleDecision`` over :class:`~repro.schedulers.base.SIQHolCell`
+snapshots; every grant must be a subset of that input's HOL residue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.matching import ScheduleDecision
+from repro.errors import SchedulingError
+from repro.fabric.crossbar import MulticastCrossbar
+from repro.packet import Delivery, Packet
+from repro.schedulers.base import SIQHolCell
+from repro.switch.base import BaseSwitch, SlotResult
+
+__all__ = ["SingleInputQueueSwitch"]
+
+
+class SingleInputQueueSwitch(BaseSwitch):
+    """N×N switch with a single FIFO per input port."""
+
+    name = "siq"
+
+    def __init__(self, num_ports: int, scheduler: object) -> None:
+        super().__init__(num_ports)
+        self.scheduler = scheduler
+        self.crossbar = MulticastCrossbar(num_ports)
+        self.queues: list[deque[Packet]] = [deque() for _ in range(num_ports)]
+        # Residue (unserved destinations) of each input's HOL packet.
+        self._hol_remaining: list[set[int]] = [set() for _ in range(num_ports)]
+        self._peak_queue = [0] * num_ports
+
+    # ------------------------------------------------------------------ #
+    def _accept(self, packet: Packet, slot: int) -> None:
+        i = packet.input_port
+        q = self.queues[i]
+        q.append(packet)
+        if len(q) == 1:
+            self._hol_remaining[i] = set(packet.destinations)
+        if len(q) > self._peak_queue[i]:
+            self._peak_queue[i] = len(q)
+
+    def hol_cells(self) -> list[SIQHolCell]:
+        """Snapshot of the HOL packet of every non-empty input queue."""
+        cells = []
+        for i, q in enumerate(self.queues):
+            if q:
+                pkt = q[0]
+                cells.append(
+                    SIQHolCell(
+                        input_port=i,
+                        remaining=frozenset(self._hol_remaining[i]),
+                        arrival_slot=pkt.arrival_slot,
+                        packet_id=pkt.packet_id,
+                    )
+                )
+        return cells
+
+    def _schedule_and_transmit(self, slot: int) -> SlotResult:
+        decision: ScheduleDecision = self.scheduler.schedule(self.hol_cells(), slot)
+        decision.validate(self.num_ports, self.num_ports)
+        result = SlotResult(
+            slot=slot, rounds=decision.rounds, requests_made=decision.requests_made
+        )
+        self.crossbar.configure(decision)
+        for i, grant in decision.grants.items():
+            q = self.queues[i]
+            if not q:
+                raise SchedulingError(f"grant for empty input queue {i}")
+            remaining = self._hol_remaining[i]
+            packet = q[0]
+            for j in grant.output_ports:
+                if j not in remaining:
+                    raise SchedulingError(
+                        f"output {j} granted to input {i} but HOL residue is "
+                        f"{sorted(remaining)}"
+                    )
+                remaining.discard(j)
+                result.deliveries.append(
+                    Delivery(packet=packet, output_port=j, service_slot=slot)
+                )
+            if not remaining:
+                q.popleft()
+                if q:
+                    self._hol_remaining[i] = set(q[0].destinations)
+        self.crossbar.release()
+        return result
+
+    # ------------------------------------------------------------------ #
+    def queue_sizes(self) -> list[int]:
+        """Packets not fully transferred per input (incl. the HOL residue)."""
+        return [len(q) for q in self.queues]
+
+    def total_backlog(self) -> int:
+        total = 0
+        for i, q in enumerate(self.queues):
+            if not q:
+                continue
+            total += len(self._hol_remaining[i])
+            total += sum(p.fanout for k, p in enumerate(q) if k > 0)
+        return total
+
+    def check_invariants(self) -> None:
+        for i, q in enumerate(self.queues):
+            if q:
+                if not self._hol_remaining[i]:
+                    raise SchedulingError(f"non-empty queue {i} with empty residue")
+                if not self._hol_remaining[i] <= set(q[0].destinations):
+                    raise SchedulingError(f"residue of input {i} not a fanout subset")
+            elif self._hol_remaining[i]:
+                raise SchedulingError(f"empty queue {i} with residue")

@@ -1,0 +1,111 @@
+"""The paper's switch: multicast VOQ input ports + multicast crossbar.
+
+This composes the Section II queue structure
+(:class:`~repro.core.voq.MulticastVOQInputPort`), a scheduler with the
+FIFOMS interface (``schedule(ports) -> ScheduleDecision``), and the
+multicast crossbar. The per-slot sequence follows the paper exactly:
+
+1. *preprocess* arrivals (Table 1),
+2. *schedule* (Table 2's iterative request/grant rounds),
+3. *data transmission* — set crosspoints, each matched input sends one
+   data cell to all its granted outputs simultaneously,
+4. *post-transmission processing* — pop served address cells, decrement
+   fanout counters, destroy exhausted data cells.
+"""
+
+from __future__ import annotations
+
+from repro.core.fifoms import FIFOMSScheduler
+from repro.core.preprocess import preprocess_packet
+from repro.core.voq import MulticastVOQInputPort
+from repro.errors import SchedulingError
+from repro.fabric.crossbar import MulticastCrossbar
+from repro.packet import Delivery, Packet
+from repro.switch.base import BaseSwitch, SlotResult
+
+__all__ = ["MulticastVOQSwitch"]
+
+
+class MulticastVOQSwitch(BaseSwitch):
+    """N×N multicast VOQ switch (the paper's architecture).
+
+    Parameters
+    ----------
+    num_ports:
+        N. The switch is square, as in the paper.
+    scheduler:
+        Any object exposing ``schedule(ports) -> ScheduleDecision`` over a
+        sequence of :class:`MulticastVOQInputPort`. Defaults to a
+        paper-configured :class:`~repro.core.fifoms.FIFOMSScheduler`.
+    buffer_capacity:
+        Optional finite per-input data-cell buffer (None = unbounded, as
+        in the paper's simulations, which *measure* the needed size).
+    """
+
+    name = "mcast-voq"
+
+    def __init__(
+        self,
+        num_ports: int,
+        scheduler: object | None = None,
+        *,
+        buffer_capacity: int | None = None,
+    ) -> None:
+        super().__init__(num_ports)
+        self.ports: tuple[MulticastVOQInputPort, ...] = tuple(
+            MulticastVOQInputPort(i, num_ports, buffer_capacity=buffer_capacity)
+            for i in range(num_ports)
+        )
+        self.scheduler = (
+            scheduler if scheduler is not None else FIFOMSScheduler(num_ports)
+        )
+        self.crossbar = MulticastCrossbar(num_ports)
+
+    # ------------------------------------------------------------------ #
+    def _accept(self, packet: Packet, slot: int) -> None:
+        preprocess_packet(self.ports[packet.input_port], packet, slot)
+
+    def _schedule_and_transmit(self, slot: int) -> SlotResult:
+        decision = self.scheduler.schedule(self.ports)
+        decision.validate(self.num_ports, self.num_ports)
+        self.crossbar.configure(decision)
+        result = SlotResult(
+            slot=slot, rounds=decision.rounds, requests_made=decision.requests_made
+        )
+        for input_port, grant in decision.grants.items():
+            port = self.ports[input_port]
+            # Pop every granted HOL address cell; they must all point to
+            # one data cell (the paper's "no accept step needed" argument).
+            cells = [port.voqs[j].pop_head() for j in grant.output_ports]
+            data_cell = cells[0].data_cell
+            for cell in cells[1:]:
+                if cell.data_cell is not data_cell:
+                    raise SchedulingError(
+                        f"input {input_port} granted two distinct data cells "
+                        f"in one slot (timestamps "
+                        f"{[c.timestamp for c in cells]})"
+                    )
+            for cell in cells:
+                result.deliveries.append(
+                    Delivery(
+                        packet=data_cell.packet,
+                        output_port=cell.output_port,
+                        service_slot=slot,
+                    )
+                )
+                port.buffer.record_service(data_cell)
+        self.crossbar.release()
+        return result
+
+    # ------------------------------------------------------------------ #
+    def queue_sizes(self) -> list[int]:
+        """Paper metric: live data cells (unsent packets) per input port."""
+        return [p.queue_size for p in self.ports]
+
+    def total_backlog(self) -> int:
+        """Pending (packet, destination) pairs = queued address cells."""
+        return sum(p.total_address_cells for p in self.ports)
+
+    def check_invariants(self) -> None:
+        for p in self.ports:
+            p.check_invariants()

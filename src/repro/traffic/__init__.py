@@ -1,0 +1,24 @@
+"""Arrival processes used in the paper's evaluation (§V) plus extensions.
+
+All models produce at most one packet per input port per slot and expose
+the analytic ``effective_load`` / ``average_fanout`` of the process so the
+experiment harness can place sweep points exactly.
+"""
+
+from repro.traffic.base import TrafficModel
+from repro.traffic.bernoulli import BernoulliMulticastTraffic
+from repro.traffic.uniform import UniformFanoutTraffic
+from repro.traffic.burst import BurstMulticastTraffic
+from repro.traffic.mixed import MixedTraffic
+from repro.traffic.hotspot import HotspotTraffic
+from repro.traffic.trace import TraceTraffic
+
+__all__ = [
+    "TrafficModel",
+    "BernoulliMulticastTraffic",
+    "UniformFanoutTraffic",
+    "BurstMulticastTraffic",
+    "MixedTraffic",
+    "HotspotTraffic",
+    "TraceTraffic",
+]

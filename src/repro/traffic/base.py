@@ -1,0 +1,76 @@
+"""Abstract traffic model interface.
+
+A traffic model is a stateful generator: :meth:`TrafficModel.next_slot`
+is called exactly once per simulated slot, in order, and returns one
+arrival lane per input port (``None`` = no arrival). Models own their RNG
+stream so that a (model, seed) pair deterministically reproduces the same
+arrival sequence regardless of what the switch does with it.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.packet import Packet
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_port_count
+
+__all__ = ["TrafficModel"]
+
+
+class TrafficModel(abc.ABC):
+    """Base class for per-slot arrival processes."""
+
+    def __init__(
+        self, num_ports: int, *, rng: int | np.random.Generator | None = None
+    ) -> None:
+        self.num_ports = check_port_count(num_ports)
+        self.rng = make_rng(rng)
+        self._next_slot = 0
+        self.packets_generated = 0
+        self.cells_generated = 0  # sum of fanouts
+
+    # ------------------------------------------------------------------ #
+    def next_slot(self) -> list[Packet | None]:
+        """Arrivals for the next slot (index = input port)."""
+        slot = self._next_slot
+        self._next_slot += 1
+        arrivals = self._generate(slot)
+        for pkt in arrivals:
+            if pkt is not None:
+                self.packets_generated += 1
+                self.cells_generated += pkt.fanout
+        return arrivals
+
+    @property
+    def slots_generated(self) -> int:
+        return self._next_slot
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _generate(self, slot: int) -> list[Packet | None]:
+        """Produce the arrivals of ``slot`` (may mutate internal state)."""
+
+    @property
+    @abc.abstractmethod
+    def average_fanout(self) -> float:
+        """Analytic mean fanout of a generated packet."""
+
+    @property
+    @abc.abstractmethod
+    def effective_load(self) -> float:
+        """Analytic offered load normalized to output capacity.
+
+        Defined as (mean cells generated per input per slot) — equal to
+        the mean cells *destined per output* per slot when destinations
+        are symmetric, which all built-in models are. 1.0 saturates an
+        ideal switch.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(N={self.num_ports}, "
+            f"load={self.effective_load:.3f}, fanout={self.average_fanout:.2f})"
+        )

@@ -1,0 +1,75 @@
+"""Mixed unicast/multicast traffic.
+
+The paper's introduction motivates FIFOMS with traffic that mixes unicast
+and multicast packets (it is where TATRA's HOL blocking hurts most). This
+model makes the mix explicit: arrivals are Bernoulli with probability
+``p``; each packet is unicast with probability ``unicast_fraction``
+(uniform single destination) and otherwise multicast with a binomial
+destination vector of per-output probability ``b`` conditioned on fanout
+>= 2 (so the two classes are disjoint).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.packet import Packet
+from repro.traffic.base import TrafficModel
+from repro.utils.validation import check_probability
+
+__all__ = ["MixedTraffic"]
+
+
+class MixedTraffic(TrafficModel):
+    """Bernoulli arrivals, unicast with prob. f, multicast otherwise."""
+
+    def __init__(
+        self,
+        num_ports: int,
+        *,
+        p: float,
+        unicast_fraction: float,
+        b: float,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(num_ports, rng=rng)
+        self.p = check_probability(p, "p")
+        self.unicast_fraction = check_probability(unicast_fraction, "unicast_fraction")
+        self.b = check_probability(b, "b", allow_zero=False)
+
+    # ------------------------------------------------------------------ #
+    def _generate(self, slot: int) -> list[Packet | None]:
+        n = self.num_ports
+        arrivals: list[Packet | None] = [None] * n
+        busy = self.rng.random(n) < self.p
+        for i in np.nonzero(busy)[0]:
+            if self.rng.random() < self.unicast_fraction:
+                dests = (int(self.rng.integers(n)),)
+            else:
+                mask = self.rng.random(n) < self.b
+                while mask.sum() < 2:  # multicast means >= 2 destinations
+                    mask = self.rng.random(n) < self.b
+                dests = tuple(int(j) for j in np.nonzero(mask)[0])
+            arrivals[int(i)] = Packet(
+                input_port=int(i), destinations=dests, arrival_slot=slot
+            )
+        return arrivals
+
+    # ------------------------------------------------------------------ #
+    @property
+    def _multicast_mean_fanout(self) -> float:
+        """E[fanout | fanout >= 2] for the binomial destination vector."""
+        n, b = self.num_ports, self.b
+        p0 = (1.0 - b) ** n
+        p1 = n * b * (1.0 - b) ** (n - 1)
+        # E[X · 1{X>=2}] = E[X] − 1·P(X=1) = nb − p1, normalized by P(X>=2).
+        return (n * b - p1) / (1.0 - p0 - p1)
+
+    @property
+    def average_fanout(self) -> float:
+        f = self.unicast_fraction
+        return f * 1.0 + (1.0 - f) * self._multicast_mean_fanout
+
+    @property
+    def effective_load(self) -> float:
+        return self.p * self.average_fanout

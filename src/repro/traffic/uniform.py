@@ -1,0 +1,73 @@
+"""Uniform-fanout traffic — the paper's §V.B model.
+
+Two parameters:
+
+* ``p`` — probability an input port has an arrival in a slot;
+* ``max_fanout`` — fanout is uniform on {1, ..., max_fanout}, and the
+  destinations are drawn uniformly **without replacement** from the N
+  outputs.
+
+Average fanout is exactly ``(1 + max_fanout) / 2`` and effective load
+``p · (1 + max_fanout) / 2``. With ``max_fanout=1`` this degenerates to
+the classic uniform unicast Bernoulli model of Fig. 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.packet import Packet
+from repro.traffic.base import TrafficModel
+from repro.utils.validation import check_probability
+
+__all__ = ["UniformFanoutTraffic"]
+
+
+class UniformFanoutTraffic(TrafficModel):
+    """Bernoulli arrivals with bounded uniformly-distributed fanout."""
+
+    def __init__(
+        self,
+        num_ports: int,
+        *,
+        p: float,
+        max_fanout: int,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(num_ports, rng=rng)
+        self.p = check_probability(p, "p")
+        if not isinstance(max_fanout, int) or not 1 <= max_fanout <= num_ports:
+            raise ConfigurationError(
+                f"max_fanout must be an int in [1, {num_ports}], got {max_fanout!r}"
+            )
+        self.max_fanout = max_fanout
+
+    # ------------------------------------------------------------------ #
+    def _generate(self, slot: int) -> list[Packet | None]:
+        n = self.num_ports
+        arrivals: list[Packet | None] = [None] * n
+        busy = self.rng.random(n) < self.p
+        for i in np.nonzero(busy)[0]:
+            fanout = int(self.rng.integers(1, self.max_fanout + 1))
+            dests = self.rng.choice(n, size=fanout, replace=False)
+            arrivals[int(i)] = Packet(
+                input_port=int(i),
+                destinations=tuple(int(j) for j in dests),
+                arrival_slot=slot,
+            )
+        return arrivals
+
+    # ------------------------------------------------------------------ #
+    @property
+    def average_fanout(self) -> float:
+        return (1 + self.max_fanout) / 2.0
+
+    @property
+    def effective_load(self) -> float:
+        return self.p * self.average_fanout
+
+    @property
+    def is_unicast(self) -> bool:
+        """True for the max_fanout=1 (pure unicast) configuration."""
+        return self.max_fanout == 1

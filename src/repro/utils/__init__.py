@@ -1,0 +1,31 @@
+"""Shared utilities: RNG stream management, validation, bitset helpers."""
+
+from repro.utils.rng import RngStreams, make_rng, spawn_rngs
+from repro.utils.validation import (
+    check_index,
+    check_nonneg,
+    check_port_count,
+    check_positive,
+    check_probability,
+)
+from repro.utils.bitsets import (
+    bitmask_from_iterable,
+    bitmask_to_tuple,
+    iter_bits,
+    popcount,
+)
+
+__all__ = [
+    "RngStreams",
+    "make_rng",
+    "spawn_rngs",
+    "check_index",
+    "check_nonneg",
+    "check_port_count",
+    "check_positive",
+    "check_probability",
+    "bitmask_from_iterable",
+    "bitmask_to_tuple",
+    "iter_bits",
+    "popcount",
+]

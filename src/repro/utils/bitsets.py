@@ -1,0 +1,48 @@
+"""Bitmask helpers for destination (fanout) sets.
+
+A multicast packet's destination set over ``N`` output ports is naturally a
+subset of ``{0, ..., N-1}``. Internally the hot paths represent it as a
+Python ``int`` bitmask (bit ``j`` set <=> output ``j`` is a destination),
+which makes intersection/removal O(1) and hashing cheap; the public API
+exposes it as a sorted tuple for readability.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = ["bitmask_from_iterable", "bitmask_to_tuple", "iter_bits", "popcount"]
+
+
+def bitmask_from_iterable(bits: Iterable[int]) -> int:
+    """Build a bitmask from an iterable of non-negative bit positions."""
+    mask = 0
+    for b in bits:
+        if b < 0:
+            raise ValueError(f"bit positions must be >= 0, got {b}")
+        mask |= 1 << b
+    return mask
+
+
+def bitmask_to_tuple(mask: int) -> tuple[int, ...]:
+    """Return the sorted tuple of set-bit positions of ``mask``."""
+    if mask < 0:
+        raise ValueError(f"bitmask must be >= 0, got {mask}")
+    return tuple(iter_bits(mask))
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield set-bit positions of ``mask`` in ascending order."""
+    if mask < 0:
+        raise ValueError(f"bitmask must be >= 0, got {mask}")
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (the fanout of a destination mask)."""
+    if mask < 0:
+        raise ValueError(f"bitmask must be >= 0, got {mask}")
+    return mask.bit_count()

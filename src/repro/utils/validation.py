@@ -1,0 +1,77 @@
+"""Small argument-validation helpers used across the package.
+
+These raise :class:`repro.errors.ConfigurationError` (a ``ValueError``
+subclass) with uniform messages so user mistakes fail fast and clearly at
+construction time rather than deep inside a million-slot simulation loop.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "check_probability",
+    "check_positive",
+    "check_nonneg",
+    "check_port_count",
+    "check_index",
+]
+
+#: Largest port count the object-model simulator accepts. Purely a sanity
+#: bound — the algorithms are O(N^2) per slot, so anything beyond this is
+#: almost certainly a mistyped argument.
+MAX_PORTS = 4096
+
+
+def check_probability(value: float, name: str, *, allow_zero: bool = True) -> float:
+    """Validate that ``value`` is a probability in [0, 1] (or (0, 1])."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a real number, got {value!r}")
+    v = float(value)
+    lo_ok = v >= 0.0 if allow_zero else v > 0.0
+    if not (lo_ok and v <= 1.0):
+        bound = "[0, 1]" if allow_zero else "(0, 1]"
+        raise ConfigurationError(f"{name} must be in {bound}, got {v}")
+    return v
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is a strictly positive real."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a real number, got {value!r}")
+    v = float(value)
+    if not v > 0.0:
+        raise ConfigurationError(f"{name} must be > 0, got {v}")
+    return v
+
+
+def check_nonneg(value: int, name: str) -> int:
+    """Validate that ``value`` is a non-negative integer."""
+    if not isinstance(value, Integral) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    v = int(value)
+    if v < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {v}")
+    return v
+
+
+def check_port_count(value: int, name: str = "num_ports") -> int:
+    """Validate a switch port count: integer in [1, MAX_PORTS]."""
+    if not isinstance(value, Integral) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    v = int(value)
+    if not 1 <= v <= MAX_PORTS:
+        raise ConfigurationError(f"{name} must be in [1, {MAX_PORTS}], got {v}")
+    return v
+
+
+def check_index(value: int, bound: int, name: str) -> int:
+    """Validate a port/queue index: integer in [0, bound)."""
+    if not isinstance(value, Integral) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    v = int(value)
+    if not 0 <= v < bound:
+        raise ConfigurationError(f"{name} must be in [0, {bound}), got {v}")
+    return v

@@ -1,0 +1,45 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.voq import MulticastVOQInputPort
+from repro.packet import Packet
+from repro.traffic.trace import TraceTraffic
+
+__all__ = ["make_packet", "mk_ports", "drain_slots"]
+
+
+def make_packet(
+    input_port: int, destinations, arrival_slot: int = 0
+) -> Packet:
+    """Terse Packet constructor for hand-written scenarios."""
+    return Packet(
+        input_port=input_port,
+        destinations=tuple(destinations),
+        arrival_slot=arrival_slot,
+    )
+
+
+def mk_ports(n: int) -> list[MulticastVOQInputPort]:
+    """A row of n fresh multicast VOQ input ports for an n-output switch."""
+    return [MulticastVOQInputPort(i, n) for i in range(n)]
+
+
+def drain_slots(packets, num_ports: int, extra: int = 0) -> int:
+    """Slots needed to feed a trace plus drain every cell serially."""
+    horizon = 1 + max((p.arrival_slot for p in packets), default=-1)
+    cells = sum(p.fanout for p in packets)
+    return horizon + cells + extra
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def trace_cls():
+    return TraceTraffic

@@ -1,0 +1,127 @@
+"""Unit tests for the analytical formulas (repro.analysis)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.complexity import (
+    address_cell_bits,
+    fifoms_worst_case_rounds,
+    queue_count_multicast_voq,
+    queue_count_traditional_voq,
+    scheduler_comparisons_per_round,
+    space_bits_multicast_voq,
+    space_bits_replicated_voq,
+)
+from repro.analysis.loads import (
+    bernoulli_arrival_probability,
+    bernoulli_effective_load,
+    bernoulli_mean_fanout,
+    burst_e_off_for_load,
+    burst_effective_load,
+    uniform_arrival_probability,
+    uniform_effective_load,
+)
+from repro.analysis.queueing import (
+    KAROL_SATURATION,
+    oq_average_delay,
+    oq_average_queue,
+    siq_saturation_load,
+)
+from repro.errors import ConfigurationError
+
+
+class TestLoads:
+    def test_mean_fanout_exceeds_unconditioned(self):
+        # Conditioning on a non-empty vector can only raise the mean.
+        assert bernoulli_mean_fanout(16, 0.2) > 0.2 * 16
+
+    def test_mean_fanout_limit_b1(self):
+        assert bernoulli_mean_fanout(16, 1.0) == pytest.approx(16.0)
+
+    def test_load_inversion_round_trip(self):
+        p = bernoulli_arrival_probability(16, 0.7, 0.2)
+        assert bernoulli_effective_load(16, p, 0.2) == pytest.approx(0.7)
+
+    def test_unreachable_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bernoulli_arrival_probability(16, 5.0, 0.2)
+
+    def test_uniform_round_trip(self):
+        p = uniform_arrival_probability(0.9, 8)
+        assert uniform_effective_load(p, 8) == pytest.approx(0.9)
+
+    def test_uniform_unreachable(self):
+        with pytest.raises(ConfigurationError):
+            uniform_arrival_probability(1.2, 1)  # needs p = 1.2
+
+    def test_burst_round_trip(self):
+        e_off = burst_e_off_for_load(16, 0.5, 16.0, 0.5)
+        assert burst_effective_load(16, e_off, 16.0, 0.5) == pytest.approx(0.5)
+
+    def test_burst_too_fast_rejected(self):
+        # fanout ~8 with e_on=16: load 7.9 would need e_off < 1.
+        with pytest.raises(ConfigurationError):
+            burst_e_off_for_load(16, 7.9, 16.0, 0.5)
+
+    def test_burst_overload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            burst_e_off_for_load(16, 9.0, 16.0, 0.5)
+
+
+class TestQueueing:
+    def test_karol_constant(self):
+        assert KAROL_SATURATION == pytest.approx(2 - math.sqrt(2))
+
+    def test_finite_n_table_descends_to_asymptote(self):
+        values = [siq_saturation_load(n) for n in (2, 4, 8, 64)]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] == pytest.approx(KAROL_SATURATION)
+
+    def test_oq_delay_monotone_in_load(self):
+        delays = [oq_average_delay(16, r) for r in (0.1, 0.5, 0.9)]
+        assert delays == sorted(delays)
+        assert delays[0] >= 1.0
+
+    def test_oq_delay_zero_load(self):
+        assert oq_average_delay(16, 0.0) == pytest.approx(1.0)
+
+    def test_oq_queue_littles_law(self):
+        rho = 0.8
+        wait = oq_average_delay(16, rho) - 1.0
+        assert oq_average_queue(16, rho) == pytest.approx(rho * wait)
+
+    def test_bad_rho(self):
+        with pytest.raises(ConfigurationError):
+            oq_average_delay(16, 1.0)
+
+
+class TestComplexity:
+    def test_queue_counts(self):
+        assert queue_count_traditional_voq(16) == 2**16 - 1
+        assert queue_count_multicast_voq(16) == 16
+        # The paper's headline: exponential -> linear.
+        assert queue_count_multicast_voq(16) < queue_count_traditional_voq(16)
+
+    def test_address_cell_is_small(self):
+        bits = address_cell_bits(16, timestamp_bits=32, buffer_slots=4096)
+        assert bits == 32 + 12
+        assert bits <= 64  # "a small constant number of bytes"
+
+    def test_space_savings_grow_with_fanout(self):
+        ours = space_bits_multicast_voq(100, 8.0)
+        replicated = space_bits_replicated_voq(100, 8.0)
+        assert ours < replicated
+        # With fanout 1 replication has no payload overhead, and the
+        # address cells make our structure slightly bigger.
+        assert space_bits_multicast_voq(100, 1.0) > space_bits_replicated_voq(100, 1.0)
+
+    def test_comparisons_serial_vs_parallel(self):
+        assert scheduler_comparisons_per_round(16) == 2 * 16 * 15
+        assert scheduler_comparisons_per_round(16, parallel=True) == 2 * 4
+        assert scheduler_comparisons_per_round(1, parallel=True) == 0
+
+    def test_worst_case_rounds(self):
+        assert fifoms_worst_case_rounds(16) == 16

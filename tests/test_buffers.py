@@ -1,0 +1,85 @@
+"""Unit tests for repro.core.buffers (DataCellBuffer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.buffers import DataCellBuffer
+from repro.errors import BufferError_, ConfigurationError
+from repro.packet import Packet
+
+
+def _pkt(fanout: int = 2) -> Packet:
+    return Packet(0, tuple(range(fanout)), 0)
+
+
+class TestAllocate:
+    def test_occupancy_counts_live_cells(self):
+        buf = DataCellBuffer()
+        buf.allocate(_pkt())
+        buf.allocate(_pkt())
+        assert buf.occupancy == 2
+        assert len(buf) == 2
+
+    def test_peak_tracks_high_water_mark(self):
+        buf = DataCellBuffer()
+        cells = [buf.allocate(_pkt(1)) for _ in range(3)]
+        for c in cells:
+            buf.record_service(c)
+        assert buf.occupancy == 0
+        assert buf.peak_occupancy == 3
+
+    def test_capacity_enforced(self):
+        buf = DataCellBuffer(capacity=1)
+        buf.allocate(_pkt())
+        with pytest.raises(BufferError_):
+            buf.allocate(_pkt())
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DataCellBuffer(capacity=0)
+
+
+class TestRelease:
+    def test_release_on_exhaustion_only(self):
+        buf = DataCellBuffer()
+        cell = buf.allocate(_pkt(2))
+        with pytest.raises(BufferError_):
+            buf.release(cell)  # counter still 2
+
+    def test_record_service_full_cycle(self):
+        buf = DataCellBuffer()
+        cell = buf.allocate(_pkt(2))
+        assert buf.record_service(cell) is False
+        assert cell in buf
+        assert buf.record_service(cell) is True
+        assert cell not in buf
+        assert buf.occupancy == 0
+
+    def test_double_free_detected(self):
+        buf = DataCellBuffer()
+        cell = buf.allocate(_pkt(1))
+        buf.record_service(cell)
+        cell.fanout_counter = 0
+        with pytest.raises(BufferError_):
+            buf.release(cell)
+
+    def test_counters(self):
+        buf = DataCellBuffer()
+        cells = [buf.allocate(_pkt(1)) for _ in range(4)]
+        for c in cells[:3]:
+            buf.record_service(c)
+        assert buf.allocated_total == 4
+        assert buf.released_total == 3
+
+    def test_capacity_freed_by_release(self):
+        buf = DataCellBuffer(capacity=1)
+        cell = buf.allocate(_pkt(1))
+        buf.record_service(cell)
+        buf.allocate(_pkt(1))  # must not raise
+
+    def test_live_cells_order(self):
+        buf = DataCellBuffer()
+        a = buf.allocate(_pkt())
+        b = buf.allocate(_pkt())
+        assert buf.live_cells() == [a, b]

@@ -1,0 +1,88 @@
+"""Tests validating the burst traffic generator against its closed-form
+second-order statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.burstiness import (
+    measure_autocorrelation,
+    onoff_autocorrelation,
+    onoff_eigenvalue,
+    onoff_idc_limit,
+)
+from repro.errors import ConfigurationError
+from repro.traffic.burst import BurstMulticastTraffic
+
+
+class TestFormulas:
+    def test_eigenvalue_signs(self):
+        assert onoff_eigenvalue(50, 50) > 0  # long sojourns: bursty
+        assert onoff_eigenvalue(1, 1) == pytest.approx(-1.0)  # alternating
+        assert onoff_eigenvalue(2, 2) == pytest.approx(0.0)  # memoryless
+
+    def test_autocorrelation_decay(self):
+        r = onoff_eigenvalue(20, 10)
+        assert onoff_autocorrelation(20, 10, 3) == pytest.approx(r**3)
+        assert onoff_autocorrelation(20, 10, 0) == 1.0
+
+    def test_idc_memoryless_matches_bernoulli(self):
+        # e_off = e_on = 2 -> r = 0 -> IDC = 1 - p = 0.5.
+        assert onoff_idc_limit(2, 2) == pytest.approx(0.5)
+
+    def test_idc_grows_with_burstiness(self):
+        assert onoff_idc_limit(64, 64) > onoff_idc_limit(4, 4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            onoff_eigenvalue(0.5, 4)
+        with pytest.raises(ConfigurationError):
+            onoff_autocorrelation(4, 4, -1)
+
+
+class TestMeasuredAgainstTheory:
+    def _indicator_series(self, e_off, e_on, slots, seed):
+        tr = BurstMulticastTraffic(1, e_off=e_off, e_on=e_on, b=0.99, rng=seed)
+        series = np.empty(slots)
+        for t in range(slots):
+            series[t] = 1.0 if tr.next_slot()[0] is not None else 0.0
+        return series
+
+    @pytest.mark.parametrize("e_off,e_on", [(16, 8), (48, 16)])
+    def test_lag1_autocorrelation(self, e_off, e_on):
+        series = self._indicator_series(e_off, e_on, 60_000, seed=5)
+        measured = measure_autocorrelation(series, 1)
+        expected = onoff_autocorrelation(e_off, e_on, 1)
+        assert measured == pytest.approx(expected, abs=0.03)
+
+    def test_lag_k_geometric_decay(self):
+        series = self._indicator_series(24, 12, 80_000, seed=7)
+        r1 = measure_autocorrelation(series, 1)
+        r3 = measure_autocorrelation(series, 3)
+        assert r3 == pytest.approx(r1**3, abs=0.05)
+
+    def test_on_fraction(self):
+        series = self._indicator_series(30, 10, 40_000, seed=9)
+        assert series.mean() == pytest.approx(10 / 40, abs=0.02)
+
+    def test_idc_measured(self):
+        e_off, e_on = 24, 8
+        series = self._indicator_series(e_off, e_on, 120_000, seed=11)
+        window = 2000  # >> correlation time, << series length
+        counts = series[: (len(series) // window) * window].reshape(-1, window).sum(axis=1)
+        idc = counts.var() / counts.mean()
+        assert idc == pytest.approx(onoff_idc_limit(e_off, e_on), rel=0.35)
+
+
+class TestMeasureAutocorrelation:
+    def test_white_noise_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.random(20_000)
+        assert abs(measure_autocorrelation(x, 1)) < 0.03
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            measure_autocorrelation(np.ones(10), 1)  # constant
+        with pytest.raises(ConfigurationError):
+            measure_autocorrelation(np.arange(3.0), 5)

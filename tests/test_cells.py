@@ -1,0 +1,56 @@
+"""Unit tests for repro.core.cells (DataCell / AddressCell)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cells import AddressCell, DataCell
+from repro.errors import BufferError_
+from repro.packet import Packet
+
+
+class TestDataCell:
+    def test_counter_initialized_to_fanout(self):
+        cell = DataCell(Packet(0, (0, 1, 2), 0))
+        assert cell.fanout_counter == 3
+        assert not cell.exhausted
+
+    def test_decrement_to_zero(self):
+        cell = DataCell(Packet(0, (0, 1), 0))
+        assert cell.decrement() is False
+        assert cell.decrement() is True
+        assert cell.exhausted
+
+    def test_decrement_underflow_raises(self):
+        cell = DataCell(Packet(0, (0,), 0))
+        cell.decrement()
+        with pytest.raises(BufferError_):
+            cell.decrement()
+
+    def test_explicit_counter_respected(self):
+        cell = DataCell(Packet(0, (0, 1, 2), 0), fanout_counter=1)
+        assert cell.decrement() is True
+
+
+class TestAddressCell:
+    def test_fields_and_packet_accessor(self):
+        pkt = Packet(3, (0, 2), 7)
+        data = DataCell(pkt)
+        addr = AddressCell(timestamp=7, data_cell=data, output_port=2)
+        assert addr.timestamp == 7
+        assert addr.output_port == 2
+        assert addr.data_cell is data
+        assert addr.packet is pkt
+
+    def test_address_cells_share_one_data_cell(self):
+        # The paper's space argument: k address cells, one payload.
+        pkt = Packet(0, (0, 1, 2, 3), 0)
+        data = DataCell(pkt)
+        cells = [AddressCell(0, data, j) for j in pkt.destinations]
+        assert all(c.data_cell is data for c in cells)
+        assert data.fanout_counter == len(cells)
+
+    def test_frozen(self):
+        addr = AddressCell(0, DataCell(Packet(0, (0,), 0)), 0)
+        with pytest.raises(AttributeError):
+            addr.timestamp = 5  # type: ignore[misc]

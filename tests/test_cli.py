@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "-a", "fifoms"])
+        assert args.ports == 16
+        assert args.traffic == "bernoulli"
+
+
+class TestListCommand:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fifoms" in out and "tatra" in out
+        assert "fig4" in out and "burst" in out
+
+
+class TestRunCommand:
+    def test_table_output(self, capsys):
+        code = main(
+            ["run", "-a", "fifoms", "-n", "4", "--slots", "400", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "avg output delay" in out
+        assert "fifoms" in out
+
+    def test_json_output(self, capsys):
+        code = main(
+            [
+                "run", "-a", "oqfifo", "-n", "4", "--slots", "300",
+                "--traffic", "uniform", "--max-fanout", "2", "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["algorithm"] == "oqfifo"
+        assert data["slots_run"] == 300
+
+    def test_unknown_algorithm_exit_code(self, capsys):
+        assert main(["run", "-a", "bogus", "--slots", "10"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFigureCommand:
+    def test_small_figure_run(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig5.csv"
+        code = main(
+            [
+                "figure", "--id", "fig5", "--slots", "600", "--seed", "1",
+                "--loads", "0.3", "0.5", "--workers", "1",
+                "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Average convergence rounds" in out
+        assert "fig5" in out
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("algorithm,")
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "--id", "fig99"]) == 2
+
+
+class TestTraceCommands:
+    def test_record_and_run(self, capsys, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        assert main(
+            ["trace", "record", "--out", str(out), "-n", "4", "--slots", "200",
+             "--seed", "2"]
+        ) == 0
+        assert out.exists()
+        first = capsys.readouterr().out
+        assert "packets over 200 slots" in first
+        assert main(["trace", "run", "--file", str(out), "-a", "oqfifo"]) == 0
+        run_out = capsys.readouterr().out
+        assert "oqfifo" in run_out
+
+    def test_run_missing_file_errors(self, capsys, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["trace", "run", "--file", str(tmp_path / "nope.jsonl"),
+                  "-a", "fifoms"])
+
+
+class TestVerifyCommand:
+    def test_ok_algorithm(self, capsys):
+        assert main(["verify", "-a", "oqfifo", "-n", "2", "--horizon", "1"]) == 0
+        assert "[OK]" in capsys.readouterr().out
+
+    def test_domain_guard_via_cli(self, capsys):
+        assert main(["verify", "-a", "fifoms", "-n", "4", "--horizon", "4"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCampaignCommand:
+    def test_small_campaign(self, capsys, tmp_path):
+        out = tmp_path / "REPORT.md"
+        code = main(
+            ["campaign", "--figures", "fig5", "--slots", "800",
+             "--seed", "1", "--out", str(out), "--workers", "2"]
+        )
+        assert code == 0
+        assert "paper claims PASS" in capsys.readouterr().out
+        text = out.read_text()
+        assert text.startswith("# Reproduction report")
+        assert "Fig. 5" in text

@@ -1,0 +1,75 @@
+"""Unit tests for repro.fabric.crossbar."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.matching import ScheduleDecision
+from repro.errors import ConfigurationError, FabricConflictError
+from repro.fabric.crossbar import MulticastCrossbar
+
+
+def _decision(grants: dict[int, tuple[int, ...]]) -> ScheduleDecision:
+    d = ScheduleDecision()
+    for i, outs in grants.items():
+        d.add(i, outs)
+    return d
+
+
+class TestConfigure:
+    def test_multicast_fanout_allowed(self):
+        xbar = MulticastCrossbar(4)
+        cfg = xbar.configure(_decision({0: (0, 2, 3), 1: (1,)}))
+        assert cfg.outputs_of(0) == (0, 2, 3)
+        assert cfg.outputs_of(1) == (1,)
+        assert cfg.busy_outputs == 4
+        assert xbar.driver_of(2) == 0
+        assert xbar.fanout_of(0) == 3
+
+    def test_output_conflict_rejected(self):
+        xbar = MulticastCrossbar(4)
+        # Two inputs claiming one output is exactly what configure() must
+        # catch even if a buggy scheduler skipped validate().
+        d = _decision({0: (1,), 2: (1,)})
+        with pytest.raises(FabricConflictError):
+            xbar.configure(d)
+
+    def test_out_of_range_ports_rejected(self):
+        xbar = MulticastCrossbar(4)
+        with pytest.raises(ConfigurationError):
+            xbar.configure(_decision({0: (7,)}))
+        with pytest.raises(ConfigurationError):
+            xbar.configure(_decision({9: (0,)}))
+
+    def test_release_clears_state(self):
+        xbar = MulticastCrossbar(2)
+        xbar.configure(_decision({0: (0,)}))
+        assert xbar.is_configured
+        xbar.release()
+        assert not xbar.is_configured
+        assert xbar.driver_of(0) == -1
+
+
+class TestAccounting:
+    def test_transfer_counters(self):
+        xbar = MulticastCrossbar(4)
+        xbar.configure(_decision({0: (0, 1), 2: (3,)}))
+        xbar.release()
+        xbar.configure(_decision({1: (2,)}))
+        xbar.release()
+        assert xbar.slots_configured == 2
+        assert xbar.cells_transferred == 4
+        assert xbar.multicast_transfers == 1
+        assert xbar.utilization == pytest.approx(4 / 8)
+
+    def test_empty_decision_counts_slot(self):
+        xbar = MulticastCrossbar(4)
+        xbar.configure(ScheduleDecision())
+        assert xbar.slots_configured == 1
+        assert xbar.utilization == 0.0
+
+    def test_rectangular_switch(self):
+        xbar = MulticastCrossbar(2, 6)
+        xbar.configure(_decision({0: (0, 5), 1: (3,)}))
+        assert xbar.driver_of(5) == 0
+        assert xbar.num_outputs == 6

@@ -1,0 +1,59 @@
+"""Meta-test: every public item in the library carries a docstring.
+
+The documentation deliverable includes "doc comments on every public
+item"; this test makes that statement checkable. Public = importable
+modules under ``repro`` plus every class, function and public method
+reachable from them that does not start with an underscore.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def _public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if getattr(obj, "__module__", None) == module.__name__:
+                yield f"{module.__name__}.{name}", obj
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        missing = [m.__name__ for m in _iter_modules() if not inspect.getdoc(m)]
+        assert not missing, f"modules without docstrings: {missing}"
+
+    def test_every_public_class_and_function_documented(self):
+        missing = []
+        for module in _iter_modules():
+            for qual, obj in _public_members(module):
+                if not inspect.getdoc(obj):
+                    missing.append(qual)
+        assert not missing, f"undocumented public items: {missing}"
+
+    def test_public_methods_documented(self):
+        missing = []
+        for module in _iter_modules():
+            for qual, obj in _public_members(module):
+                if not inspect.isclass(obj):
+                    continue
+                for name, member in vars(obj).items():
+                    if name.startswith("_") or not inspect.isfunction(member):
+                        continue
+                    # Inherited docstrings (e.g. overridden ABC hooks)
+                    # count: use getdoc on the bound attribute.
+                    if not inspect.getdoc(getattr(obj, name)):
+                        missing.append(f"{qual}.{name}")
+        assert not missing, f"undocumented public methods: {missing}"

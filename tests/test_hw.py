@@ -1,0 +1,130 @@
+"""Tests for the hardware model: comparator trees and the FIFOMS
+control unit (paper §IV / Fig. 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.fifoms import FIFOMSScheduler, TieBreak
+from repro.core.preprocess import preprocess_packet
+from repro.errors import ConfigurationError
+from repro.hw.comparator import MinComparatorTree
+from repro.hw.scheduler_rtl import FIFOMSControlUnit
+from repro.packet import Packet
+from repro.utils.rng import make_rng
+
+from conftest import mk_ports
+
+
+class TestComparatorTree:
+    def test_min_and_index(self):
+        tree = MinComparatorTree(8)
+        value, idx = tree.evaluate([5, 3, 9, 1, 7, 2, 8, 6])
+        assert (value, idx) == (1, 3)
+
+    def test_tie_resolves_to_lowest_index(self):
+        tree = MinComparatorTree(6)
+        value, idx = tree.evaluate([4, 2, 7, 2, 2, 9])
+        assert (value, idx) == (2, 1)
+
+    def test_masked_lanes_skipped(self):
+        tree = MinComparatorTree(4)
+        value, idx = tree.evaluate([None, 5, None, 3])
+        assert (value, idx) == (3, 3)
+
+    def test_all_masked(self):
+        tree = MinComparatorTree(4)
+        assert tree.evaluate([None] * 4) == (None, None)
+
+    def test_depth_is_log2(self):
+        for width in (1, 2, 3, 4, 7, 8, 16, 33):
+            tree = MinComparatorTree(width)
+            tree.evaluate(list(range(width)))
+            assert tree.stats.depth == tree.theoretical_depth
+
+    def test_comparison_count_is_width_minus_one_when_full(self):
+        tree = MinComparatorTree(16)
+        tree.evaluate(list(range(16)))
+        assert tree.stats.comparisons == 15
+
+    def test_width_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            MinComparatorTree(4).evaluate([1, 2, 3])
+
+    def test_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            MinComparatorTree(0)
+
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=100)),
+            min_size=1,
+            max_size=32,
+        )
+    )
+    def test_matches_python_min(self, lanes):
+        tree = MinComparatorTree(len(lanes))
+        value, idx = tree.evaluate(lanes)
+        finite = [(v, i) for i, v in enumerate(lanes) if v is not None]
+        if not finite:
+            assert (value, idx) == (None, None)
+        else:
+            expected = min(finite)
+            assert (value, idx) == expected
+
+
+class TestControlUnitCrossValidation:
+    def _random_ports(self, n, density, seed):
+        rng = make_rng(seed)
+        ports = mk_ports(n)
+        ts = 0
+        for _ in range(6):  # several waves of arrivals
+            for i in range(n):
+                if rng.random() < density:
+                    dests = rng.choice(n, size=int(rng.integers(1, n + 1)), replace=False)
+                    preprocess_packet(
+                        ports[i],
+                        Packet(i, tuple(int(d) for d in dests), ts),
+                        ts,
+                    )
+            ts += 1
+        return ports
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_identical_to_behavioural_scheduler(self, seed):
+        """The comparator-fabric execution must match the behavioural
+        FIFOMS decision exactly (deterministic tie-break)."""
+        n = 6
+        ports_a = self._random_ports(n, 0.7, seed)
+        ports_b = self._random_ports(n, 0.7, seed)  # identical reconstruction
+        behavioural = FIFOMSScheduler(n, tie_break=TieBreak.LOWEST_INPUT)
+        rtl = FIFOMSControlUnit(n)
+        da = behavioural.schedule(ports_a)
+        db = rtl.schedule(ports_b)
+        assert {i: g.output_ports for i, g in da.grants.items()} == {
+            i: g.output_ports for i, g in db.grants.items()
+        }
+        assert da.rounds == db.rounds
+
+    def test_latency_accounting(self):
+        n = 8
+        unit = FIFOMSControlUnit(n)
+        ports = mk_ports(n)
+        preprocess_packet(ports[0], Packet(0, (0, 1), 0), 0)
+        unit.schedule(ports)
+        assert unit.total_rounds == 1
+        # One round: input tree depth + output tree depth + feedback.
+        assert unit.total_comparator_levels == 2 * 3 + 1
+        assert unit.levels_per_round == 7
+        assert unit.comparator_count == 2 * 8 * 7
+
+    def test_empty(self):
+        unit = FIFOMSControlUnit(4)
+        d = unit.schedule(mk_ports(4))
+        assert not d and d.rounds == 0
+
+    def test_port_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            FIFOMSControlUnit(4).schedule(mk_ports(5))

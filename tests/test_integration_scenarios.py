@@ -1,0 +1,134 @@
+"""Cross-algorithm integration scenarios on hand-crafted traces.
+
+Each scenario encodes one of the paper's qualitative arguments as an
+exact, deterministic micro-benchmark: the multicast latency advantage over
+copy-splitting (vs iSLIP), the HOL-blocking cost of the single queue (vs
+TATRA's substrate), and the buffer-replication cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fifoms import FIFOMSScheduler, TieBreak
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.schedulers.registry import make_switch
+from repro.switch.voq_multicast import MulticastVOQSwitch
+from repro.traffic.trace import TraceTraffic
+
+from conftest import make_packet
+
+
+def _run_trace(algorithm: str, n: int, packets, slots: int, rng=0):
+    switch = make_switch(algorithm, n, rng=rng)
+    cfg = SimulationConfig(
+        num_slots=slots, warmup_fraction=0.0, stability_window=0
+    )
+    return SimulationEngine(
+        switch, TraceTraffic(n, packets), cfg, algorithm_name=algorithm
+    ).run()
+
+
+class TestMulticastLatencyAdvantage:
+    def test_fifoms_one_slot_vs_islip_fanout_slots(self):
+        """A lone fanout-4 packet: FIFOMS delivers it in 1 slot via the
+        crossbar's multicast; iSLIP needs 4 slots of unicast copies."""
+        pkts = [make_packet(0, (0, 1, 2, 3), 0)]
+        f = _run_trace("fifoms", 4, pkts, 6)
+        i = _run_trace("islip", 4, pkts, 6)
+        assert f.average_input_delay == pytest.approx(1.0)
+        assert i.average_input_delay == pytest.approx(4.0)
+        assert f.average_output_delay == pytest.approx(1.0)
+        assert i.average_output_delay == pytest.approx(2.5)  # (1+2+3+4)/4
+
+    def test_buffer_replication_cost(self):
+        """While waiting, iSLIP holds one data cell per copy; FIFOMS one
+        per packet (the paper's queue-size metric)."""
+        pkts = [
+            make_packet(0, (0, 1, 2, 3), 0),
+            make_packet(1, (0, 1, 2, 3), 0),
+        ]
+        f = _run_trace("fifoms", 4, pkts, 10)
+        i = _run_trace("islip", 4, pkts, 10)
+        assert i.max_queue_size >= 3  # up to 4 queued copies at one input
+        assert f.max_queue_size <= 1  # one data cell per packet
+
+
+class TestHOLBlockingCost:
+    """HOL blocking is a *statistical* cost: at one arrival per input per
+    slot, FIFO arbitration bounds any single blocking event to a slot, so
+    the gap only opens under sustained load — which is exactly how the
+    paper demonstrates it (TATRA dying at ~0.586 while FIFOMS reaches 1).
+    """
+
+    def test_single_queue_saturates_where_voq_flows(self):
+        from repro.sim.runner import run_simulation
+
+        spec = {"model": "uniform", "p": 0.75, "max_fanout": 1}
+        f = run_simulation("fifoms", 8, spec, num_slots=8000, seed=0)
+        s = run_simulation("siq-fifo", 8, spec, num_slots=8000, seed=0)
+        assert not f.unstable
+        assert s.unstable or s.average_output_delay > 2 * f.average_output_delay
+
+    def test_tatra_saturates_where_fifoms_flows(self):
+        from repro.sim.runner import run_simulation
+
+        spec = {"model": "uniform", "p": 0.75, "max_fanout": 1}
+        f = run_simulation("fifoms", 8, spec, num_slots=8000, seed=1)
+        t = run_simulation("tatra", 8, spec, num_slots=8000, seed=1)
+        assert not f.unstable
+        assert t.unstable or t.average_output_delay > 2 * f.average_output_delay
+
+
+class TestStarvationFreedom:
+    def test_every_cell_served_within_competitor_bound(self):
+        """§VI: an address cell waits at most for all its competitors —
+        the earlier cells at its input plus the earlier cells bound for
+        its output. We verify the bound on a deliberately nasty trace."""
+        n = 4
+        packets = []
+        # Slot 0..5: all inputs bombard output 0, plus one victim packet
+        # at input 3 for output 3 queued behind six output-0 packets.
+        for slot in range(6):
+            for i in range(n):
+                packets.append(make_packet(i, (0,), slot))
+        victim = make_packet(3, (3,), 6)
+        packets.append(victim)
+        switch = MulticastVOQSwitch(
+            n, FIFOMSScheduler(n, tie_break=TieBreak.LOWEST_INPUT)
+        )
+        traffic = TraceTraffic(n, packets)
+        victim_served_at = None
+        for slot in range(40):
+            arrivals = traffic.next_slot() if slot < traffic.horizon else [None] * n
+            for d in switch.step(arrivals, slot).deliveries:
+                if d.packet.packet_id == victim.packet_id:
+                    victim_served_at = slot
+        assert victim_served_at is not None
+        # Competitors: 6 earlier cells at input 3 (all for output 0) and 0
+        # earlier cells for output 3 from elsewhere. Plus its own slot.
+        assert victim_served_at <= 6 + 6 + 1
+
+    @pytest.mark.parametrize("algorithm", ["fifoms", "tatra", "wba", "siq-fifo"])
+    def test_no_permanent_starvation_under_sustained_pressure(self, algorithm):
+        """A continuously-refilled aggressor flow must not starve a
+        one-shot victim on any starvation-free scheduler."""
+        n = 3
+        packets = [make_packet(0, (0,), slot) for slot in range(30)]
+        victim = make_packet(1, (0,), 2)
+        packets.append(victim)
+        summary = _run_trace(algorithm, n, packets, 45)
+        assert summary.cells_delivered == 31  # victim included
+
+
+class TestConvergenceRoundsMetadata:
+    def test_rounds_recorded_per_slot(self):
+        pkts = [
+            make_packet(0, (0,), 0),
+            make_packet(1, (0,), 0),  # contention -> extra round usable
+            make_packet(1, (1,), 1),
+        ]
+        s = _run_trace("fifoms", 4, pkts, 4)
+        assert s.average_rounds >= 1.0
+        assert s.max_rounds <= 4

@@ -1,0 +1,63 @@
+"""Unit tests for repro.core.matching (GrantSet / ScheduleDecision)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.matching import GrantSet, ScheduleDecision
+from repro.errors import SchedulingError
+
+
+class TestGrantSet:
+    def test_sorted_deduped(self):
+        g = GrantSet(0, (3, 1, 3))
+        assert g.output_ports == (1, 3)
+        assert g.fanout == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchedulingError):
+            GrantSet(0, ())
+
+
+class TestScheduleDecision:
+    def test_add_and_len(self):
+        d = ScheduleDecision()
+        d.add(0, (1, 2))
+        d.add(3, (0,))
+        assert len(d) == 2
+        assert bool(d)
+        assert d.matched_outputs == 3
+
+    def test_double_grant_same_input_rejected(self):
+        d = ScheduleDecision()
+        d.add(0, (1,))
+        with pytest.raises(SchedulingError):
+            d.add(0, (2,))
+
+    def test_validate_accepts_feasible(self):
+        d = ScheduleDecision()
+        d.add(0, (0, 1))
+        d.add(1, (2,))
+        d.validate(4, 4)
+
+    def test_validate_rejects_output_conflict(self):
+        d = ScheduleDecision()
+        d.add(0, (1,))
+        d.add(2, (1,))
+        with pytest.raises(SchedulingError):
+            d.validate(4, 4)
+
+    def test_validate_rejects_out_of_range(self):
+        d = ScheduleDecision()
+        d.add(0, (5,))
+        with pytest.raises(SchedulingError):
+            d.validate(4, 4)
+        d2 = ScheduleDecision()
+        d2.add(9, (0,))
+        with pytest.raises(SchedulingError):
+            d2.validate(4, 4)
+
+    def test_empty_decision_is_falsey(self):
+        d = ScheduleDecision()
+        assert not d
+        d.validate(4, 4)

@@ -1,0 +1,75 @@
+"""Unit tests for repro.packet (Packet and Delivery)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TrafficError
+from repro.packet import Delivery, Packet
+
+
+class TestPacket:
+    def test_basic_fields(self):
+        p = Packet(input_port=2, destinations=(1, 3), arrival_slot=5)
+        assert p.input_port == 2
+        assert p.destinations == (1, 3)
+        assert p.arrival_slot == 5
+        assert p.fanout == 2
+        assert p.is_multicast
+
+    def test_unicast_flag(self):
+        assert not Packet(0, (4,), 0).is_multicast
+
+    def test_destinations_sorted_and_deduped(self):
+        p = Packet(0, (3, 1, 3, 2), 0)
+        assert p.destinations == (1, 2, 3)
+        assert p.fanout == 3
+
+    def test_destination_mask(self):
+        assert Packet(0, (0, 2), 0).destination_mask == 0b101
+
+    def test_empty_destinations_rejected(self):
+        with pytest.raises(TrafficError):
+            Packet(0, (), 0)
+
+    def test_negative_destination_rejected(self):
+        with pytest.raises(TrafficError):
+            Packet(0, (-1,), 0)
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(TrafficError):
+            Packet(-1, (0,), 0)
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(TrafficError):
+            Packet(0, (0,), -3)
+
+    def test_packet_ids_unique(self):
+        a, b = Packet(0, (0,), 0), Packet(0, (0,), 0)
+        assert a.packet_id != b.packet_id
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=31), min_size=1),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_fanout_matches_set_size(self, dests, slot):
+        p = Packet(0, tuple(dests), slot)
+        assert p.fanout == len(dests)
+        assert p.destinations == tuple(sorted(dests))
+
+
+class TestDelivery:
+    def test_delay_convention(self):
+        p = Packet(0, (1,), arrival_slot=10)
+        assert Delivery(p, 1, service_slot=10).delay == 1
+        assert Delivery(p, 1, service_slot=14).delay == 5
+
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_delay_always_at_least_one_when_causal(self, arrival, wait):
+        p = Packet(0, (0,), arrival_slot=arrival)
+        assert Delivery(p, 0, service_slot=arrival + wait).delay == wait + 1

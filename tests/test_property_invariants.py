@@ -1,0 +1,155 @@
+"""Property-based tests: random traces through every switch architecture
+must preserve the global invariants of DESIGN.md §6.
+
+Strategy: hypothesis draws a small random trace (N in 2..5, a handful of
+slots, random fanout sets), each switch consumes it, then runs with no
+arrivals until drained. Checked throughout:
+
+* crossbar feasibility (validated inside every step),
+* conservation: offered cells == delivered cells + backlog at all times,
+* per-(input, output) services in FIFO (arrival-order) order,
+* one distinct data payload per input per slot,
+* eventual delivery of every cell (starvation freedom / drain),
+* structure-specific internal invariants via check_invariants().
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packet import Packet
+from repro.schedulers.registry import make_switch
+from repro.traffic.trace import TraceTraffic
+
+ALGOS = (
+    "fifoms",
+    "greedy-mcast",
+    "islip",
+    "pim",
+    "maxweight-lqf",
+    "tatra",
+    "wba",
+    "siq-fifo",
+    "oqfifo",
+    "eslip",
+    "cicq",
+    "2drr",
+    "serena",
+)
+
+
+@st.composite
+def traces(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    horizon = draw(st.integers(min_value=1, max_value=10))
+    packets = []
+    for slot in range(horizon):
+        for i in range(n):
+            if draw(st.booleans()):
+                dests = draw(
+                    st.sets(
+                        st.integers(min_value=0, max_value=n - 1),
+                        min_size=1,
+                        max_size=n,
+                    )
+                )
+                packets.append(
+                    Packet(input_port=i, destinations=tuple(dests), arrival_slot=slot)
+                )
+    return n, horizon, packets
+
+
+def _run_to_drain(algorithm: str, n: int, horizon: int, packets):
+    switch = make_switch(algorithm, n, rng=0)
+    traffic = TraceTraffic(n, packets)
+    offered = sum(p.fanout for p in packets)
+    deliveries = []
+    delivered = 0
+    # Enough slots to drain serially even with worst-case blocking.
+    total_slots = horizon + offered + 4
+    for slot in range(total_slots):
+        arrivals = traffic.next_slot() if slot < horizon else [None] * n
+        result = switch.step(arrivals, slot)
+        deliveries.extend(result.deliveries)
+        delivered += result.cells_delivered
+        # Conservation at every slot boundary.
+        arrived_so_far = sum(
+            p.fanout for p in packets if p.arrival_slot <= slot
+        )
+        assert delivered + switch.total_backlog() == arrived_so_far
+        switch.check_invariants()
+    return switch, deliveries, offered
+
+
+@settings(max_examples=25, deadline=None)
+@given(traces())
+def test_fifoms_invariants(trace):
+    n, horizon, packets = trace
+    switch, deliveries, offered = _run_to_drain("fifoms", n, horizon, packets)
+    assert len(deliveries) == offered  # everything delivered: no starvation
+    assert switch.total_backlog() == 0
+    # FIFO per (input, output) pair.
+    per_pair = defaultdict(list)
+    for d in deliveries:
+        per_pair[(d.packet.input_port, d.output_port)].append(
+            (d.service_slot, d.packet.arrival_slot)
+        )
+    for services in per_pair.values():
+        services.sort()
+        arrivals = [a for _, a in services]
+        assert arrivals == sorted(arrivals)
+    # One distinct packet per input per slot (single data cell rule).
+    per_input_slot = defaultdict(set)
+    for d in deliveries:
+        per_input_slot[(d.packet.input_port, d.service_slot)].add(
+            d.packet.packet_id
+        )
+    assert all(len(v) == 1 for v in per_input_slot.values())
+    # One input per output per slot (crossbar rule).
+    per_output_slot = defaultdict(list)
+    for d in deliveries:
+        per_output_slot[(d.output_port, d.service_slot)].append(d)
+    assert all(len(v) == 1 for v in per_output_slot.values())
+
+
+@settings(max_examples=12, deadline=None)
+@given(traces(), st.sampled_from(ALGOS))
+def test_all_architectures_conserve_and_drain(trace, algorithm):
+    n, horizon, packets = trace
+    switch, deliveries, offered = _run_to_drain(algorithm, n, horizon, packets)
+    assert len(deliveries) == offered
+    assert switch.total_backlog() == 0
+    # No output ever double-booked in a slot.
+    seen = set()
+    for d in deliveries:
+        key = (d.output_port, d.service_slot)
+        assert key not in seen
+        seen.add(key)
+    # Causality: service never precedes arrival.
+    assert all(d.service_slot >= d.packet.arrival_slot for d in deliveries)
+
+
+@settings(max_examples=12, deadline=None)
+@given(traces())
+def test_oqfifo_work_conservation(trace):
+    """OQFIFO serves an output in every slot in which it has backlog."""
+    n, horizon, packets = trace
+    switch = make_switch("oqfifo", n)
+    traffic = TraceTraffic(n, packets)
+    offered = sum(p.fanout for p in packets)
+    for slot in range(horizon + offered + 2):
+        arrivals = traffic.next_slot() if slot < horizon else [None] * n
+        before = switch.queue_sizes()
+        arriving_to = defaultdict(int)
+        for p in arrivals:
+            if p is not None:
+                for j in p.destinations:
+                    arriving_to[j] += 1
+        result = switch.step(arrivals, slot)
+        served_outputs = {d.output_port for d in result.deliveries}
+        for j in range(n):
+            if before[j] > 0 or arriving_to[j] > 0:
+                assert j in served_outputs

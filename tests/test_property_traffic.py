@@ -1,0 +1,114 @@
+"""Property-based tests over the traffic generators.
+
+Hypothesis draws model parameters; the properties assert structural
+well-formedness (valid ports, non-empty fanouts, one packet per input per
+slot) and the exact analytic load/fanout algebra each model advertises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.loads import (
+    bernoulli_effective_load,
+    burst_effective_load,
+    uniform_effective_load,
+)
+from repro.traffic.bernoulli import BernoulliMulticastTraffic
+from repro.traffic.burst import BurstMulticastTraffic
+from repro.traffic.mixed import MixedTraffic
+from repro.traffic.uniform import UniformFanoutTraffic
+
+ports_st = st.integers(min_value=2, max_value=12)
+prob_st = st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+
+
+def _well_formed(model, num_ports: int, slots: int = 20) -> None:
+    for slot in range(slots):
+        lanes = model.next_slot()
+        assert len(lanes) == num_ports
+        for i, pkt in enumerate(lanes):
+            if pkt is None:
+                continue
+            assert pkt.input_port == i
+            assert pkt.arrival_slot == slot
+            assert 1 <= pkt.fanout <= num_ports
+            assert all(0 <= d < num_ports for d in pkt.destinations)
+            assert len(set(pkt.destinations)) == pkt.fanout
+
+
+class TestBernoulliProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(ports_st, prob_st, prob_st, st.integers(min_value=0, max_value=2**30))
+    def test_well_formed_and_load_algebra(self, n, p, b, seed):
+        model = BernoulliMulticastTraffic(n, p=p, b=b, rng=seed)
+        _well_formed(model, n)
+        assert model.effective_load == pytest.approx(
+            bernoulli_effective_load(n, p, b)
+        )
+        assert 1.0 <= model.average_fanout <= n + 1e-9
+
+
+class TestUniformProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(ports_st, prob_st, st.data())
+    def test_well_formed_and_load_algebra(self, n, p, data):
+        mf = data.draw(st.integers(min_value=1, max_value=n))
+        model = UniformFanoutTraffic(n, p=p, max_fanout=mf, rng=0)
+        _well_formed(model, n)
+        assert model.effective_load == pytest.approx(uniform_effective_load(p, mf))
+        for _ in range(20):
+            for pkt in model.next_slot():
+                if pkt is not None:
+                    assert pkt.fanout <= mf
+
+
+class TestBurstProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ports_st,
+        st.floats(min_value=1.0, max_value=100.0),
+        st.floats(min_value=1.0, max_value=100.0),
+        prob_st,
+        st.integers(min_value=0, max_value=2**30),
+    )
+    def test_well_formed_and_load_algebra(self, n, e_off, e_on, b, seed):
+        model = BurstMulticastTraffic(n, e_off=e_off, e_on=e_on, b=b, rng=seed)
+        _well_formed(model, n)
+        assert model.effective_load == pytest.approx(
+            burst_effective_load(n, e_off, e_on, b)
+        )
+        assert 0.0 < model.arrival_rate < 1.0
+
+
+class TestMixedProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(ports_st, prob_st, prob_st, st.floats(min_value=0.05, max_value=0.95))
+    def test_mean_fanout_between_classes(self, n, p, b, frac):
+        model = MixedTraffic(n, p=p, unicast_fraction=frac, b=b, rng=1)
+        _well_formed(model, n, slots=10)
+        # The mixture mean lies between the pure-class means.
+        assert 1.0 <= model.average_fanout <= n
+        assert model.average_fanout >= 1.0 + (1 - frac) * 1e-9
+
+
+class TestCrossModelConsistency:
+    @settings(max_examples=15, deadline=None)
+    @given(ports_st, st.integers(min_value=0, max_value=2**30))
+    def test_measured_load_tracks_analytic(self, n, seed):
+        """Long-run measured cells/slot/input matches effective_load for
+        every model at one sampled parameter point."""
+        models = [
+            BernoulliMulticastTraffic(n, p=0.4, b=0.5, rng=seed),
+            UniformFanoutTraffic(n, p=0.4, max_fanout=max(1, n // 2), rng=seed),
+            BurstMulticastTraffic(n, e_off=6, e_on=4, b=0.5, rng=seed),
+        ]
+        slots = 3000
+        for model in models:
+            for _ in range(slots):
+                model.next_slot()
+            measured = model.cells_generated / (slots * n)
+            assert measured == pytest.approx(model.effective_load, rel=0.25)

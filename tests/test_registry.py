@@ -1,0 +1,65 @@
+"""Unit tests for the scheduler/switch registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schedulers.registry import (
+    available_schedulers,
+    make_switch,
+    register_switch_factory,
+)
+from repro.switch.base import BaseSwitch
+from repro.switch.output_queue import OutputQueuedSwitch
+from repro.switch.single_queue import SingleInputQueueSwitch
+from repro.switch.voq_multicast import MulticastVOQSwitch
+from repro.switch.voq_unicast import UnicastVOQSwitch
+
+
+class TestRegistry:
+    def test_paper_algorithms_present(self):
+        names = available_schedulers()
+        for required in ("fifoms", "tatra", "islip", "oqfifo"):
+            assert required in names
+
+    def test_architecture_pairings(self):
+        assert isinstance(make_switch("fifoms", 4), MulticastVOQSwitch)
+        assert isinstance(make_switch("greedy-mcast", 4), MulticastVOQSwitch)
+        assert isinstance(make_switch("islip", 4), UnicastVOQSwitch)
+        assert isinstance(make_switch("pim", 4), UnicastVOQSwitch)
+        assert isinstance(make_switch("maxweight-lqf", 4), UnicastVOQSwitch)
+        assert isinstance(make_switch("tatra", 4), SingleInputQueueSwitch)
+        assert isinstance(make_switch("wba", 4), SingleInputQueueSwitch)
+        assert isinstance(make_switch("siq-fifo", 4), SingleInputQueueSwitch)
+        assert isinstance(make_switch("oqfifo", 4), OutputQueuedSwitch)
+
+    def test_name_case_insensitive(self):
+        assert isinstance(make_switch("FIFOMS", 4), MulticastVOQSwitch)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown scheduler"):
+            make_switch("nope", 4)
+
+    def test_kwargs_forwarded(self):
+        sw = make_switch("fifoms", 4, max_iterations=2, tie_break="lowest_input")
+        assert sw.scheduler.max_iterations == 2
+
+    def test_custom_registration(self):
+        class Dummy(OutputQueuedSwitch):
+            name = "dummy"
+
+        register_switch_factory("dummy-oq", lambda n, rng=None, **kw: Dummy(n))
+        try:
+            sw = make_switch("dummy-oq", 4)
+            assert isinstance(sw, Dummy)
+            assert isinstance(sw, BaseSwitch)
+        finally:
+            # Keep the global registry clean for other tests.
+            from repro.schedulers import registry
+
+            registry._REGISTRY.pop("dummy-oq", None)
+
+    def test_bad_registration_name(self):
+        with pytest.raises(ConfigurationError):
+            register_switch_factory("", lambda n, **kw: None)

@@ -1,0 +1,94 @@
+"""Tests for replicated runs and confidence intervals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.replication import (
+    ReplicatedMetric,
+    compare,
+    metric_over,
+    run_replicated,
+)
+
+SPEC = {"model": "bernoulli", "p": 0.25, "b": 0.3}
+
+
+@pytest.fixture(scope="module")
+def fifoms_reps():
+    return run_replicated(
+        "fifoms", 8, SPEC, num_slots=2500, replicas=4, base_seed=1, workers=1
+    )
+
+
+class TestRunReplicated:
+    def test_distinct_seeds_distinct_samples(self, fifoms_reps):
+        offered = {s.cells_offered for s in fifoms_reps}
+        assert len(offered) > 1
+
+    def test_replica_count(self, fifoms_reps):
+        assert len(fifoms_reps) == 4
+
+    def test_reproducible(self):
+        a = run_replicated(
+            "oqfifo", 4, SPEC, num_slots=800, replicas=2, base_seed=3, workers=1
+        )
+        b = run_replicated(
+            "oqfifo", 4, SPEC, num_slots=800, replicas=2, base_seed=3, workers=1
+        )
+        assert [s.cells_offered for s in a] == [s.cells_offered for s in b]
+
+    def test_bad_replicas(self):
+        with pytest.raises(ConfigurationError):
+            run_replicated("fifoms", 4, SPEC, num_slots=10, replicas=0)
+
+
+class TestReplicatedMetric:
+    def test_interval_contains_mean(self, fifoms_reps):
+        m = metric_over(fifoms_reps, "output_delay")
+        lo, hi = m.interval
+        assert lo <= m.mean <= hi
+        assert m.half_width > 0
+        assert "±" in str(m)
+
+    def test_single_replica_degenerate(self):
+        m = ReplicatedMetric("x", (2.0,), 0.95)
+        assert m.half_width == 0.0
+        assert m.std == 0.0
+
+    def test_known_values(self):
+        m = ReplicatedMetric("x", (1.0, 2.0, 3.0), 0.95)
+        assert m.mean == pytest.approx(2.0)
+        assert m.std == pytest.approx(1.0)
+        # t(0.975, df=2) = 4.3027; hw = 4.3027 * 1 / sqrt(3)
+        assert m.half_width == pytest.approx(4.3027 / 3**0.5, rel=1e-3)
+
+    def test_nan_rejected(self):
+        class Fake:
+            def metric(self, name):
+                return float("nan")
+
+        with pytest.raises(ConfigurationError):
+            metric_over([Fake()], "output_delay")  # type: ignore[list-item]
+
+
+class TestCompare:
+    def test_fifoms_beats_islip_significantly(self, fifoms_reps):
+        islip = run_replicated(
+            "islip", 8, SPEC, num_slots=2500, replicas=4, base_seed=1, workers=1
+        )
+        t, p = compare(fifoms_reps, islip, "output_delay")
+        assert t < 0  # fifoms smaller
+        assert p < 0.01  # decisively
+
+    def test_self_comparison_insignificant(self, fifoms_reps):
+        other = run_replicated(
+            "fifoms", 8, SPEC, num_slots=2500, replicas=4, base_seed=99, workers=1
+        )
+        _t, p = compare(fifoms_reps, other, "output_delay")
+        assert p > 0.01
+
+    def test_needs_two_replicas(self, fifoms_reps):
+        with pytest.raises(ConfigurationError):
+            compare(fifoms_reps[:1], fifoms_reps[:1], "output_delay")

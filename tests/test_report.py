@@ -1,0 +1,95 @@
+"""Tests for ASCII rendering and CSV/JSON export."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+
+from repro.report.ascii import format_series, format_table, render_ascii_chart
+from repro.report.export import summaries_to_csv, summaries_to_json, write_csv
+
+from test_stats_misc import _summary
+
+
+class TestFormatTable:
+    def test_header_and_rows(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "2.500" in lines[3]
+
+    def test_special_floats(self):
+        text = format_table(["x"], [[float("nan")], [float("inf")], [None]])
+        assert "nan" in text and "inf" in text and "-" in text
+
+    def test_scientific_for_extremes(self):
+        text = format_table(["x"], [[1234567.0], [0.00001]])
+        assert "e+" in text and "e-" in text
+
+
+class TestFormatSeries:
+    def test_panel_layout(self):
+        text = format_series(
+            "load", [0.1, 0.2], {"fifoms": [1.0, 2.0], "islip": [3.0, 4.0]}
+        )
+        lines = text.splitlines()
+        assert lines[0].split() == ["load", "fifoms", "islip"]
+        assert "0.1" in lines[2] and "4.000" in lines[3]
+
+
+class TestAsciiChart:
+    def test_renders_markers(self):
+        chart = render_ascii_chart(
+            [0.1, 0.5, 0.9], {"a": [1.0, 2.0, 8.0], "b": [1.5, 3.0, 20.0]}
+        )
+        assert "*" in chart and "o" in chart
+        assert "a" in chart and "b" in chart
+
+    def test_skips_nonfinite(self):
+        chart = render_ascii_chart(
+            [0.1, 0.5, 0.9], {"a": [1.0, math.inf, 8.0]}
+        )
+        assert "log10" in chart
+
+    def test_all_bad_data(self):
+        assert "no finite data" in render_ascii_chart([0.1, 0.2], {"a": [math.nan] * 2})
+
+
+class TestExport:
+    def test_csv_shape(self):
+        text = summaries_to_csv([_summary(), _summary(algorithm="islip")])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0][0] == "algorithm"
+        assert rows[1][0] == "fifoms"
+        assert rows[2][0] == "islip"
+        assert len(rows) == 3
+
+    def test_csv_nan_blank(self):
+        text = summaries_to_csv([_summary(average_input_delay=float("nan"))])
+        row = list(csv.reader(io.StringIO(text)))[1]
+        header = list(csv.reader(io.StringIO(text)))[0]
+        assert row[header.index("average_input_delay")] == ""
+
+    def test_json_parses(self):
+        data = json.loads(summaries_to_json([_summary(), _summary()]))
+        assert len(data) == 2
+        assert data[0]["algorithm"] == "fifoms"
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", [_summary()])
+        assert path.exists()
+        assert "fifoms" in path.read_text()
+
+    def test_extended_columns(self):
+        s = _summary(extra={"delay_p99": 7.0, "split_ratio": 0.25})
+        text = summaries_to_csv([s])
+        header, row = text.splitlines()[:2]
+        cols = header.split(",")
+        values = row.split(",")
+        assert values[cols.index("delay_p99")] == "7.0"
+        assert values[cols.index("split_ratio")] == "0.25"
+        assert values[cols.index("delay_p50")] == ""  # absent -> blank

@@ -1,0 +1,58 @@
+"""Tests for the numerical saturation-point search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.queueing import siq_saturation_load
+from repro.analysis.saturation import find_saturation
+from repro.errors import ConfigurationError
+
+
+def _unicast(load: float) -> dict:
+    return {"model": "uniform", "p": load, "max_fanout": 1}
+
+
+class TestFindSaturation:
+    def test_siq_wall_near_karol(self):
+        """The search must localize the HOL-blocking wall near the
+        finite-16 Karol value (~0.618)."""
+        result = find_saturation(
+            "siq-fifo", _unicast, lo=0.3, hi=0.95, tol=0.05,
+            num_slots=5_000, seed=3,
+        )
+        assert result.estimate == pytest.approx(
+            siq_saturation_load(16), abs=0.08
+        )
+        assert result.uncertainty <= 0.05 / 2 + 1e-9
+        assert "saturation" in str(result)
+
+    def test_oqfifo_has_no_wall_below_one(self):
+        result = find_saturation(
+            "oqfifo", _unicast, lo=0.3, hi=0.97, tol=0.05,
+            num_slots=5_000, seed=1,
+        )
+        # No wall found inside the bracket: reported at the top.
+        assert result.estimate == pytest.approx(0.97)
+        assert result.uncertainty == 0.0
+
+    def test_bad_bracket_lo_saturated(self):
+        with pytest.raises(ConfigurationError, match="already saturated"):
+            find_saturation(
+                "siq-fifo", _unicast, lo=0.9, hi=0.99, tol=0.05,
+                num_slots=4_000, seed=2,
+            )
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            find_saturation("fifoms", _unicast, lo=0.5, hi=0.4)
+        with pytest.raises(ConfigurationError):
+            find_saturation("fifoms", _unicast, tol=0.0)
+
+    def test_probe_count_is_logarithmic(self):
+        result = find_saturation(
+            "siq-fifo", _unicast, lo=0.3, hi=0.95, tol=0.1,
+            num_slots=3_000, seed=5,
+        )
+        # 2 bracket probes + ceil(log2(0.65/0.1)) ~ 3 bisections.
+        assert result.probes <= 7

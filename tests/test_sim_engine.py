@@ -1,0 +1,142 @@
+"""Tests for SimulationConfig, StabilityMonitor and the engine loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fifoms import FIFOMSScheduler, TieBreak
+from repro.errors import ConfigurationError, SimulationError, UnstableSimulationError
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.stability import StabilityMonitor
+from repro.switch.voq_multicast import MulticastVOQSwitch
+from repro.traffic.bernoulli import BernoulliMulticastTraffic
+from repro.traffic.trace import TraceTraffic
+
+from conftest import make_packet
+
+
+class TestConfig:
+    def test_warmup_slots(self):
+        cfg = SimulationConfig(num_slots=1000, warmup_fraction=0.5)
+        assert cfg.warmup_slots == 500
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_slots": 0},
+            {"warmup_fraction": 1.0},
+            {"warmup_fraction": -0.1},
+            {"max_backlog": 0},
+            {"stability_window": -1},
+            {"stability_growth_windows": 0},
+            {"check_invariants_every": -2},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(**kwargs)
+
+
+class TestStabilityMonitor:
+    def test_ceiling(self):
+        m = StabilityMonitor(max_backlog=100)
+        assert not m.observe(100)
+        assert m.observe(101)
+        assert "ceiling" in m.reason
+
+    def test_growth_streak(self):
+        m = StabilityMonitor(growth_windows=3)
+        for v in (1, 2, 3):
+            assert not m.observe(v)
+        assert m.observe(4)
+        assert "grew" in m.reason
+
+    def test_streak_resets_on_dip(self):
+        m = StabilityMonitor(growth_windows=3)
+        for v in (1, 2, 3, 2, 3, 4):
+            assert not m.observe(v)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StabilityMonitor().observe(-1)
+
+
+def _trace_engine(packets, n=4, slots=10, **cfg_kw):
+    cfg = SimulationConfig(
+        num_slots=slots, warmup_fraction=0.0, stability_window=0, **cfg_kw
+    )
+    switch = MulticastVOQSwitch(n, FIFOMSScheduler(n, tie_break=TieBreak.LOWEST_INPUT))
+    return SimulationEngine(switch, TraceTraffic(n, packets), cfg)
+
+
+class TestEngine:
+    def test_port_mismatch_rejected(self):
+        switch = MulticastVOQSwitch(4, FIFOMSScheduler(4))
+        traffic = BernoulliMulticastTraffic(8, p=0.1, b=0.2)
+        with pytest.raises(SimulationError):
+            SimulationEngine(switch, traffic)
+
+    def test_deterministic_trace_statistics(self):
+        """Exact end-to-end arithmetic on a hand-checkable scenario."""
+        pkts = [
+            make_packet(0, (0, 1), 0),  # served whole at slot 0: delays 1,1
+            make_packet(1, (1,), 0),  # loses output 1, served slot 1: delay 2
+        ]
+        summary = _trace_engine(pkts, slots=4).run()
+        assert summary.cells_offered == 3
+        assert summary.cells_delivered == 3
+        assert summary.average_output_delay == pytest.approx((1 + 1 + 2) / 3)
+        assert summary.average_input_delay == pytest.approx((1 + 2) / 2)
+        assert summary.final_backlog == 0
+        assert not summary.unstable
+
+    def test_conservation_audit_trips_on_corruption(self):
+        # A switch that lies about its backlog must be caught by the
+        # engine's final stats-vs-switch conservation audit.
+        engine = _trace_engine([make_packet(0, (0, 1, 2), 0)], slots=1)
+        engine.switch.total_backlog = lambda: 99  # type: ignore[method-assign]
+        with pytest.raises(SimulationError, match="conservation"):
+            engine.run()
+
+    def test_unstable_flag_and_raise(self):
+        # Offered load ~3.2 cells/output/slot: hopelessly overloaded.
+        traffic = BernoulliMulticastTraffic(8, p=1.0, b=0.9, rng=0)
+        switch = MulticastVOQSwitch(8, FIFOMSScheduler(8, rng=0))
+        cfg = SimulationConfig(
+            num_slots=3000,
+            warmup_fraction=0.0,
+            max_backlog=500,
+            stability_window=50,
+        )
+        summary = SimulationEngine(switch, traffic, cfg).run()
+        assert summary.unstable
+        assert summary.slots_run < 3000  # stopped early
+
+        traffic2 = BernoulliMulticastTraffic(8, p=1.0, b=0.9, rng=0)
+        switch2 = MulticastVOQSwitch(8, FIFOMSScheduler(8, rng=0))
+        cfg2 = SimulationConfig(
+            num_slots=3000,
+            warmup_fraction=0.0,
+            max_backlog=500,
+            stability_window=50,
+            raise_on_unstable=True,
+        )
+        with pytest.raises(UnstableSimulationError):
+            SimulationEngine(switch2, traffic2, cfg2).run()
+
+    def test_invariant_checking_hook_runs(self):
+        calls = []
+        engine = _trace_engine(
+            [make_packet(0, (0,), 0)], slots=6, check_invariants_every=2
+        )
+        original = engine.switch.check_invariants
+        engine.switch.check_invariants = lambda: calls.append(1) or original()
+        engine.run()
+        assert len(calls) == 3
+
+    def test_summary_provenance(self):
+        summary = _trace_engine([make_packet(0, (0,), 0)], slots=2).run()
+        assert summary.traffic["model"] == "TraceTraffic"
+        assert summary.num_ports == 4
+        assert summary.slots_run == 2

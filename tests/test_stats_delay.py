@@ -1,0 +1,111 @@
+"""Unit tests for the delay tracker (paper metric definitions)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.packet import Delivery, Packet
+from repro.stats.delay import DelayTracker
+
+
+def _pkt(dests, arrival):
+    return Packet(0, tuple(dests), arrival)
+
+
+class TestOutputOrientedDelay:
+    def test_average_over_deliveries(self):
+        t = DelayTracker()
+        p = _pkt((0, 1), 0)
+        t.on_arrival(p.packet_id, 0, 2)
+        t.on_delivery(Delivery(p, 0, 0))  # delay 1
+        t.on_delivery(Delivery(p, 1, 2))  # delay 3
+        assert t.average_output_delay == pytest.approx(2.0)
+        assert t.max_delivery_delay == 3
+
+    def test_variance(self):
+        t = DelayTracker()
+        p = _pkt((0, 1), 0)
+        t.on_arrival(p.packet_id, 0, 2)
+        t.on_delivery(Delivery(p, 0, 0))
+        t.on_delivery(Delivery(p, 1, 2))
+        assert t.output_delay_variance == pytest.approx(1.0)
+
+    def test_nan_without_samples(self):
+        assert math.isnan(DelayTracker().average_output_delay)
+
+
+class TestInputOrientedDelay:
+    def test_max_over_destinations(self):
+        """Input-oriented delay = delay of the LAST destination served."""
+        t = DelayTracker()
+        p = _pkt((0, 1, 2), 0)
+        t.on_arrival(p.packet_id, 0, 3)
+        t.on_delivery(Delivery(p, 0, 0))
+        t.on_delivery(Delivery(p, 2, 4))
+        assert t.packet_count == 0  # not complete yet
+        t.on_delivery(Delivery(p, 1, 1))
+        assert t.packet_count == 1
+        assert t.average_input_delay == pytest.approx(5.0)  # slot 4 -> delay 5
+
+    def test_input_ge_output_delay(self):
+        t = DelayTracker()
+        for k in range(5):
+            p = _pkt((0, 1), k)
+            t.on_arrival(p.packet_id, k, 2)
+            t.on_delivery(Delivery(p, 0, k))
+            t.on_delivery(Delivery(p, 1, k + 3))
+        assert t.average_input_delay >= t.average_output_delay
+
+
+class TestWarmupGating:
+    def test_warmup_packets_excluded(self):
+        t = DelayTracker(warmup_slot=10)
+        early = _pkt((0,), 5)
+        late = _pkt((0,), 10)
+        t.on_arrival(early.packet_id, 5, 1)
+        t.on_arrival(late.packet_id, 10, 1)
+        t.on_delivery(Delivery(early, 0, 12))
+        t.on_delivery(Delivery(late, 0, 12))
+        assert t.delivery_count == 1
+        assert t.packet_count == 1
+        assert t.average_output_delay == pytest.approx(3.0)
+        assert t.total_deliveries == 2  # conservation sees everything
+
+
+class TestConsistencyChecks:
+    def test_duplicate_registration(self):
+        t = DelayTracker()
+        t.on_arrival(1, 0, 1)
+        with pytest.raises(SimulationError):
+            t.on_arrival(1, 0, 1)
+
+    def test_unknown_packet_delivery(self):
+        t = DelayTracker()
+        with pytest.raises(SimulationError):
+            t.on_delivery(Delivery(_pkt((0,), 0), 0, 0))
+
+    def test_over_delivery(self):
+        t = DelayTracker()
+        p = _pkt((0,), 0)
+        t.on_arrival(p.packet_id, 0, 1)
+        t.on_delivery(Delivery(p, 0, 0))
+        with pytest.raises(SimulationError):
+            t.on_delivery(Delivery(p, 0, 1))
+
+    def test_causality(self):
+        t = DelayTracker()
+        p = _pkt((0,), 5)
+        t.on_arrival(p.packet_id, 5, 1)
+        with pytest.raises(SimulationError):
+            t.on_delivery(Delivery(p, 0, 3))
+
+    def test_pending_accounting(self):
+        t = DelayTracker()
+        p = _pkt((0, 1, 2), 0)
+        t.on_arrival(p.packet_id, 0, 3)
+        t.on_delivery(Delivery(p, 0, 0))
+        assert t.incomplete_packets == 1
+        assert t.pending_cells() == 2

@@ -1,0 +1,136 @@
+"""Tests for the 2DRR and SERENA unicast schedulers (paper refs [9], [7])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schedulers.base import UnicastVOQView
+from repro.schedulers.serena import SerenaScheduler
+from repro.schedulers.tdrr import TwoDimensionalRoundRobinScheduler
+from repro.sim.runner import run_simulation
+
+
+def _view(occupancy, slot=0) -> UnicastVOQView:
+    occ = np.asarray(occupancy, dtype=np.int64)
+    hol = np.where(occ > 0, 0, -1).astype(np.int64)
+    return UnicastVOQView(occupancy=occ, hol_arrival=hol, current_slot=slot)
+
+
+class Test2DRR:
+    def test_full_matrix_yields_perfect_matching(self):
+        sched = TwoDimensionalRoundRobinScheduler(4)
+        d = sched.schedule(_view(np.ones((4, 4))))
+        assert len(d.grants) == 4
+        d.validate(4, 4)
+
+    def test_first_diagonal_rotates_per_slot(self):
+        sched = TwoDimensionalRoundRobinScheduler(3)
+        # Only requests exist on diagonal 0 ((i, i)) and diagonal 1.
+        occ = np.zeros((3, 3), dtype=np.int64)
+        occ[0, 0] = 1  # diagonal 0
+        occ[0, 1] = 1  # diagonal 1
+        # Slot 0: diagonal 0 first -> (0, 0) matched, (0, 1) loses input 0.
+        d0 = sched.schedule(_view(occ))
+        assert d0.grants[0].output_ports == (0,)
+        # Slot 1: diagonal 1 first -> (0, 1) matched.
+        d1 = sched.schedule(_view(occ))
+        assert d1.grants[0].output_ports == (1,)
+
+    def test_empty(self):
+        sched = TwoDimensionalRoundRobinScheduler(3)
+        d = sched.schedule(_view(np.zeros((3, 3))))
+        assert not d and not d.requests_made
+
+    def test_maximality(self):
+        rng = np.random.default_rng(0)
+        sched = TwoDimensionalRoundRobinScheduler(5)
+        for _ in range(20):
+            occ = (rng.random((5, 5)) < 0.4).astype(np.int64)
+            d = sched.schedule(_view(occ))
+            d.validate(5, 5)
+            ins = set(d.grants)
+            outs = {g.output_ports[0] for g in d.grants.values()}
+            for i in range(5):
+                for j in range(5):
+                    if occ[i, j] and i not in ins and j not in outs:
+                        pytest.fail(f"augmenting edge ({i},{j}) left unmatched")
+
+    def test_sustains_full_uniform_load(self):
+        s = run_simulation(
+            "2drr", 8, {"model": "uniform", "p": 0.9, "max_fanout": 1},
+            num_slots=12_000, seed=4,
+        )
+        assert not s.unstable
+        assert s.delivery_ratio == pytest.approx(1.0, abs=0.02)
+
+    def test_bad_view(self):
+        with pytest.raises(ConfigurationError):
+            TwoDimensionalRoundRobinScheduler(4).schedule(_view(np.zeros((2, 2))))
+
+
+class TestSerena:
+    def test_empty(self):
+        sched = SerenaScheduler(3, rng=0)
+        d = sched.schedule(_view(np.zeros((3, 3))))
+        assert not d
+
+    def test_keeps_heavy_previous_edge(self):
+        """An established heavy flow must keep its matching across slots
+        even when a light arrival proposes a conflicting edge."""
+        sched = SerenaScheduler(2, rng=0)
+        occ0 = np.array([[5, 0], [0, 0]])
+        d0 = sched.schedule(_view(occ0))
+        assert d0.grants[0].output_ports == (0,)
+        # Next slot: input 1 gets one new cell for output 0 (weight 1 vs 4).
+        occ1 = np.array([[4, 0], [1, 0]])
+        d1 = sched.schedule(_view(occ1))
+        assert d1.grants[0].output_ports == (0,)
+        assert 1 not in d1.grants  # the light arrival lost the merge
+
+    def test_adopts_heavier_arrival_edge(self):
+        sched = SerenaScheduler(2, rng=0)
+        occ0 = np.array([[1, 0], [0, 0]])
+        sched.schedule(_view(occ0))
+        # A big burst lands at input 1 for output 0: 9 cells vs 1.
+        occ1 = np.array([[1, 0], [9, 0]])
+        d1 = sched.schedule(_view(occ1))
+        assert d1.grants[1].output_ports == (0,)
+
+    def test_stale_previous_edges_dropped(self):
+        sched = SerenaScheduler(2, rng=0)
+        sched.schedule(_view(np.array([[3, 0], [0, 0]])))
+        # VOQ (0,0) drains to zero: the remembered edge must not grant.
+        d = sched.schedule(_view(np.array([[0, 2], [0, 0]])))
+        assert d.grants[0].output_ports == (1,)
+
+    def test_matchings_always_feasible(self):
+        rng = np.random.default_rng(3)
+        sched = SerenaScheduler(6, rng=1)
+        occ = np.zeros((6, 6), dtype=np.int64)
+        for _ in range(60):
+            occ = np.maximum(occ + rng.integers(-1, 2, size=(6, 6)), 0)
+            d = sched.schedule(_view(occ))
+            d.validate(6, 6)
+            for i, g in d.grants.items():
+                assert occ[i, g.output_ports[0]] > 0
+
+    def test_sustains_high_uniform_load(self):
+        s = run_simulation(
+            "serena", 8, {"model": "uniform", "p": 0.92, "max_fanout": 1},
+            num_slots=12_000, seed=5,
+        )
+        assert not s.unstable
+        assert s.delivery_ratio == pytest.approx(1.0, abs=0.02)
+
+    def test_stabilizes_skewed_load_like_maxweight(self):
+        """SERENA's selling point: MaxWeight-like stability on loads
+        where pointer schedulers wobble."""
+        spec = {
+            "model": "hotspot", "p": 0.5, "max_fanout": 1,
+            "num_hotspots": 2, "hotspot_fraction": 0.3,
+        }
+        s = run_simulation("serena", 8, spec, num_slots=15_000, seed=6)
+        assert not s.unstable
+        assert s.delivery_ratio == pytest.approx(1.0, abs=0.03)

@@ -1,0 +1,110 @@
+"""Tests for trace file I/O."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.packet import Packet
+from repro.traffic.bernoulli import BernoulliMulticastTraffic
+from repro.traffic.trace import record_trace
+from repro.traffic.traceio import load_trace, load_trace_traffic, save_trace
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        model = BernoulliMulticastTraffic(8, p=0.4, b=0.3, rng=3)
+        packets = record_trace(model, 50)
+        path = save_trace(tmp_path / "t.jsonl", 8, packets)
+        num_ports, loaded = load_trace(path)
+        assert num_ports == 8
+        assert len(loaded) == len(packets)
+        for orig, back in zip(
+            sorted(packets, key=lambda p: (p.arrival_slot, p.input_port)), loaded
+        ):
+            assert back.arrival_slot == orig.arrival_slot
+            assert back.input_port == orig.input_port
+            assert back.destinations == orig.destinations
+
+    def test_priority_preserved(self, tmp_path):
+        pkts = [Packet(0, (1,), 0, priority=2)]
+        path = save_trace(tmp_path / "p.jsonl", 4, pkts)
+        _, loaded = load_trace(path)
+        assert loaded[0].priority == 2
+
+    def test_loads_as_traffic_model(self, tmp_path):
+        pkts = [Packet(0, (1, 2), 0), Packet(1, (0,), 1)]
+        path = save_trace(tmp_path / "m.jsonl", 4, pkts)
+        traffic = load_trace_traffic(path)
+        lane0 = traffic.next_slot()
+        assert lane0[0].destinations == (1, 2)
+
+    def test_replay_through_simulation(self, tmp_path):
+        """Simulations driven by a saved trace reproduce exactly."""
+        from repro.sim.config import SimulationConfig
+        from repro.sim.engine import SimulationEngine
+        from repro.switch.output_queue import OutputQueuedSwitch
+
+        model = BernoulliMulticastTraffic(4, p=0.5, b=0.5, rng=7)
+        packets = record_trace(model, 30)
+        path = save_trace(tmp_path / "sim.jsonl", 4, packets)
+
+        def run():
+            cfg = SimulationConfig(
+                num_slots=60, warmup_fraction=0.0, stability_window=0
+            )
+            return SimulationEngine(
+                OutputQueuedSwitch(4), load_trace_traffic(path), cfg
+            ).run()
+
+        a, b = run(), run()
+        assert a.average_output_delay == b.average_output_delay
+        assert a.cells_delivered == b.cells_delivered
+
+
+class TestErrorHandling:
+    def test_missing_header(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"slot": 0, "input": 0, "dests": [1]}\n')
+        with pytest.raises(TrafficError, match="header"):
+            load_trace(p)
+
+    def test_not_json(self, tmp_path):
+        p = tmp_path / "garbage.jsonl"
+        p.write_text("hello world\n")
+        with pytest.raises(TrafficError):
+            load_trace(p)
+
+    def test_bad_record(self, tmp_path):
+        p = tmp_path / "rec.jsonl"
+        p.write_text(
+            json.dumps({"repro-trace": 1, "num_ports": 4, "packets": 1})
+            + '\n{"slot": 0}\n'
+        )
+        with pytest.raises(TrafficError, match=":2"):
+            load_trace(p)
+
+    def test_count_mismatch(self, tmp_path):
+        p = tmp_path / "count.jsonl"
+        p.write_text(
+            json.dumps({"repro-trace": 1, "num_ports": 4, "packets": 5}) + "\n"
+        )
+        with pytest.raises(TrafficError, match="declares"):
+            load_trace(p)
+
+    def test_version_check(self, tmp_path):
+        p = tmp_path / "v.jsonl"
+        p.write_text(json.dumps({"repro-trace": 99, "num_ports": 4}) + "\n")
+        with pytest.raises(TrafficError, match="version"):
+            load_trace(p)
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        p = tmp_path / "blank.jsonl"
+        p.write_text(
+            json.dumps({"repro-trace": 1, "num_ports": 4, "packets": 1})
+            + '\n\n{"slot": 0, "input": 0, "dests": [1]}\n\n'
+        )
+        _, packets = load_trace(p)
+        assert len(packets) == 1

@@ -1,0 +1,85 @@
+"""Unit/statistical tests for Bernoulli multicast traffic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.bernoulli import BernoulliMulticastTraffic
+
+
+class TestValidation:
+    def test_bad_p(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliMulticastTraffic(4, p=1.5, b=0.2)
+
+    def test_zero_b_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliMulticastTraffic(4, p=0.5, b=0.0)
+
+
+class TestGeneration:
+    def test_packet_well_formedness(self):
+        tr = BernoulliMulticastTraffic(8, p=0.9, b=0.3, rng=0)
+        for slot in range(50):
+            for i, pkt in enumerate(tr.next_slot()):
+                if pkt is None:
+                    continue
+                assert pkt.input_port == i
+                assert pkt.arrival_slot == slot
+                assert pkt.fanout >= 1
+                assert all(0 <= d < 8 for d in pkt.destinations)
+
+    def test_p_zero_generates_nothing(self):
+        tr = BernoulliMulticastTraffic(4, p=0.0, b=0.2, rng=0)
+        for _ in range(20):
+            assert all(p is None for p in tr.next_slot())
+
+    def test_p_one_generates_everywhere(self):
+        tr = BernoulliMulticastTraffic(4, p=1.0, b=0.5, rng=0)
+        assert all(p is not None for p in tr.next_slot())
+
+    def test_reproducible_with_seed(self):
+        def collect(seed):
+            tr = BernoulliMulticastTraffic(4, p=0.5, b=0.4, rng=seed)
+            return [
+                (i, p.destinations)
+                for _ in range(30)
+                for i, p in enumerate(tr.next_slot())
+                if p is not None
+            ]
+
+        assert collect(7) == collect(7)
+        assert collect(7) != collect(8)
+
+
+class TestStatistics:
+    def test_arrival_rate_matches_p(self):
+        tr = BernoulliMulticastTraffic(16, p=0.3, b=0.2, rng=1)
+        slots = 4000
+        for _ in range(slots):
+            tr.next_slot()
+        rate = tr.packets_generated / (slots * 16)
+        assert rate == pytest.approx(0.3, rel=0.05)
+
+    def test_mean_fanout_matches_conditional_formula(self):
+        tr = BernoulliMulticastTraffic(16, p=1.0, b=0.2, rng=2)
+        for _ in range(3000):
+            tr.next_slot()
+        measured = tr.cells_generated / tr.packets_generated
+        assert measured == pytest.approx(tr.average_fanout, rel=0.03)
+
+    def test_effective_load_property(self):
+        tr = BernoulliMulticastTraffic(16, p=0.25, b=0.2)
+        expected = 0.25 * 0.2 * 16 / (1 - 0.8**16)
+        assert tr.effective_load == pytest.approx(expected)
+
+    def test_destinations_uniform_across_outputs(self):
+        tr = BernoulliMulticastTraffic(8, p=1.0, b=0.3, rng=3)
+        counts = np.zeros(8)
+        for _ in range(2000):
+            for pkt in tr.next_slot():
+                for d in pkt.destinations:
+                    counts[d] += 1
+        assert counts.std() / counts.mean() < 0.05

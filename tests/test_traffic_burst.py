@@ -1,0 +1,76 @@
+"""Unit/statistical tests for bursty on/off multicast traffic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.burst import BurstMulticastTraffic
+
+
+class TestValidation:
+    def test_sub_slot_periods_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BurstMulticastTraffic(4, e_off=0.5, e_on=16, b=0.5)
+        with pytest.raises(ConfigurationError):
+            BurstMulticastTraffic(4, e_off=16, e_on=0.9, b=0.5)
+
+
+class TestBurstStructure:
+    def test_destinations_constant_within_burst(self):
+        tr = BurstMulticastTraffic(8, e_off=20, e_on=16, b=0.4, rng=0)
+        per_input_runs: dict[int, list[tuple]] = {i: [] for i in range(8)}
+        prev: dict[int, tuple | None] = {i: None for i in range(8)}
+        for _ in range(600):
+            for i, pkt in enumerate(tr.next_slot()):
+                dests = pkt.destinations if pkt else None
+                if dests is not None:
+                    if prev[i] is None:
+                        per_input_runs[i].append(dests)
+                    else:
+                        # Within a continuing burst the set must not change.
+                        assert dests == prev[i]
+                prev[i] = dests
+        # At least one input saw multiple bursts with (likely) different sets.
+        assert sum(len(v) for v in per_input_runs.values()) > 8
+
+    def test_arrival_every_slot_while_on(self):
+        # e_off huge, e_on huge: inputs that start on stay on a while and
+        # must emit every slot.
+        tr = BurstMulticastTraffic(8, e_off=1.0, e_on=10_000, b=0.5, rng=1)
+        first = tr.next_slot()
+        on_inputs = [i for i, p in enumerate(first) if p is not None]
+        assert on_inputs, "with e_on >> e_off some input must start on"
+        for _ in range(30):
+            lane = tr.next_slot()
+            for i in on_inputs:
+                assert lane[i] is not None
+
+    def test_stationary_rate(self):
+        tr = BurstMulticastTraffic(16, e_off=48, e_on=16, b=0.5, rng=2)
+        slots = 6000
+        for _ in range(slots):
+            tr.next_slot()
+        rate = tr.packets_generated / (slots * 16)
+        assert rate == pytest.approx(16 / 64, rel=0.1)
+        assert tr.arrival_rate == pytest.approx(0.25)
+
+    def test_mean_burst_length(self):
+        tr = BurstMulticastTraffic(4, e_off=10, e_on=8, b=0.5, rng=3)
+        lengths = []
+        current = [0] * 4
+        for _ in range(8000):
+            lane = tr.next_slot()
+            for i in range(4):
+                if lane[i] is not None:
+                    current[i] += 1
+                elif current[i]:
+                    lengths.append(current[i])
+                    current[i] = 0
+        assert np.mean(lengths) == pytest.approx(8, rel=0.1)
+
+    def test_effective_load_formula(self):
+        tr = BurstMulticastTraffic(16, e_off=48, e_on=16, b=0.5)
+        fanout = 0.5 * 16 / (1 - 0.5**16)
+        assert tr.effective_load == pytest.approx(0.25 * fanout)

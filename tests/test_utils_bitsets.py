@@ -1,0 +1,51 @@
+"""Unit and property tests for repro.utils.bitsets."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitsets import (
+    bitmask_from_iterable,
+    bitmask_to_tuple,
+    iter_bits,
+    popcount,
+)
+
+
+class TestBitmaskRoundTrip:
+    def test_empty(self):
+        assert bitmask_from_iterable([]) == 0
+        assert bitmask_to_tuple(0) == ()
+
+    def test_simple(self):
+        assert bitmask_from_iterable([0, 2, 5]) == 0b100101
+        assert bitmask_to_tuple(0b100101) == (0, 2, 5)
+
+    def test_duplicates_collapse(self):
+        assert bitmask_from_iterable([1, 1, 1]) == 2
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            bitmask_from_iterable([-1])
+
+    def test_negative_mask_raises(self):
+        with pytest.raises(ValueError):
+            bitmask_to_tuple(-1)
+        with pytest.raises(ValueError):
+            popcount(-2)
+        with pytest.raises(ValueError):
+            list(iter_bits(-3))
+
+    @given(st.sets(st.integers(min_value=0, max_value=128)))
+    def test_round_trip_property(self, bits):
+        mask = bitmask_from_iterable(bits)
+        assert bitmask_to_tuple(mask) == tuple(sorted(bits))
+        assert popcount(mask) == len(bits)
+
+    @given(st.integers(min_value=0, max_value=1 << 80))
+    def test_iter_bits_ascending(self, mask):
+        positions = list(iter_bits(mask))
+        assert positions == sorted(positions)
+        assert bitmask_from_iterable(positions) == mask

@@ -1,0 +1,91 @@
+"""Unit tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    check_index,
+    check_nonneg,
+    check_port_count,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("v", [0.0, 0.5, 1.0])
+    def test_valid(self, v):
+        assert check_probability(v, "p") == v
+
+    @pytest.mark.parametrize("v", [-0.01, 1.01, float("nan")])
+    def test_invalid(self, v):
+        with pytest.raises(ConfigurationError):
+            check_probability(v, "p")
+
+    def test_zero_rejected_when_disallowed(self):
+        with pytest.raises(ConfigurationError):
+            check_probability(0.0, "b", allow_zero=False)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_probability(True, "p")
+
+    def test_non_number_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_probability("0.5", "p")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ConfigurationError, match="myparam"):
+            check_probability(2.0, "myparam")
+
+
+class TestCheckPositive:
+    def test_valid(self):
+        assert check_positive(0.1, "x") == 0.1
+
+    @pytest.mark.parametrize("v", [0.0, -1.0])
+    def test_invalid(self, v):
+        with pytest.raises(ConfigurationError):
+            check_positive(v, "x")
+
+
+class TestCheckNonneg:
+    def test_valid(self):
+        assert check_nonneg(0, "k") == 0
+        assert check_nonneg(7, "k") == 7
+
+    def test_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_nonneg(-1, "k")
+
+    def test_float_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_nonneg(1.5, "k")
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_nonneg(True, "k")
+
+
+class TestCheckPortCount:
+    @pytest.mark.parametrize("v", [1, 16, 4096])
+    def test_valid(self, v):
+        assert check_port_count(v) == v
+
+    @pytest.mark.parametrize("v", [0, -1, 4097, 2.0])
+    def test_invalid(self, v):
+        with pytest.raises(ConfigurationError):
+            check_port_count(v)
+
+
+class TestCheckIndex:
+    def test_valid(self):
+        assert check_index(0, 4, "i") == 0
+        assert check_index(3, 4, "i") == 3
+
+    @pytest.mark.parametrize("v", [-1, 4])
+    def test_out_of_range(self, v):
+        with pytest.raises(ConfigurationError):
+            check_index(v, 4, "i")

@@ -1,0 +1,105 @@
+"""Unit tests for repro.core.voq (VirtualOutputQueue, MulticastVOQInputPort)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cells import AddressCell, DataCell
+from repro.core.preprocess import preprocess_packet
+from repro.core.voq import MulticastVOQInputPort, VirtualOutputQueue
+from repro.errors import SchedulingError
+from repro.packet import Packet
+
+
+def _addr(ts: int, output: int, fanout: int = 1) -> AddressCell:
+    pkt = Packet(0, tuple(range(max(output + 1, fanout))), ts)
+    return AddressCell(timestamp=ts, data_cell=DataCell(pkt), output_port=output)
+
+
+class TestVirtualOutputQueue:
+    def test_fifo_order(self):
+        q = VirtualOutputQueue(1)
+        a, b = _addr(0, 1), _addr(3, 1)
+        q.push(a)
+        q.push(b)
+        assert q.head() is a
+        assert q.pop_head() is a
+        assert q.pop_head() is b
+        assert q.head() is None
+
+    def test_wrong_output_rejected(self):
+        q = VirtualOutputQueue(1)
+        with pytest.raises(SchedulingError):
+            q.push(_addr(0, 0))
+
+    def test_out_of_order_push_rejected(self):
+        q = VirtualOutputQueue(1)
+        q.push(_addr(5, 1))
+        with pytest.raises(SchedulingError):
+            q.push(_addr(4, 1))
+
+    def test_equal_timestamps_allowed(self):
+        # Two packets cannot share a slot at one input, but the guard must
+        # not reject equality (the invariant is non-decreasing).
+        q = VirtualOutputQueue(1)
+        q.push(_addr(5, 1))
+        q.push(_addr(5, 1))
+        assert len(q) == 2
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SchedulingError):
+            VirtualOutputQueue(0).pop_head()
+
+    def test_peak_length(self):
+        q = VirtualOutputQueue(1)
+        q.push(_addr(0, 1))
+        q.push(_addr(1, 1))
+        q.pop_head()
+        assert q.peak_length == 2
+
+
+class TestMulticastVOQInputPort:
+    def test_layout(self):
+        port = MulticastVOQInputPort(0, 4)
+        assert len(port.voqs) == 4
+        assert port.queue_size == 0
+        assert port.is_empty
+
+    def test_hol_queries_after_preprocess(self):
+        port = MulticastVOQInputPort(0, 4)
+        preprocess_packet(port, Packet(0, (1, 3), 2), 2)
+        preprocess_packet(port, Packet(0, (1,), 5), 5)
+        assert port.hol_timestamp(1) == 2
+        assert port.hol_timestamp(3) == 2
+        assert port.hol_timestamp(0) is None
+        assert port.min_hol_timestamp() == 2
+        assert len(port.hol_cells()) == 2
+        assert port.total_address_cells == 3
+        assert port.queue_size == 2  # two live data cells
+
+    def test_min_hol_respects_output_mask(self):
+        port = MulticastVOQInputPort(0, 3)
+        preprocess_packet(port, Packet(0, (0,), 1), 1)
+        preprocess_packet(port, Packet(0, (2,), 4), 4)
+        assert port.min_hol_timestamp([False, True, True]) == 4
+        assert port.min_hol_timestamp([False, True, False]) is None
+
+    def test_invariants_pass_on_consistent_state(self):
+        port = MulticastVOQInputPort(0, 4)
+        preprocess_packet(port, Packet(0, (0, 1, 2), 0), 0)
+        port.check_invariants()
+
+    def test_invariants_catch_counter_drift(self):
+        port = MulticastVOQInputPort(0, 4)
+        cell = preprocess_packet(port, Packet(0, (0, 1), 0), 0)
+        cell.fanout_counter = 5  # corrupt
+        with pytest.raises(SchedulingError):
+            port.check_invariants()
+
+    def test_invariants_catch_dangling_address_cell(self):
+        port = MulticastVOQInputPort(0, 4)
+        cell = preprocess_packet(port, Packet(0, (0,), 0), 0)
+        cell.fanout_counter = 0
+        port.buffer.release(cell)
+        with pytest.raises(SchedulingError):
+            port.check_invariants()
