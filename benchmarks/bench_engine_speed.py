@@ -115,3 +115,37 @@ def test_fast_engine_beats_reference_at_scale(benchmark, report):
         rounds=1, iterations=1,
     )
     assert speedup > 1.5, f"fast engine only {speedup:.2f}x at N=64"
+
+
+def test_reference_fifoms_phase_breakdown(benchmark, report):
+    """Where does the reference engine spend the slot cycle?
+
+    Profiles one run under the benchmark timer and prints the per-phase
+    wall-clock table (traffic_gen / schedule / stats / invariants) next
+    to the slots/s number — the map to read before any optimisation work.
+    """
+    from repro.obs import Telemetry
+    from repro.report import format_phase_table
+
+    n = 16
+    tel_box: list[Telemetry] = []
+
+    def run():
+        tel = Telemetry(profile=True)
+        tel_box.append(tel)
+        return run_simulation(
+            "fifoms", n,
+            {"model": "bernoulli", "p": 0.15, "b": 4.0 / n},
+            num_slots=SLOTS, seed=1, telemetry=tel,
+        )
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert summary.slots_run == SLOTS
+    prof = tel_box[-1].profiler.report(SLOTS)
+    report(
+        "\n"
+        + format_phase_table(
+            prof, title=f"reference fifoms N={n} phase breakdown"
+        )
+    )
+    benchmark.extra_info["schedule_share"] = prof["phases"]["schedule"]["share"]

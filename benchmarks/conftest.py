@@ -5,6 +5,16 @@ callable runs the full (reduced-length) sweep, and the bench then prints
 the same series the paper plots plus PASS/FAIL lines for the paper's
 qualitative claims (see EXPERIMENTS.md).
 
+All narration goes through one :class:`repro.obs.ProgressReporter` per
+print site instead of ad-hoc ``print`` calls, so two command-line flags
+control it uniformly:
+
+* ``--bench-quiet`` — suppress the figure tables and claim lines
+  (pytest already owns ``--quiet``/``-q`` for its own verbosity, hence
+  the prefixed name).
+* ``--progress`` — additionally narrate each sweep with heartbeat lines
+  (grid size before, elapsed wall-clock and slots/second after).
+
 Knobs (environment variables):
 
 * ``REPRO_BENCH_SLOTS`` — slots per sweep point (default 8000; the paper
@@ -17,18 +27,54 @@ Knobs (environment variables):
 from __future__ import annotations
 
 import os
+import sys
+import time
 from collections.abc import Sequence
 
 import pytest
 
 from repro.experiments import check_expectations, get_figure, run_figure
 from repro.experiments.sweep import FigureResult
+from repro.obs import ProgressReporter
 
 FULL = bool(os.environ.get("REPRO_FULL"))
 BENCH_SLOTS = int(
     os.environ.get("REPRO_BENCH_SLOTS", 1_000_000 if FULL else 8_000)
 )
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", 2004))
+
+# Set from the command line in pytest_configure.
+QUIET = False
+PROGRESS = False
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    """Register the benchmark narration flags."""
+    group = parser.getgroup("repro-bench")
+    group.addoption(
+        "--bench-quiet",
+        action="store_true",
+        default=False,
+        help="suppress benchmark figure tables and claim lines",
+    )
+    group.addoption(
+        "--progress",
+        action="store_true",
+        default=False,
+        help="narrate benchmark sweeps with heartbeat lines",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    """Latch the narration flags where helpers can see them."""
+    global QUIET, PROGRESS
+    QUIET = config.getoption("--bench-quiet", default=False)
+    PROGRESS = config.getoption("--progress", default=False)
+
+
+def _reporter(label: str = "") -> ProgressReporter:
+    """A reporter on the *real* stdout (call inside ``capsys.disabled()``)."""
+    return ProgressReporter(stream=sys.stdout, quiet=QUIET, label=label)
 
 
 def sweep_and_report(
@@ -48,22 +94,40 @@ def sweep_and_report(
     """
     spec = get_figure(figure_id)
     sweep_loads = tuple(loads) if (loads is not None and not FULL) else spec.loads
+    points = len(spec.points(num_slots=BENCH_SLOTS, loads=sweep_loads))
+
+    if PROGRESS:
+        with capsys.disabled():
+            _reporter(figure_id).line(
+                f"[progress] {figure_id}: sweeping {points} points x "
+                f"{BENCH_SLOTS} slots"
+            )
 
     result_box: list[FigureResult] = []
 
     def _run() -> None:
+        t0 = time.perf_counter()
         result_box.append(
             run_figure(spec, num_slots=BENCH_SLOTS, seed=BENCH_SEED, loads=sweep_loads)
         )
+        if PROGRESS:
+            elapsed = time.perf_counter() - t0
+            rate = points * BENCH_SLOTS / elapsed if elapsed > 0 else 0.0
+            with capsys.disabled():
+                _reporter(figure_id).line(
+                    f"[progress] {figure_id}: swept in {elapsed:.1f}s "
+                    f"({rate:,.0f} slots/s aggregate)"
+                )
 
     benchmark.pedantic(_run, rounds=1, iterations=1)
     result = result_box[-1]
     expectations = check_expectations(result)
     with capsys.disabled():
-        print()
-        print(result.to_text(charts=True))
+        rep = _reporter()
+        rep.line("")
+        rep.line(result.to_text(charts=True))
         for e in expectations:
-            print(e)
+            rep.line(str(e))
     if expectations:
         passed = sum(e.passed for e in expectations)
         assert passed / len(expectations) >= min_pass_fraction, (
@@ -79,6 +143,6 @@ def report(capsys):
 
     def _p(text: str) -> None:
         with capsys.disabled():
-            print(text)
+            _reporter().line(text)
 
     return _p

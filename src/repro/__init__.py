@@ -76,6 +76,18 @@ from repro.stats import (
     SimulationSummary,
     StatsCollector,
 )
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NoopTracer,
+    PhaseProfiler,
+    ProgressReporter,
+    SlotTracer,
+    Telemetry,
+    aggregate_telemetry,
+)
 from repro.switch.cioq import CIOQSwitch
 from repro.qos import PriorityMulticastVOQSwitch, PriorityTagger
 from repro.frames import (
@@ -139,6 +151,17 @@ __all__ = [
     "StatsCollector",
     "DelayHistogram",
     "MulticastServiceTracker",
+    # observability
+    "Telemetry",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SlotTracer",
+    "NoopTracer",
+    "PhaseProfiler",
+    "ProgressReporter",
+    "aggregate_telemetry",
     # extensions
     "CIOQSwitch",
     "PriorityMulticastVOQSwitch",

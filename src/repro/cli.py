@@ -4,10 +4,16 @@ Subcommands::
 
     repro-sim list                         # algorithms / figures / traffic
     repro-sim run --algorithm fifoms ...   # one simulation, print summary
+    repro-sim profile --algorithm fifoms   # phase-level wall-clock profile
     repro-sim figure --id fig4 ...         # regenerate a paper figure
     repro-sim campaign --out REPORT.md     # several figures -> one report
     repro-sim trace record|run ...         # persist / replay workloads
     repro-sim verify -a fifoms ...         # exhaustive small-state check
+
+``run`` grows observability flags: ``--trace FILE.jsonl`` (one JSON record
+per slot), ``--metrics FILE.json`` (metrics-registry dump), ``--progress``
+(heartbeat with slots/sec and backlog) and ``--extended`` (delay
+percentiles + fanout-splitting stats in the output).
 
 Also runnable as ``python -m repro ...``.
 """
@@ -29,6 +35,18 @@ from repro.stats.summary import SimulationSummary
 __all__ = ["main", "build_parser"]
 
 
+def _add_traffic_args(p: argparse.ArgumentParser) -> None:
+    """Traffic-model options shared by run / profile / trace record."""
+    p.add_argument(
+        "--traffic", "-t", default="bernoulli", choices=sorted(TRAFFIC_MODELS)
+    )
+    p.add_argument("--p", type=float, default=0.2, help="arrival probability")
+    p.add_argument("--b", type=float, default=0.2, help="per-output probability")
+    p.add_argument("--max-fanout", type=int, default=4, help="uniform max fanout")
+    p.add_argument("--e-on", type=float, default=16.0, help="burst mean on period")
+    p.add_argument("--e-off", type=float, default=48.0, help="burst mean off period")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests/docs)."""
     parser = argparse.ArgumentParser(
@@ -45,17 +63,39 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run one simulation")
     run_p.add_argument("--algorithm", "-a", required=True, help="scheduler name")
     run_p.add_argument("--ports", "-n", type=int, default=16, help="switch size N")
-    run_p.add_argument(
-        "--traffic", "-t", default="bernoulli", choices=sorted(TRAFFIC_MODELS)
-    )
-    run_p.add_argument("--p", type=float, default=0.2, help="arrival probability")
-    run_p.add_argument("--b", type=float, default=0.2, help="per-output probability")
-    run_p.add_argument("--max-fanout", type=int, default=4, help="uniform max fanout")
-    run_p.add_argument("--e-on", type=float, default=16.0, help="burst mean on period")
-    run_p.add_argument("--e-off", type=float, default=48.0, help="burst mean off period")
+    _add_traffic_args(run_p)
     run_p.add_argument("--slots", type=int, default=100_000, help="simulated slots")
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--json", action="store_true", help="print JSON, not a table")
+    run_p.add_argument(
+        "--trace", default=None, metavar="FILE.jsonl",
+        help="write one JSON record per slot (arrivals, grants, rounds, backlog)",
+    )
+    run_p.add_argument(
+        "--metrics", default=None, metavar="FILE.json",
+        help="write the metrics-registry dump after the run",
+    )
+    run_p.add_argument(
+        "--progress", action="store_true",
+        help="heartbeat line to stderr every N slots (slots/sec, backlog)",
+    )
+    run_p.add_argument(
+        "--progress-every", type=int, default=None, metavar="N",
+        help="heartbeat period in slots (default: slots/10)",
+    )
+    run_p.add_argument(
+        "--extended", action="store_true",
+        help="collect extended stats (delay p50/p99, split ratio) and print them",
+    )
+
+    prof_p = sub.add_parser(
+        "profile", help="run once with phase profiling and print the breakdown"
+    )
+    prof_p.add_argument("--algorithm", "-a", required=True, help="scheduler name")
+    prof_p.add_argument("--ports", "-n", type=int, default=16, help="switch size N")
+    _add_traffic_args(prof_p)
+    prof_p.add_argument("--slots", type=int, default=20_000, help="simulated slots")
+    prof_p.add_argument("--seed", type=int, default=0)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure / ablation")
     fig_p.add_argument("--id", required=True, help="figure id, e.g. fig4")
@@ -74,14 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     rec_p = tr_sub.add_parser("record", help="record a stochastic model to a file")
     rec_p.add_argument("--out", required=True, help="trace file to write (JSONL)")
     rec_p.add_argument("--ports", "-n", type=int, default=16)
-    rec_p.add_argument(
-        "--traffic", "-t", default="bernoulli", choices=sorted(TRAFFIC_MODELS)
-    )
-    rec_p.add_argument("--p", type=float, default=0.2)
-    rec_p.add_argument("--b", type=float, default=0.2)
-    rec_p.add_argument("--max-fanout", type=int, default=4)
-    rec_p.add_argument("--e-on", type=float, default=16.0)
-    rec_p.add_argument("--e-off", type=float, default=48.0)
+    _add_traffic_args(rec_p)
     rec_p.add_argument("--slots", type=int, default=10_000)
     rec_p.add_argument("--seed", type=int, default=0)
     run_t = tr_sub.add_parser("run", help="run a simulation from a trace file")
@@ -137,7 +170,74 @@ def _print_summary(summary: SimulationSummary) -> None:
         ("avg rounds", round(summary.average_rounds, 3)),
         ("unstable", summary.unstable),
     ]
+    # Extended stats (delay percentiles, fanout splitting) when collected.
+    for key in sorted(summary.extra):
+        rows.append((key, round(summary.extra[key], 3)))
     print(format_table(("metric", "value"), rows))
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    from repro.obs import ProgressReporter, SlotTracer, Telemetry
+
+    tracer = SlotTracer(args.trace) if args.trace else None
+    wants_telemetry = bool(args.trace or args.metrics or args.progress)
+    telemetry = None
+    if wants_telemetry:
+        progress = None
+        if args.progress:
+            every = args.progress_every or max(1, args.slots // 10)
+            progress = ProgressReporter(
+                every=every, total=args.slots, label=args.algorithm
+            )
+        telemetry = Telemetry(tracer=tracer, progress=progress)
+    try:
+        summary = run_simulation(
+            args.algorithm,
+            args.ports,
+            _traffic_spec(args),
+            num_slots=args.slots,
+            seed=args.seed,
+            extended_stats=args.extended,
+            telemetry=telemetry,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.metrics:
+        telemetry.registry.write_json(args.metrics)
+        print(f"wrote {args.metrics}", file=sys.stderr)
+    if args.trace:
+        print(
+            f"wrote {args.trace}: {tracer.records_written} slot records",
+            file=sys.stderr,
+        )
+    if args.json:
+        print(summary.to_json())
+    else:
+        _print_summary(summary)
+    return 0
+
+
+def _profile_command(args: argparse.Namespace) -> int:
+    from repro.obs import Telemetry
+    from repro.report.ascii import format_phase_table
+
+    telemetry = Telemetry(profile=True)
+    summary = run_simulation(
+        args.algorithm,
+        args.ports,
+        _traffic_spec(args),
+        num_slots=args.slots,
+        seed=args.seed,
+        telemetry=telemetry,
+    )
+    report = telemetry.profiler.report(summary.slots_run)
+    print(
+        f"{args.algorithm}: N={args.ports}, {summary.slots_run} slots, "
+        f"{report.get('slots_per_sec', 0):,.0f} slots/s (profiled phases)"
+    )
+    print(format_phase_table(report))
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -152,18 +252,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(f"  {fid}: {FIGURES[fid].title}")
             return 0
         if args.command == "run":
-            summary = run_simulation(
-                args.algorithm,
-                args.ports,
-                _traffic_spec(args),
-                num_slots=args.slots,
-                seed=args.seed,
-            )
-            if args.json:
-                print(summary.to_json())
-            else:
-                _print_summary(summary)
-            return 0
+            return _run_command(args)
+        if args.command == "profile":
+            return _profile_command(args)
         if args.command == "trace":
             return _trace_command(args)
         if args.command == "campaign":

@@ -165,7 +165,7 @@ class FIFOMSScheduler:
                 break
 
             # ---------------- grant step ---------------- #
-            new_match = False
+            new_matches = 0
             for j in range(n):
                 reqs = requests[j]
                 if not output_free[j] or not reqs:
@@ -176,10 +176,11 @@ class FIFOMSScheduler:
                 output_free[j] = False
                 input_free[winner] = False
                 granted_outputs[winner].append(j)
-                new_match = True
-            if not new_match:
+                new_matches += 1
+            if not new_matches:
                 break
             rounds += 1
+            decision.round_grants.append(new_matches)
             # Fanout splitting happens implicitly: a matched input never
             # requests again this slot, so the outputs it did NOT win stay
             # pending in their VOQs and are served in later slots.
@@ -232,6 +233,8 @@ class FIFOMSScheduler:
                 decision.add(i, tuple(pending))
                 matched += 1
         decision.rounds = 1 if matched else 0
+        if matched:
+            decision.round_grants.append(matched)
         return decision
 
     # ------------------------------------------------------------------ #

@@ -49,11 +49,17 @@ class ScheduleDecision:
     requests_made:
         True when at least one request was issued this slot; slots with no
         requests are excluded from the convergence-rounds average.
+    round_grants:
+        New input/output matches made in each productive round, in round
+        order (telemetry; see ``repro.schedulers.base.note_round``). Its
+        length equals ``rounds`` for schedulers that record it, and it is
+        empty for schedulers that don't.
     """
 
     grants: dict[int, GrantSet] = field(default_factory=dict)
     rounds: int = 0
     requests_made: bool = False
+    round_grants: list[int] = field(default_factory=list)
 
     def add(self, input_port: int, output_ports: tuple[int, ...]) -> None:
         """Record one input's grant set (each input at most once)."""

@@ -41,6 +41,10 @@ class SweepPoint:
     num_slots: int
     seed: int
     switch_kwargs: dict[str, Any] = field(default_factory=dict)
+    #: Collect a metrics+profile telemetry snapshot in the worker; it
+    #: returns inside ``SimulationSummary.telemetry`` and the parent
+    #: aggregates snapshots with ``repro.obs.aggregate_telemetry``.
+    collect_telemetry: bool = False
 
 
 @dataclass(frozen=True, slots=True)

@@ -14,7 +14,7 @@ import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigurationError
 from repro.experiments.figures import ALGO_ALIASES
@@ -35,6 +35,7 @@ def run_sweep_point(point: SweepPoint) -> SimulationSummary:
         point.traffic_spec,
         num_slots=point.num_slots,
         seed=point.seed,
+        collect_telemetry=point.collect_telemetry,
         **point.switch_kwargs,
     )
     if point.algorithm != base_algorithm:
@@ -119,18 +120,24 @@ def run_figure(
     loads: Sequence[float] | None = None,
     algorithms: Sequence[str] | None = None,
     workers: int | None = None,
+    collect_telemetry: bool = False,
 ) -> FigureResult:
     """Run a figure sweep and collect the results.
 
     ``workers=None`` chooses serial execution for small grids and a
     process pool sized to the CPU count for larger ones; pass ``workers=1``
     to force serial (e.g. inside tests) or an explicit count.
+    ``collect_telemetry`` makes every worker return a metrics+profile
+    snapshot in its summary (aggregate across points with
+    ``repro.obs.aggregate_telemetry``).
     """
     points = spec.points(
         num_slots=num_slots, seed=seed, loads=loads, algorithms=algorithms
     )
     if not points:
         raise ConfigurationError("empty sweep grid")
+    if collect_telemetry:
+        points = [replace(p, collect_telemetry=True) for p in points]
     if workers is None:
         workers = min(os.cpu_count() or 1, len(points)) if len(points) > 4 else 1
     if workers > 1:

@@ -1,0 +1,47 @@
+"""repro.obs — observability for the simulator.
+
+Three independent concerns behind one :class:`Telemetry` bundle:
+
+* :mod:`repro.obs.metrics` — Counter/Gauge/Histogram primitives and the
+  labeled :class:`MetricsRegistry` (JSON export, cross-process merge).
+* :mod:`repro.obs.tracer` — per-slot JSONL event tracing with a
+  zero-cost :class:`NoopTracer` disabled path.
+* :mod:`repro.obs.profiler` — phase-level wall-clock attribution
+  (traffic_gen / schedule / stats / invariants).
+
+Plus :class:`ProgressReporter`, the heartbeat printer shared by the CLI's
+``--progress`` flag and the benchmarks.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_global_registry,
+    reset_global_registry,
+)
+from repro.obs.profiler import NOOP_PROFILER, PHASES, NoopProfiler, PhaseProfiler
+from repro.obs.progress import ProgressReporter
+from repro.obs.telemetry import Telemetry, aggregate_telemetry
+from repro.obs.tracer import NOOP_TRACER, NoopTracer, SlotTracer, build_slot_record
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_global_registry",
+    "reset_global_registry",
+    "PHASES",
+    "PhaseProfiler",
+    "NoopProfiler",
+    "NOOP_PROFILER",
+    "ProgressReporter",
+    "SlotTracer",
+    "NoopTracer",
+    "NOOP_TRACER",
+    "build_slot_record",
+    "Telemetry",
+    "aggregate_telemetry",
+]

@@ -1,0 +1,259 @@
+"""Metric primitives and the process-wide registry.
+
+Components that want to be observable ask a :class:`MetricsRegistry` for a
+:class:`Counter`, :class:`Gauge` or :class:`Histogram` by name (plus
+optional labels) and get the same series object back on every call — lazy
+registration, so instrumented code never has to know whether anything is
+listening. Registries serialize to plain dicts (``to_dict``/``to_json``)
+and merge associatively, which is how sweep workers running in separate
+processes contribute to one aggregate: each worker ships its registry as a
+dict inside the :class:`~repro.stats.summary.SimulationSummary` and the
+parent folds them together with :meth:`MetricsRegistry.merge_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as _TallyCounter
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_global_registry",
+    "reset_global_registry",
+]
+
+
+class Counter:
+    """Monotonically increasing count (events, cells, slots)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (>= 0) to the count."""
+        if amount < 0:
+            raise ConfigurationError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def _merge(self, payload: dict[str, object]) -> None:
+        self.value += payload.get("value", 0)  # type: ignore[operator]
+
+    def _payload(self) -> dict[str, object]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-observed value plus the peak ever set (backlog, occupancy)."""
+
+    __slots__ = ("value", "max")
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+        self.max: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value (and track the peak)."""
+        self.value = value
+        if value > self.max:
+            self.max = value
+
+    def _merge(self, payload: dict[str, object]) -> None:
+        # Across processes "last value" is arbitrary; the peak is what
+        # aggregates meaningfully, so merge keeps the max of both and the
+        # larger of the two last values.
+        other_max = float(payload.get("max", 0.0))  # type: ignore[arg-type]
+        other_val = float(payload.get("value", 0.0))  # type: ignore[arg-type]
+        if other_max > self.max:
+            self.max = other_max
+        if other_val > self.value:
+            self.value = other_val
+
+    def _payload(self) -> dict[str, object]:
+        return {"value": self.value, "max": self.max}
+
+
+class Histogram:
+    """Exact value histogram (integer-ish observations, e.g. rounds/slot).
+
+    Stores one bucket per distinct observed value — fine for the bounded
+    discrete quantities the simulator emits (scheduler rounds are <= N,
+    backlogs are sampled). Percentiles are exact, and two histograms merge
+    by adding bucket counts.
+    """
+
+    __slots__ = ("_buckets", "sum")
+
+    def __init__(self) -> None:
+        self._buckets: _TallyCounter[float] = _TallyCounter()
+        self.sum: float = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._buckets[value] += 1
+        self.sum += value
+
+    @property
+    def count(self) -> int:
+        return sum(self._buckets.values())
+
+    @property
+    def min(self) -> float | None:
+        return min(self._buckets) if self._buckets else None
+
+    @property
+    def max(self) -> float | None:
+        return max(self._buckets) if self._buckets else None
+
+    @property
+    def mean(self) -> float:
+        n = self.count
+        return self.sum / n if n else float("nan")
+
+    def percentile(self, p: float) -> float:
+        """Exact p-th percentile (nearest-rank) of all observations."""
+        if not 0 <= p <= 100:
+            raise ConfigurationError(f"percentile must be in [0, 100], got {p}")
+        n = self.count
+        if n == 0:
+            return float("nan")
+        rank = max(1, round(p / 100 * n))
+        seen = 0
+        for value in sorted(self._buckets):
+            seen += self._buckets[value]
+            if seen >= rank:
+                return value
+        return max(self._buckets)  # pragma: no cover - defensive
+
+    def _merge(self, payload: dict[str, object]) -> None:
+        for value, count in payload.get("buckets", []):  # type: ignore[union-attr]
+            self._buckets[value] += count
+        self.sum += payload.get("sum", 0.0)  # type: ignore[operator]
+
+    def _payload(self) -> dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": sorted([v, c] for v, c in self._buckets.items()),
+        }
+
+
+_METRIC_TYPES: dict[str, type] = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": Histogram,
+}
+_TYPE_NAMES = {cls: name for name, cls in _METRIC_TYPES.items()}
+
+
+class MetricsRegistry:
+    """Named, labeled metric series with lazy creation and dict round-trip."""
+
+    __slots__ = ("_series",)
+
+    def __init__(self) -> None:
+        # key = (name, sorted label tuple) -> metric object
+        self._series: dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # Lazy registration
+    # ------------------------------------------------------------------ #
+    def _get(self, cls: type, name: str, labels: dict[str, object]):
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        metric = self._series.get(key)
+        if metric is None:
+            metric = cls()
+            self._series[key] = metric
+        elif type(metric) is not cls:
+            raise ConfigurationError(
+                f"metric {name!r}{dict(key[1])} already registered as "
+                f"{_TYPE_NAMES[type(metric)]}, requested {_TYPE_NAMES[cls]}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """Get-or-create the counter ``name`` with these labels."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """Get-or-create the gauge ``name`` with these labels."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        """Get-or-create the histogram ``name`` with these labels."""
+        return self._get(Histogram, name, labels)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / export
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def series_names(self) -> list[str]:
+        """Sorted distinct metric names (ignoring labels)."""
+        return sorted({name for name, _ in self._series})
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form: a list of series records, stably ordered."""
+        records = []
+        for (name, labels), metric in sorted(
+            self._series.items(), key=lambda kv: kv[0]
+        ):
+            record: dict[str, object] = {
+                "name": name,
+                "type": _TYPE_NAMES[type(metric)],
+                "labels": dict(labels),
+            }
+            record.update(metric._payload())  # type: ignore[attr-defined]
+            records.append(record)
+        return {"metrics": records}
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write_json(self, path: str | Path) -> Path:
+        """Write the registry as JSON to ``path`` and return it."""
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    def merge_dict(self, payload: dict[str, object]) -> None:
+        """Fold a ``to_dict()`` payload (e.g. from a worker process) in."""
+        for record in payload.get("metrics", []):  # type: ignore[union-attr]
+            cls = _METRIC_TYPES.get(record.get("type"))  # type: ignore[arg-type]
+            if cls is None:
+                raise ConfigurationError(
+                    f"unknown metric type {record.get('type')!r} in payload"
+                )
+            metric = self._get(cls, record["name"], record.get("labels", {}))
+            metric._merge(record)  # type: ignore[attr-defined]
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another live registry into this one."""
+        self.merge_dict(other.to_dict())
+
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_global_registry() -> MetricsRegistry:
+    """The process-wide default registry (one per interpreter)."""
+    return _GLOBAL_REGISTRY
+
+
+def reset_global_registry() -> MetricsRegistry:
+    """Replace the process-wide registry with a fresh one (tests)."""
+    global _GLOBAL_REGISTRY
+    _GLOBAL_REGISTRY = MetricsRegistry()
+    return _GLOBAL_REGISTRY

@@ -1,0 +1,90 @@
+"""Heartbeat progress reporting for long runs.
+
+One throttled reporter serves both the engine's ``--progress`` heartbeat
+(slots/sec and backlog every N slots) and the benchmarks' narration lines,
+replacing ad-hoc ``print`` calls with a single quiet-able sink.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO
+
+__all__ = ["ProgressReporter"]
+
+
+class ProgressReporter:
+    """Prints heartbeat lines to a stream, honouring a quiet switch.
+
+    Parameters
+    ----------
+    every:
+        Emit a heartbeat at most once per ``every`` slots (engine use).
+    total:
+        Expected slot count, for the percentage column (optional).
+    stream:
+        Output stream; defaults to stderr so heartbeats never pollute
+        JSON/CSV written to stdout.
+    quiet:
+        Swallow all output (lets callers keep one unconditional code path).
+    label:
+        Prefix identifying the run (e.g. the algorithm name).
+    """
+
+    __slots__ = ("every", "total", "stream", "quiet", "label", "_t0", "_last_emit")
+
+    def __init__(
+        self,
+        *,
+        every: int = 1_000,
+        total: int | None = None,
+        stream: IO[str] | None = None,
+        quiet: bool = False,
+        label: str = "",
+    ) -> None:
+        self.every = max(1, every)
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.quiet = quiet
+        self.label = label
+        self._t0: float | None = None
+        self._last_emit = 0
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Start (or restart) the rate clock; called at loop entry."""
+        self._t0 = time.perf_counter()
+
+    def line(self, text: str) -> None:
+        """Print one raw narration line (benchmarks, phase notes)."""
+        if not self.quiet:
+            print(text, file=self.stream)
+
+    def emit(self, slots_done: int, backlog: int | None = None) -> None:
+        """Print one heartbeat: slot position, slots/sec and backlog."""
+        if self.quiet:
+            return
+        now = time.perf_counter()
+        if self._t0 is None:
+            self._t0 = now
+        elapsed = now - self._t0
+        rate = slots_done / elapsed if elapsed > 0 else float("inf")
+        parts = [f"[progress]{' ' + self.label if self.label else ''}"]
+        if self.total:
+            parts.append(
+                f"slot {slots_done}/{self.total} "
+                f"({100 * slots_done / self.total:.1f}%)"
+            )
+        else:
+            parts.append(f"slot {slots_done}")
+        parts.append(f"{rate:,.0f} slots/s")
+        if backlog is not None:
+            parts.append(f"backlog={backlog}")
+        print(" ".join(parts), file=self.stream)
+        self._last_emit = slots_done
+
+    def finish(self, slots_done: int, backlog: int | None = None) -> None:
+        """Final heartbeat (skipped if one just fired for this slot)."""
+        if slots_done != self._last_emit:
+            self.emit(slots_done, backlog)

@@ -1,0 +1,88 @@
+"""The telemetry bundle handed to the simulation engine.
+
+A :class:`Telemetry` object groups the three observability concerns —
+metrics registry, slot tracer, phase profiler — plus an optional progress
+reporter. The engine takes ``telemetry=None`` by default and runs its
+original uninstrumented loop; passing any Telemetry switches it to the
+instrumented loop. Each component individually degrades to a null object,
+so ``Telemetry(profile=True)`` profiles without tracing and vice versa.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import NOOP_PROFILER, NoopProfiler, PhaseProfiler
+from repro.obs.progress import ProgressReporter
+from repro.obs.tracer import NOOP_TRACER, NoopTracer, SlotTracer
+
+__all__ = ["Telemetry", "aggregate_telemetry"]
+
+
+class Telemetry:
+    """Everything the engine needs to observe one run.
+
+    Parameters
+    ----------
+    registry:
+        Metrics registry to record counters into (fresh one by default).
+    tracer:
+        A :class:`~repro.obs.tracer.SlotTracer` for per-slot JSONL records
+        (default: the no-op tracer).
+    profile:
+        Collect the phase-level wall-clock breakdown.
+    progress:
+        A :class:`~repro.obs.progress.ProgressReporter` for heartbeat
+        lines (default: none).
+    """
+
+    __slots__ = ("registry", "tracer", "profiler", "progress")
+
+    def __init__(
+        self,
+        *,
+        registry: MetricsRegistry | None = None,
+        tracer: SlotTracer | NoopTracer | None = None,
+        profile: bool = False,
+        progress: ProgressReporter | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self.profiler: PhaseProfiler | NoopProfiler = (
+            PhaseProfiler() if profile else NOOP_PROFILER
+        )
+        self.progress = progress
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self, *, slots: int | None = None) -> dict[str, object]:
+        """Serializable snapshot: metrics plus (when profiled) the phase
+        breakdown. This is what lands in ``SimulationSummary.telemetry``
+        and crosses process boundaries."""
+        out: dict[str, object] = {"metrics": self.registry.to_dict()}
+        if self.profiler.enabled:
+            out["profile"] = self.profiler.report(slots)
+        return out
+
+    def flush(self) -> None:
+        """Flush the tracer's stream (end-of-run hook; close stays with
+        whoever opened the sink)."""
+        self.tracer.flush()
+
+    def close(self) -> None:
+        """Close the tracer (for bundles that own their trace file)."""
+        self.tracer.close()
+
+
+def aggregate_telemetry(summaries) -> MetricsRegistry:
+    """Merge the telemetry sections of many summaries into one registry.
+
+    Sweep workers run in separate processes and each returns its own
+    registry snapshot inside ``SimulationSummary.telemetry``; this folds
+    them associatively (counters add, gauges keep peaks, histograms sum
+    buckets). Summaries without a telemetry section are skipped.
+    """
+    registry = MetricsRegistry()
+    for summary in summaries:
+        section = getattr(summary, "telemetry", None)
+        if section and "metrics" in section:
+            registry.merge_dict(section["metrics"])
+    return registry

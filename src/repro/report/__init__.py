@@ -1,12 +1,18 @@
 """Result presentation: terminal tables/series and CSV/JSON export."""
 
-from repro.report.ascii import format_series, format_table, render_ascii_chart
+from repro.report.ascii import (
+    format_phase_table,
+    format_series,
+    format_table,
+    render_ascii_chart,
+)
 from repro.report.heatmap import render_heatmap
 from repro.report.export import summaries_to_csv, summaries_to_json, write_csv, write_json
 
 __all__ = [
     "format_table",
     "format_series",
+    "format_phase_table",
     "render_ascii_chart",
     "render_heatmap",
     "summaries_to_csv",

@@ -11,7 +11,12 @@ from __future__ import annotations
 import math
 from collections.abc import Mapping, Sequence
 
-__all__ = ["format_table", "format_series", "render_ascii_chart"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_phase_table",
+    "render_ascii_chart",
+]
 
 
 def _fmt(value: object, width: int) -> str:
@@ -61,6 +66,40 @@ def format_series(
     rows = []
     for k, x in enumerate(x_values):
         rows.append([round(float(x), 4), *(vals[k] for vals in series.values())])
+    return format_table(headers, rows, title=title)
+
+
+def format_phase_table(report: Mapping[str, object], *, title: str | None = None) -> str:
+    """Render a phase profiler report (``PhaseProfiler.report``) as a table.
+
+    Columns: phase, total milliseconds, share of profiled time, and (when
+    the report includes a slot count) microseconds per slot.
+    """
+    phases: Mapping[str, Mapping[str, float]] = report.get("phases", {})  # type: ignore[assignment]
+    with_per_slot = any("per_slot_us" in entry for entry in phases.values())
+    headers = ["phase", "total ms", "share"]
+    if with_per_slot:
+        headers.append("us/slot")
+    rows: list[list[object]] = []
+    for phase, entry in phases.items():
+        row: list[object] = [
+            phase,
+            round(float(entry["total_ms"]), 3),
+            f"{100 * float(entry['share']):.1f}%",
+        ]
+        if with_per_slot:
+            row.append(round(float(entry.get("per_slot_us", 0.0)), 3))
+        rows.append(row)
+    total_row: list[object] = [
+        "total", round(float(report.get("total_ms", 0.0)), 3), "100.0%"
+    ]
+    if with_per_slot:
+        slots = report.get("slots") or 0
+        per_slot = (
+            float(report.get("total_ms", 0.0)) * 1e3 / slots if slots else 0.0
+        )
+        total_row.append(round(per_slot, 3))
+    rows.append(total_row)
     return format_table(headers, rows, title=title)
 
 

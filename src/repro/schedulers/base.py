@@ -14,7 +14,21 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["UnicastVOQView", "SIQHolCell"]
+from repro.core.matching import ScheduleDecision
+
+__all__ = ["UnicastVOQView", "SIQHolCell", "note_round"]
+
+
+def note_round(decision: ScheduleDecision, new_matches: int) -> None:
+    """Record one scheduling round's new-match count on the decision.
+
+    Iterative schedulers (FIFOMS, iSLIP) call this once per productive
+    round; the switch forwards the counts on ``SlotResult.round_grants``
+    and the telemetry tracer emits them per slot, which is how the
+    convergence behaviour behind the paper's Fig. 5 becomes visible in a
+    single run's trace instead of only as a sweep-level average.
+    """
+    decision.round_grants.append(new_matches)
 
 
 @dataclass(slots=True)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from repro.core.matching import ScheduleDecision
 from repro.errors import ConfigurationError
-from repro.schedulers.base import UnicastVOQView
+from repro.schedulers.base import UnicastVOQView, note_round
 
 __all__ = ["ISLIPScheduler"]
 
@@ -93,7 +93,7 @@ class ISLIPScheduler:
             else:
                 break
             # ---- accept: round-robin from the accept pointer ----
-            new_match = False
+            new_matches = 0
             for i in range(n):
                 grants = grants_to_input[i]
                 if not grants:
@@ -103,14 +103,15 @@ class ISLIPScheduler:
                 input_matched[i] = True
                 output_matched[j] = True
                 match_of_input[i] = j
-                new_match = True
+                new_matches += 1
                 if iteration == 1:
                     # Pointer updates happen only on first-iteration accepts.
                     self.grant_pointers[j] = (i + 1) % n
                     self.accept_pointers[i] = (j + 1) % n
-            if not new_match:
+            if not new_matches:
                 break
             rounds += 1
+            note_round(decision, new_matches)
 
         for i, j in enumerate(match_of_input):
             if j is not None:

@@ -5,11 +5,24 @@ This engine drives any :class:`~repro.switch.base.BaseSwitch` with any
 :class:`~repro.stats.summary.SimulationSummary`. It is deliberately dumb —
 all behaviour lives in the switch/scheduler/traffic objects — so that one
 loop serves every algorithm and every experiment identically.
+
+Observability: the engine optionally takes a
+:class:`~repro.obs.telemetry.Telemetry` bundle. With ``telemetry=None``
+(the default) the original uninstrumented loop runs and *no* telemetry
+code is touched — a guard test pins that. With telemetry, an instrumented
+twin of the loop updates the metrics registry every slot, emits one JSONL
+trace record per slot when tracing is enabled, attributes wall-clock to
+the four phases when profiling is enabled, and prints heartbeat lines
+through the progress reporter.
 """
 
 from __future__ import annotations
 
+import time
+
 from repro.errors import SimulationError, UnstableSimulationError
+from repro.obs.telemetry import Telemetry
+from repro.obs.tracer import build_slot_record
 from repro.sim.config import SimulationConfig
 from repro.sim.stability import StabilityMonitor
 from repro.stats.collector import StatsCollector
@@ -31,6 +44,7 @@ class SimulationEngine:
         *,
         seed: int | None = None,
         algorithm_name: str | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if switch.num_ports != traffic.num_ports:
             raise SimulationError(
@@ -42,6 +56,7 @@ class SimulationEngine:
         self.config = config or SimulationConfig()
         self.seed = seed
         self.algorithm_name = algorithm_name or getattr(switch, "name", "unknown")
+        self.telemetry = telemetry
         self.collector = StatsCollector(
             switch.num_ports,
             self.config.warmup_slots,
@@ -56,13 +71,36 @@ class SimulationEngine:
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationSummary:
         """Execute the configured number of slots (or stop at instability)."""
+        if self.telemetry is None:
+            unstable = self._run_plain()
+        else:
+            unstable = self._run_instrumented()
+
+        # Final conservation audit: everything offered is either delivered
+        # or still buffered; the stats and the switch must agree.
+        backlog = self.switch.total_backlog()
+        pending = self.collector.delay.pending_cells()
+        if pending != backlog:
+            raise SimulationError(
+                f"conservation violated: stats see {pending} pending cells, "
+                f"switch reports backlog {backlog}"
+            )
+        if unstable and self.config.raise_on_unstable:
+            raise UnstableSimulationError(
+                f"{self.algorithm_name}: {self.monitor.reason} "
+                f"after {self.slots_run} slots"
+            )
+        return self._summarize(unstable)
+
+    # ------------------------------------------------------------------ #
+    def _run_plain(self) -> bool:
+        """The hot loop — no telemetry, no timing, no extra calls."""
         cfg = self.config
         switch = self.switch
         traffic = self.traffic
         collector = self.collector
         window = cfg.stability_window
         check_every = cfg.check_invariants_every
-        unstable = False
 
         for slot in range(cfg.num_slots):
             arrivals = traffic.next_slot()
@@ -73,24 +111,109 @@ class SimulationEngine:
                 switch.check_invariants()
             if window and (slot + 1) % window == 0:
                 if self.monitor.observe(switch.total_backlog()):
-                    unstable = True
-                    break
+                    return True
+        return False
 
-        # Final conservation audit: everything offered is either delivered
-        # or still buffered; the stats and the switch must agree.
-        backlog = switch.total_backlog()
-        pending = collector.delay.pending_cells()
-        if pending != backlog:
-            raise SimulationError(
-                f"conservation violated: stats see {pending} pending cells, "
-                f"switch reports backlog {backlog}"
-            )
-        if unstable and cfg.raise_on_unstable:
-            raise UnstableSimulationError(
-                f"{self.algorithm_name}: {self.monitor.reason} "
-                f"after {self.slots_run} slots"
-            )
-        return self._summarize(unstable)
+    # ------------------------------------------------------------------ #
+    def _run_instrumented(self) -> bool:
+        """Telemetry twin of :meth:`_run_plain`.
+
+        Kept as a separate loop (rather than conditionals inside the hot
+        loop) so the uninstrumented path pays exactly one ``is None``
+        check per run, not per slot.
+        """
+        cfg = self.config
+        switch = self.switch
+        traffic = self.traffic
+        collector = self.collector
+        window = cfg.stability_window
+        check_every = cfg.check_invariants_every
+        unstable = False
+
+        tel = self.telemetry
+        assert tel is not None
+        tracer = tel.tracer
+        trace_on = tracer.enabled
+        profiler = tel.profiler
+        prof_on = profiler.enabled
+        progress = tel.progress
+        heartbeat_every = progress.every if progress is not None else 0
+        if progress is not None:
+            progress.start()
+
+        labels = {"algorithm": self.algorithm_name}
+        registry = tel.registry
+        c_slots = registry.counter("sim.slots", **labels)
+        c_packets = registry.counter("sim.packets_offered", **labels)
+        c_offered = registry.counter("sim.cells_offered", **labels)
+        c_delivered = registry.counter("sim.cells_delivered", **labels)
+        c_splits = registry.counter("sim.fanout_splits", **labels)
+        c_reclaimed = registry.counter("sim.buffer_reclamations", **labels)
+        g_backlog = registry.gauge("sim.backlog", **labels)
+        h_rounds = registry.histogram("sim.rounds_per_slot", **labels)
+
+        perf = time.perf_counter_ns
+        ns_traffic = ns_schedule = ns_stats = ns_checks = 0
+
+        for slot in range(cfg.num_slots):
+            if prof_on:
+                t0 = perf()
+                arrivals = traffic.next_slot()
+                t1 = perf()
+                result = switch.step(arrivals, slot)
+                t2 = perf()
+                collector.on_slot(slot, arrivals, result, switch.queue_sizes())
+                t3 = perf()
+                ns_traffic += t1 - t0
+                ns_schedule += t2 - t1
+                ns_stats += t3 - t2
+            else:
+                arrivals = traffic.next_slot()
+                result = switch.step(arrivals, slot)
+                collector.on_slot(slot, arrivals, result, switch.queue_sizes())
+            self.slots_run = slot + 1
+
+            packets = cells = 0
+            for pkt in arrivals:
+                if pkt is not None:
+                    packets += 1
+                    cells += pkt.fanout
+            backlog = switch.total_backlog()
+            c_slots.inc()
+            c_packets.inc(packets)
+            c_offered.inc(cells)
+            c_delivered.inc(result.cells_delivered)
+            c_splits.inc(result.splits)
+            c_reclaimed.inc(result.reclaimed)
+            g_backlog.set(backlog)
+            if result.requests_made:
+                h_rounds.observe(result.rounds)
+            if trace_on:
+                tracer.emit(build_slot_record(slot, arrivals, result, backlog))
+
+            if prof_on:
+                t4 = perf()
+            if check_every and (slot + 1) % check_every == 0:
+                switch.check_invariants()
+            if window and (slot + 1) % window == 0:
+                if self.monitor.observe(backlog):
+                    unstable = True
+            if prof_on:
+                ns_checks += perf() - t4
+            if heartbeat_every and (slot + 1) % heartbeat_every == 0:
+                progress.emit(slot + 1, backlog)
+            if unstable:
+                break
+
+        if prof_on:
+            profiler.add("traffic_gen", ns_traffic)
+            profiler.add("schedule", ns_schedule)
+            profiler.add("stats", ns_stats)
+            profiler.add("invariants", ns_checks)
+        if progress is not None:
+            progress.finish(self.slots_run, switch.total_backlog())
+        tel.flush()
+        return unstable
 
     # ------------------------------------------------------------------ #
     def _summarize(self, unstable: bool) -> SimulationSummary:
@@ -100,6 +223,11 @@ class SimulationEngine:
             "effective_load": self.traffic.effective_load,
             "average_fanout": self.traffic.average_fanout,
         }
+        telemetry_section = (
+            self.telemetry.to_dict(slots=self.slots_run)
+            if self.telemetry is not None
+            else None
+        )
         return SimulationSummary(
             algorithm=self.algorithm_name,
             num_ports=self.switch.num_ports,
@@ -122,4 +250,5 @@ class SimulationEngine:
             unstable=unstable,
             traffic=traffic_desc,
             extra=c.extended_metrics(),
+            telemetry=telemetry_section,
         )

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import ConfigurationError
+from repro.obs.telemetry import Telemetry
 from repro.schedulers.registry import make_switch
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import SimulationEngine
@@ -75,6 +76,8 @@ def run_simulation(
     seed: int | None = 0,
     config: SimulationConfig | None = None,
     extended_stats: bool = False,
+    telemetry: Telemetry | None = None,
+    collect_telemetry: bool = False,
     **switch_kwargs: Any,
 ) -> SimulationSummary:
     """Build switch + traffic + engine from plain values and run.
@@ -83,7 +86,15 @@ def run_simulation(
     (num_slots, warmup_fraction) shorthand when given. Determinism: the
     ``seed`` spawns two independent named streams, one for the traffic
     model and one for scheduler tie-breaking.
+
+    Observability: pass a preconfigured ``telemetry`` bundle (tracing,
+    progress, …), or set ``collect_telemetry=True`` to build a default
+    metrics+profile bundle in-process — the plain-values form a sweep
+    worker can request across a ``multiprocessing`` boundary; the
+    resulting snapshot rides home in ``SimulationSummary.telemetry``.
     """
+    if telemetry is None and collect_telemetry:
+        telemetry = Telemetry(profile=True)
     streams = RngStreams(seed)
     traffic = build_traffic(traffic_spec, num_ports, rng=streams.get("traffic"))
     switch = make_switch(
@@ -99,6 +110,7 @@ def run_simulation(
         extended_stats=extended_stats,
     )
     engine = SimulationEngine(
-        switch, traffic, cfg, seed=seed, algorithm_name=algorithm
+        switch, traffic, cfg, seed=seed, algorithm_name=algorithm,
+        telemetry=telemetry,
     )
     return engine.run()

@@ -44,6 +44,10 @@ class SimulationSummary:
     # --- provenance ---
     traffic: dict[str, object] = field(default_factory=dict)
     extra: dict[str, float] = field(default_factory=dict)
+    #: Telemetry snapshot (metrics registry + phase profile) for runs
+    #: executed with a :class:`repro.obs.Telemetry`; None otherwise. A
+    #: plain dict so it survives pickling across sweep worker processes.
+    telemetry: dict[str, object] | None = None
 
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict[str, object]:

@@ -31,6 +31,15 @@ class SlotResult:
     rounds: int = 0
     #: Whether any scheduling request was made (gates the rounds average).
     requests_made: bool = False
+    #: New input/output matches per scheduling round (telemetry; empty
+    #: for schedulers that do not record per-round counts).
+    round_grants: tuple[int, ...] = ()
+    #: Grants that left a fanout residue behind (partial multicast
+    #: service — the paper's fanout splitting), this slot.
+    splits: int = 0
+    #: Data cells whose fanout was exhausted and whose buffer space was
+    #: reclaimed, this slot.
+    reclaimed: int = 0
 
     @property
     def cells_delivered(self) -> int:

@@ -70,7 +70,10 @@ class MulticastVOQSwitch(BaseSwitch):
         decision.validate(self.num_ports, self.num_ports)
         self.crossbar.configure(decision)
         result = SlotResult(
-            slot=slot, rounds=decision.rounds, requests_made=decision.requests_made
+            slot=slot,
+            rounds=decision.rounds,
+            requests_made=decision.requests_made,
+            round_grants=tuple(decision.round_grants),
         )
         for input_port, grant in decision.grants.items():
             port = self.ports[input_port]
@@ -85,6 +88,7 @@ class MulticastVOQSwitch(BaseSwitch):
                         f"in one slot (timestamps "
                         f"{[c.timestamp for c in cells]})"
                     )
+            released = False
             for cell in cells:
                 result.deliveries.append(
                     Delivery(
@@ -93,7 +97,12 @@ class MulticastVOQSwitch(BaseSwitch):
                         service_slot=slot,
                     )
                 )
-                port.buffer.record_service(data_cell)
+                if port.buffer.record_service(data_cell):
+                    released = True
+            if released:
+                result.reclaimed += 1
+            else:
+                result.splits += 1
         self.crossbar.release()
         return result
 

@@ -71,7 +71,10 @@ class UnicastVOQSwitch(BaseSwitch):
         decision: ScheduleDecision = self.scheduler.schedule(view)
         decision.validate(self.num_ports, self.num_ports)
         result = SlotResult(
-            slot=slot, rounds=decision.rounds, requests_made=decision.requests_made
+            slot=slot,
+            rounds=decision.rounds,
+            requests_made=decision.requests_made,
+            round_grants=tuple(decision.round_grants),
         )
         self.crossbar.configure(decision)
         for i, grant in decision.grants.items():

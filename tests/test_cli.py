@@ -119,3 +119,93 @@ class TestCampaignCommand:
         text = out.read_text()
         assert text.startswith("# Reproduction report")
         assert "Fig. 5" in text
+
+
+class TestRunTelemetryFlags:
+    def test_trace_metrics_progress_smoke(self, capsys, tmp_path):
+        """`run --trace --metrics --progress` — the CI observability smoke.
+
+        The trace must be valid JSONL whose post-warmup delivered counts
+        sum to the summary's throughput numerator, the metrics file must
+        hold the registry snapshot, and heartbeats must go to stderr
+        (stdout stays pure JSON).
+        """
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.json"
+        code = main(
+            ["run", "-a", "fifoms", "-n", "8", "--slots", "2000",
+             "--seed", "1", "--trace", str(trace), "--metrics", str(metrics),
+             "--progress", "--json"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        summary = json.loads(captured.out)
+
+        records = [json.loads(l) for l in trace.read_text().splitlines()]
+        assert len(records) == summary["slots_run"] == 2000
+        assert [r["slot"] for r in records] == list(range(2000))
+        delivered = sum(
+            r["delivered"] for r in records
+            if r["slot"] >= summary["warmup_slots"]
+        )
+        assert delivered == summary["cells_delivered"] > 0
+
+        snapshot = json.loads(metrics.read_text())
+        by_name = {rec["name"]: rec for rec in snapshot["metrics"]}
+        assert by_name["sim.slots"]["value"] == 2000
+        assert by_name["sim.slots"]["labels"] == {"algorithm": "fifoms"}
+        assert "sim.rounds_per_slot" in by_name
+
+        assert "[progress]" in captured.err
+        assert "slots/s" in captured.err
+
+    def test_trace_to_table_output(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        code = main(
+            ["run", "-a", "islip", "-n", "4", "--slots", "300",
+             "--trace", str(trace)]
+        )
+        assert code == 0
+        assert len(trace.read_text().splitlines()) == 300
+        # the status note goes to stderr, not into the table
+        captured = capsys.readouterr()
+        assert "300 slot records" in captured.err
+        assert "avg output delay" in captured.out
+
+    def test_extended_metrics_table(self, capsys):
+        code = main(
+            ["run", "-a", "fifoms", "-n", "4", "--slots", "600",
+             "--seed", "2", "--extended"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delay_p50" in out
+        assert "delay_p99" in out
+        assert "split_ratio" in out
+
+    def test_extended_metrics_json(self, capsys):
+        code = main(
+            ["run", "-a", "fifoms", "-n", "4", "--slots", "600",
+             "--seed", "2", "--extended", "--json"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "delay_p50" in data["extra"]
+
+
+class TestProfileCommand:
+    def test_phase_table(self, capsys):
+        code = main(
+            ["profile", "-a", "fifoms", "-n", "4", "--slots", "2000",
+             "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for phase in ("traffic_gen", "schedule", "stats", "invariants"):
+            assert phase in out
+        assert "us/slot" in out
+        assert "slots/s" in out
+
+    def test_unknown_algorithm(self, capsys):
+        assert main(["profile", "-a", "bogus", "--slots", "10"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,136 @@
+"""Tests for the metrics registry primitives and cross-process merging."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_global_registry,
+    reset_global_registry,
+)
+
+
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+    def test_gauge_tracks_peak(self):
+        g = Gauge()
+        g.set(3)
+        g.set(10)
+        g.set(2)
+        assert g.value == 2
+        assert g.max == 10
+
+    def test_histogram_exact_percentiles(self):
+        h = Histogram()
+        for v in (1, 1, 2, 3, 3, 3, 7):
+            h.observe(v)
+        assert h.count == 7
+        assert h.min == 1 and h.max == 7
+        assert h.mean == pytest.approx(20 / 7)
+        assert h.percentile(50) == 3
+        assert h.percentile(100) == 7
+        assert h.percentile(0) == 1
+
+    def test_histogram_empty(self):
+        h = Histogram()
+        import math
+
+        assert math.isnan(h.percentile(50))
+        assert h.min is None and h.max is None
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ConfigurationError):
+            Histogram().percentile(101)
+
+
+class TestRegistry:
+    def test_lazy_get_or_create(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("cells", algorithm="fifoms")
+        c2 = reg.counter("cells", algorithm="fifoms")
+        assert c1 is c2
+        assert len(reg) == 1
+        # Different labels -> different series.
+        c3 = reg.counter("cells", algorithm="islip")
+        assert c3 is not c1
+        assert len(reg) == 2
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x")
+
+    def test_to_dict_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("slots", algorithm="fifoms").inc(100)
+        reg.gauge("backlog").set(7)
+        reg.histogram("rounds").observe(2)
+        payload = reg.to_dict()
+        # JSON-serializable all the way down.
+        restored = json.loads(json.dumps(payload))
+        merged = MetricsRegistry()
+        merged.merge_dict(restored)
+        assert merged.counter("slots", algorithm="fifoms").value == 100
+        assert merged.gauge("backlog").max == 7
+        assert merged.histogram("rounds").count == 1
+
+    def test_merge_adds_counters_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        a.histogram("h").observe(1)
+        b.histogram("h").observe(1)
+        b.histogram("h").observe(5)
+        a.gauge("g").set(4)
+        b.gauge("g").set(9)
+        a.merge(b)
+        assert a.counter("n").value == 5
+        assert a.histogram("h").count == 3
+        assert a.histogram("h").max == 5
+        assert a.gauge("g").max == 9
+
+    def test_merge_unknown_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().merge_dict(
+                {"metrics": [{"name": "x", "type": "bogus", "labels": {}}]}
+            )
+
+    def test_series_names(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a", k="1")
+        reg.counter("a", k="2")
+        assert reg.series_names() == ["a", "b"]
+
+    def test_write_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("slots").inc(5)
+        path = reg.write_json(tmp_path / "m.json")
+        data = json.loads(path.read_text())
+        assert data["metrics"][0]["name"] == "slots"
+        assert data["metrics"][0]["value"] == 5
+
+
+class TestGlobalRegistry:
+    def test_process_wide_singleton(self):
+        reg = reset_global_registry()
+        assert get_global_registry() is reg
+        reg.counter("x").inc()
+        assert get_global_registry().counter("x").value == 1
+        fresh = reset_global_registry()
+        assert len(fresh) == 0

@@ -1,0 +1,161 @@
+"""Tests for the JSONL slot tracer and its null-object disabled path."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.core.fifoms import FIFOMSScheduler, TieBreak
+from repro.obs import NoopTracer, SlotTracer, Telemetry
+from repro.obs.tracer import NOOP_TRACER, build_slot_record
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.switch.voq_multicast import MulticastVOQSwitch
+from repro.traffic.trace import TraceTraffic
+
+from conftest import make_packet
+
+#: Record keys, in emission order — the documented schema.
+SCHEMA_KEYS = [
+    "slot",
+    "arrivals",
+    "arrived_cells",
+    "grants",
+    "delivered",
+    "rounds",
+    "round_grants",
+    "splits",
+    "reclaimed",
+    "backlog",
+]
+
+
+def _tiny_engine(tracer, num_slots=6):
+    """4-port FIFOMS switch fed a fixed hand-written trace."""
+    packets = [
+        make_packet(0, (0, 1), 0),
+        make_packet(1, (1, 2), 0),
+        make_packet(2, (3,), 0),
+        make_packet(0, (2,), 1),
+        make_packet(3, (0, 1, 2, 3), 1),
+    ]
+    switch = MulticastVOQSwitch(
+        4, FIFOMSScheduler(4, tie_break=TieBreak.LOWEST_INPUT)
+    )
+    traffic = TraceTraffic(4, packets)
+    cfg = SimulationConfig(
+        num_slots=num_slots, warmup_fraction=0.0, stability_window=0
+    )
+    tel = Telemetry(tracer=tracer)
+    return SimulationEngine(switch, traffic, cfg, telemetry=tel)
+
+
+class TestSlotTracer:
+    def test_jsonl_schema(self):
+        buf = io.StringIO()
+        engine = _tiny_engine(SlotTracer(buf))
+        summary = engine.run()
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == summary.slots_run == 6
+        for i, line in enumerate(lines):
+            rec = json.loads(line)
+            assert list(rec) == SCHEMA_KEYS
+            assert rec["slot"] == i
+            assert rec["arrived_cells"] == sum(f for _, f in rec["arrivals"])
+            assert rec["delivered"] == len(rec["grants"])
+            assert sum(rec["round_grants"]) == len(rec["grants"])
+            assert len(rec["round_grants"]) <= rec["rounds"]
+
+    def test_delivered_sum_matches_summary(self):
+        buf = io.StringIO()
+        engine = _tiny_engine(SlotTracer(buf))
+        summary = engine.run()
+        recs = [json.loads(l) for l in buf.getvalue().splitlines()]
+        delivered = sum(
+            r["delivered"] for r in recs if r["slot"] >= summary.warmup_slots
+        )
+        assert delivered == summary.cells_delivered == 10
+        assert recs[-1]["backlog"] == summary.final_backlog == 0
+
+    def test_golden_trace(self):
+        """Pinned end-to-end trace of the tiny deterministic scenario.
+
+        Slot 0: inputs 0/1/2 arrive; FIFOMS matches all four outputs in one
+        round. The lowest-input tie-break hands outputs 0 and 1 both to
+        input 0, so input 0's and input 2's packets complete (two buffer
+        reclamations) while input 1's packet is split (output 2 served,
+        output 1 left behind).
+        """
+        buf = io.StringIO()
+        _tiny_engine(SlotTracer(buf)).run()
+        first = json.loads(buf.getvalue().splitlines()[0])
+        assert first == {
+            "slot": 0,
+            "arrivals": [[0, 2], [1, 2], [2, 1]],
+            "arrived_cells": 5,
+            "grants": {"0": 0, "1": 0, "2": 1, "3": 2},
+            "delivered": 4,
+            "rounds": 1,
+            "round_grants": [4],
+            "splits": 1,
+            "reclaimed": 2,
+            "backlog": 1,
+        }
+
+    def test_path_sink_owns_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with SlotTracer(path) as tracer:
+            tracer.emit({"slot": 0})
+            tracer.emit({"slot": 1})
+        assert tracer.records_written == 2
+        recs = [json.loads(l) for l in path.read_text().splitlines()]
+        assert recs == [{"slot": 0}, {"slot": 1}]
+
+    def test_stream_sink_left_open(self):
+        buf = io.StringIO()
+        tracer = SlotTracer(buf)
+        tracer.emit({"a": 1})
+        tracer.close()
+        assert not buf.closed  # caller owns the stream
+
+    def test_build_slot_record_counts_cells(self):
+        from repro.switch.base import SlotResult
+
+        pkts = [make_packet(0, (1, 2), 5), None, make_packet(2, (0,), 5)]
+        rec = build_slot_record(5, pkts, SlotResult(slot=5), backlog=3)
+        assert rec["arrivals"] == [[0, 2], [2, 1]]
+        assert rec["arrived_cells"] == 3
+        assert rec["grants"] == {}
+        assert rec["backlog"] == 3
+
+
+class TestNoopTracer:
+    def test_stateless_null_object(self):
+        assert NoopTracer.__slots__ == ()
+        assert not hasattr(NOOP_TRACER, "__dict__")
+        assert NOOP_TRACER.enabled is False
+        assert NOOP_TRACER.emit({"slot": 0}) is None
+        assert NOOP_TRACER.flush() is None
+        assert NOOP_TRACER.close() is None
+
+    def test_emit_allocates_nothing_per_call(self):
+        """The disabled path must not accumulate memory slot by slot."""
+        import tracemalloc
+
+        rec = {"slot": 0}
+        tracer = NOOP_TRACER
+        tracer.emit(rec)  # warm any lazy interpreter caches
+        tracemalloc.start()
+        try:
+            before, _ = tracemalloc.get_traced_memory()
+            for _ in range(10_000):
+                tracer.emit(rec)
+            after, _ = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert after - before < 1_000  # no per-call retention
+
+    def test_default_telemetry_uses_noop_tracer(self):
+        tel = Telemetry()
+        assert tel.tracer is NOOP_TRACER
+        assert tel.profiler.enabled is False
