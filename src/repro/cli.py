@@ -9,6 +9,7 @@ Subcommands::
     repro-sim campaign --out REPORT.md     # several figures -> one report
     repro-sim trace record|run ...         # persist / replay workloads
     repro-sim verify -a fifoms ...         # exhaustive small-state check
+    repro-sim lint [--strict] [PATHS...]   # determinism/invariant linter
 
 ``run`` grows observability flags: ``--trace FILE.jsonl`` (one JSON record
 per slot), ``--metrics FILE.json`` (metrics-registry dump), ``--progress``
@@ -141,6 +142,29 @@ def build_parser() -> argparse.ArgumentParser:
     ver_p.add_argument("--algorithm", "-a", required=True)
     ver_p.add_argument("--ports", "-n", type=int, default=2)
     ver_p.add_argument("--horizon", type=int, default=2)
+
+    lint_p = sub.add_parser(
+        "lint", help="run the determinism/invariant static analyzer"
+    )
+    lint_p.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint (default: the repro source tree)",
+    )
+    lint_p.add_argument(
+        "--paths", dest="extra_paths", nargs="+", default=[], metavar="PATH",
+        help="additional trees to lint (opt in benchmarks/, examples/, ...)",
+    )
+    lint_p.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    lint_p.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings too, not only errors",
+    )
+    lint_p.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog (id, severity, rationale) and exit",
+    )
     return parser
 
 
@@ -240,6 +264,28 @@ def _profile_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_command(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        default_rules,
+        format_json,
+        format_rule_catalog,
+        format_text,
+        run_lint,
+    )
+
+    if args.list_rules:
+        print(format_rule_catalog(default_rules()))
+        return 0
+    paths = list(args.paths or []) + list(args.extra_paths)
+    try:
+        report = run_lint(paths or None)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_json(report) if args.json else format_text(report))
+    return report.exit_code(strict=args.strict)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -257,6 +303,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _profile_command(args)
         if args.command == "trace":
             return _trace_command(args)
+        if args.command == "lint":
+            return _lint_command(args)
         if args.command == "campaign":
             from pathlib import Path
 

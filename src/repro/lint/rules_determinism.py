@@ -1,0 +1,142 @@
+"""Determinism rules: wall-clock reads and unordered iteration.
+
+A simulation run must be a pure function of ``(algorithm, traffic spec,
+seed)``. Two things quietly break that purity without failing any test:
+reading the wall clock inside core/scheduler code, and letting scheduler
+decisions depend on Python ``set`` iteration order (which varies with
+insertion history and, for strings, with ``PYTHONHASHSEED``).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.base import Finding, ModuleInfo, Rule, Severity, dotted_name
+
+__all__ = ["NoWallClockRule", "NoUnsortedSetIterationRule"]
+
+#: Dotted call targets that read the wall clock.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "date.today",
+    }
+)
+
+#: Names whose ``from time import ...`` is equivalent to the calls above.
+_WALL_CLOCK_TIME_NAMES = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: Set methods that return new (unordered) sets.
+_SET_PRODUCING_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+
+
+class NoWallClockRule(Rule):
+    """DET001 — only ``repro.obs`` may read the wall clock."""
+
+    rule_id = "DET001"
+    title = "wall-clock read outside repro/obs"
+    rationale = (
+        "Core/scheduler/traffic code must never observe real time: any "
+        "time-dependent branch makes runs irreproducible and un-replayable. "
+        "Profiling goes through repro.obs.profiler (clock_ns), which keeps "
+        "the dependency explicit and greppable."
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.is_obs_module or module.is_test_module:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _WALL_CLOCK_TIME_NAMES:
+                            yield self.finding(
+                                module,
+                                node,
+                                f"from time import {alias.name}: wall-clock "
+                                "reads belong in repro.obs (use "
+                                "repro.obs.profiler.clock_ns for timing)",
+                            )
+            elif isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted in _WALL_CLOCK_CALLS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{dotted}() reads the wall clock; only repro.obs "
+                        "may (use repro.obs.profiler.clock_ns for timing)",
+                    )
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Whether ``node`` syntactically evaluates to an unordered set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SET_PRODUCING_METHODS
+        ):
+            return True
+    return False
+
+
+class NoUnsortedSetIterationRule(Rule):
+    """DET002 — iterate sets through ``sorted()``."""
+
+    rule_id = "DET002"
+    title = "iteration over an unordered set expression"
+    rationale = (
+        "Set iteration order depends on insertion history and hash "
+        "randomization; any scheduler decision fed from it varies between "
+        "runs of the same seed. Wrap the iterable in sorted()."
+    )
+    severity = Severity.WARNING
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.is_test_module:
+            return
+        for node in ast.walk(module.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_expr(it):
+                    yield self.finding(
+                        module,
+                        it,
+                        "iterating a set yields hash/insertion-dependent "
+                        "order; wrap it in sorted() so downstream decisions "
+                        "are deterministic",
+                    )

@@ -1,0 +1,70 @@
+"""Error-hygiene rules.
+
+The simulator's correctness story is "fail loudly": schedulers are
+untrusted, feasibility is re-checked at the crossbar, and the engine
+audits conservation after every run. Handlers that swallow exceptions
+defeat all of it — an infeasible grant or a broken invariant would
+disappear instead of failing the run.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.base import Finding, ModuleInfo, Rule
+
+__all__ = ["ExceptHygieneRule"]
+
+_BROAD_TYPES = frozenset({"Exception", "BaseException"})
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing but ``pass``/``...``."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+class ExceptHygieneRule(Rule):
+    """ERR001 — no bare ``except:`` and no silently-swallowed ``Exception``."""
+
+    rule_id = "ERR001"
+    title = "exception handler hides failures"
+    rationale = (
+        "A bare except: catches KeyboardInterrupt/SystemExit and every "
+        "programming error; an `except Exception: pass` silently eats "
+        "invariant violations the whole verification story depends on "
+        "surfacing. Catch the narrowest type and act on it."
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare except: also catches KeyboardInterrupt/SystemExit; "
+                    "name the exception type",
+                )
+            elif (
+                isinstance(node.type, ast.Name)
+                and node.type.id in _BROAD_TYPES
+                and _swallows(node)
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"except {node.type.id}: pass swallows every failure, "
+                    "including invariant violations; handle or re-raise",
+                )

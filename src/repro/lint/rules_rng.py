@@ -1,0 +1,178 @@
+"""RNG-discipline rules.
+
+The reproduction's headline property — bit-for-bit identical results from
+one integer seed — requires that *every* random draw flow through the
+seeded :class:`numpy.random.Generator` streams built by
+:mod:`repro.utils.rng`. These rules reject the three ways that discipline
+silently erodes: global/legacy numpy RNG state, the stdlib :mod:`random`
+module, and ad-hoc unseeded generators.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.base import Finding, ModuleInfo, Rule, dotted_name
+
+__all__ = [
+    "NoGlobalNumpySeedRule",
+    "NoLegacyNumpyRandomRule",
+    "NoStdlibRandomRule",
+    "NoUnseededGeneratorRule",
+]
+
+#: Spellings of the legacy global-state numpy RNG namespace.
+_NP_RANDOM_PREFIXES = ("np.random.", "numpy.random.")
+
+#: ``np.random`` attributes that are generator *construction*, not draws
+#: from hidden global state — these are fine (rng.py uses them).
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+def _np_random_attr(call: ast.Call) -> str | None:
+    """The ``X`` of an ``np.random.X(...)`` / ``numpy.random.X(...)`` call."""
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    for prefix in _NP_RANDOM_PREFIXES:
+        if dotted.startswith(prefix):
+            return dotted[len(prefix):]
+    return None
+
+
+class NoGlobalNumpySeedRule(Rule):
+    """RNG001 — never seed global RNG state."""
+
+    rule_id = "RNG001"
+    title = "global RNG seeding is forbidden"
+    rationale = (
+        "np.random.seed()/random.seed() mutate hidden global state, so any "
+        "import-order or call-order change silently reshuffles every "
+        "subsequent draw. All seeding goes through repro.utils.rng streams."
+    )
+
+    _BANNED = frozenset({"np.random.seed", "numpy.random.seed", "random.seed"})
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted in self._BANNED:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{dotted}() seeds global RNG state; derive a stream "
+                        "via repro.utils.rng.make_rng/spawn_rngs instead",
+                    )
+
+
+class NoLegacyNumpyRandomRule(Rule):
+    """RNG002 — no draws from the legacy ``np.random`` global namespace."""
+
+    rule_id = "RNG002"
+    title = "legacy np.random.<dist> global-state draw"
+    rationale = (
+        "Module-level np.random functions (rand, randint, choice, shuffle, "
+        "...) draw from one shared hidden generator; results then depend on "
+        "every other draw in the process. Use a Generator from "
+        "repro.utils.rng."
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.is_rng_module:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            attr = _np_random_attr(node)
+            if attr is None or attr in _NP_RANDOM_ALLOWED or attr == "seed":
+                continue  # seeding is RNG001's finding, not a duplicate here
+            yield self.finding(
+                module,
+                node,
+                f"np.random.{attr}() draws from hidden global state; use a "
+                "seeded Generator from repro.utils.rng",
+            )
+
+
+class NoStdlibRandomRule(Rule):
+    """RNG003 — the stdlib :mod:`random` module is off limits."""
+
+    rule_id = "RNG003"
+    title = "stdlib random module import"
+    rationale = (
+        "random.random() et al. share one process-global Mersenne Twister "
+        "whose state no seed we control pins down across libraries. Only "
+        "repro/utils/rng.py (and tests) may touch non-numpy randomness."
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.is_rng_module or module.is_test_module:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            module,
+                            node,
+                            "import random: stdlib RNG bypasses the seeded "
+                            "numpy streams; use repro.utils.rng",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.finding(
+                        module,
+                        node,
+                        "from random import ...: stdlib RNG bypasses the "
+                        "seeded numpy streams; use repro.utils.rng",
+                    )
+
+
+class NoUnseededGeneratorRule(Rule):
+    """RNG004 — every generator must descend from an explicit seed."""
+
+    rule_id = "RNG004"
+    title = "unseeded default_rng() call"
+    rationale = (
+        "default_rng() with no seed pulls OS entropy, so two runs of the "
+        "same experiment diverge. Library code receives seeds/Generators "
+        "from its caller and derives streams via repro.utils.rng."
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.is_rng_module or module.is_test_module:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None or dotted.split(".")[-1] != "default_rng":
+                continue
+            unseeded = not node.args and not node.keywords
+            none_seeded = (
+                len(node.args) == 1
+                and not node.keywords
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None
+            )
+            if unseeded or none_seeded:
+                yield self.finding(
+                    module,
+                    node,
+                    "default_rng() without a seed draws OS entropy; thread a "
+                    "seed through repro.utils.rng.make_rng instead",
+                )

@@ -21,7 +21,13 @@ from repro.obs.metrics import (
     get_global_registry,
     reset_global_registry,
 )
-from repro.obs.profiler import NOOP_PROFILER, PHASES, NoopProfiler, PhaseProfiler
+from repro.obs.profiler import (
+    NOOP_PROFILER,
+    PHASES,
+    NoopProfiler,
+    PhaseProfiler,
+    clock_ns,
+)
 from repro.obs.progress import ProgressReporter
 from repro.obs.telemetry import Telemetry, aggregate_telemetry
 from repro.obs.tracer import NOOP_TRACER, NoopTracer, SlotTracer, build_slot_record
@@ -37,6 +43,7 @@ __all__ = [
     "PhaseProfiler",
     "NoopProfiler",
     "NOOP_PROFILER",
+    "clock_ns",
     "ProgressReporter",
     "SlotTracer",
     "NoopTracer",

@@ -9,7 +9,15 @@ does a run actually spend its time" before any optimisation PR.
 
 from __future__ import annotations
 
-__all__ = ["PHASES", "PhaseProfiler", "NoopProfiler", "NOOP_PROFILER"]
+import time
+
+__all__ = ["PHASES", "PhaseProfiler", "NoopProfiler", "NOOP_PROFILER", "clock_ns"]
+
+#: The one sanctioned wall-clock read (`repro.lint` rule DET001): code
+#: outside repro/obs that legitimately needs timing — the engine's
+#: profiled loop — imports this alias instead of the time module, keeping
+#: every wall-clock dependency explicit and greppable.
+clock_ns = time.perf_counter_ns
 
 #: Canonical engine phases, in slot-cycle order.
 PHASES: tuple[str, ...] = ("traffic_gen", "schedule", "stats", "invariants")

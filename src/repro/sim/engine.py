@@ -18,9 +18,8 @@ through the progress reporter.
 
 from __future__ import annotations
 
-import time
-
 from repro.errors import SimulationError, UnstableSimulationError
+from repro.obs.profiler import clock_ns
 from repro.obs.telemetry import Telemetry
 from repro.obs.tracer import build_slot_record
 from repro.sim.config import SimulationConfig
@@ -152,7 +151,7 @@ class SimulationEngine:
         g_backlog = registry.gauge("sim.backlog", **labels)
         h_rounds = registry.histogram("sim.rounds_per_slot", **labels)
 
-        perf = time.perf_counter_ns
+        perf = clock_ns
         ns_traffic = ns_schedule = ns_stats = ns_checks = 0
 
         for slot in range(cfg.num_slots):

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -208,4 +209,55 @@ class TestProfileCommand:
 
     def test_unknown_algorithm(self, capsys):
         assert main(["profile", "-a", "bogus", "--slots", "10"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLintCommand:
+    def test_own_tree_is_clean_strict(self, capsys):
+        import repro
+
+        src_tree = Path(repro.__file__).resolve().parent
+        assert main(["lint", "--strict", str(src_tree)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_default_target_is_package_tree(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+
+    def test_broken_fixture_fails_with_json(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\n__all__ = []\nt = time.time()\n")
+        assert main(["lint", str(tmp_path), "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["errors"] == 1
+        assert data["findings"][0]["rule"] == "DET001"
+
+    def test_extra_paths_option(self, capsys, tmp_path):
+        clean = tmp_path / "extra"
+        clean.mkdir()
+        (clean / "ok.py").write_text("__all__ = []\n")
+        import repro
+
+        src_tree = Path(repro.__file__).resolve().parent
+        code = main(["lint", str(src_tree), "--paths", str(clean)])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_warnings_gate_only_in_strict(self, capsys, tmp_path):
+        warn = tmp_path / "warn.py"
+        warn.write_text("__all__ = []\nfor j in {1, 2}:\n    pass\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(tmp_path), "--strict"]) == 1
+        assert "DET002" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RNG001", "DET001", "STR001", "ERR001"):
+            assert rule_id in out
+
+    def test_missing_path_exit_2(self, capsys):
+        assert main(["lint", "/nonexistent/nowhere"]) == 2
         assert "error:" in capsys.readouterr().err

@@ -1,0 +1,549 @@
+"""Tests for the repro.lint static analyzer.
+
+Each rule gets positive (violation flagged), negative (clean code not
+flagged) and suppression-comment cases on small fixture snippets written
+into structured temp trees (so path-scoped exemptions like
+``repro/utils/rng.py`` and ``repro/obs/`` are exercised for real). The
+suite ends with the self-check the whole PR exists for: the project's
+own ``src/repro`` tree must lint clean.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    PARSE_RULE_ID,
+    Finding,
+    ModuleInfo,
+    Severity,
+    default_rules,
+    format_json,
+    format_text,
+    iter_python_files,
+    parse_suppressions,
+    run_lint,
+)
+from repro.lint.rules_determinism import NoUnsortedSetIterationRule, NoWallClockRule
+from repro.lint.rules_errors import ExceptHygieneRule
+from repro.lint.rules_rng import (
+    NoGlobalNumpySeedRule,
+    NoLegacyNumpyRandomRule,
+    NoStdlibRandomRule,
+    NoUnseededGeneratorRule,
+)
+from repro.lint.rules_structure import (
+    PublicModuleAllRule,
+    SchedulerRegistryRule,
+    SwitchInvariantsRule,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def lint_tree(tmp_path, files: dict[str, str], rules) -> list[Finding]:
+    """Write ``files`` (relpath -> source) under ``tmp_path`` and lint."""
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return run_lint([tmp_path], rules=rules).findings
+
+
+def only_ids(findings) -> list[str]:
+    return [f.rule_id for f in findings]
+
+
+# --------------------------------------------------------------------- #
+# RNG discipline
+# --------------------------------------------------------------------- #
+class TestRNG001GlobalSeed:
+    RULE = NoGlobalNumpySeedRule
+
+    def test_flags_np_random_seed(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"repro/traffic/x.py": "import numpy as np\nnp.random.seed(7)\n"},
+            [self.RULE()],
+        )
+        assert only_ids(findings) == ["RNG001"]
+        assert findings[0].line == 2
+
+    def test_clean_make_rng(self, tmp_path):
+        src = """
+            from repro.utils.rng import make_rng
+            rng = make_rng(7)
+        """
+        assert lint_tree(tmp_path, {"repro/traffic/x.py": src}, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        src = """
+            # lint: disable=RNG001
+            import numpy as np
+            np.random.seed(7)
+        """
+        assert lint_tree(tmp_path, {"repro/traffic/x.py": src}, [self.RULE()]) == []
+
+
+class TestRNG002LegacyNumpyRandom:
+    RULE = NoLegacyNumpyRandomRule
+
+    def test_flags_module_level_draws(self, tmp_path):
+        src = """
+            import numpy as np
+            x = np.random.randint(10)
+            y = np.random.choice([1, 2])
+        """
+        findings = lint_tree(tmp_path, {"repro/core/x.py": src}, [self.RULE()])
+        assert only_ids(findings) == ["RNG002", "RNG002"]
+
+    def test_generator_construction_allowed(self, tmp_path):
+        src = """
+            import numpy as np
+            g = np.random.default_rng(3)
+            v = g.integers(10)
+        """
+        assert lint_tree(tmp_path, {"repro/core/x.py": src}, [self.RULE()]) == []
+
+    def test_rng_module_exempt(self, tmp_path):
+        src = "import numpy as np\nx = np.random.random()\n"
+        assert lint_tree(tmp_path, {"repro/utils/rng.py": src}, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        src = """
+            import numpy as np  # lint: disable=RNG002
+            x = np.random.rand(4)
+        """
+        assert lint_tree(tmp_path, {"repro/core/x.py": src}, [self.RULE()]) == []
+
+
+class TestRNG003StdlibRandom:
+    RULE = NoStdlibRandomRule
+
+    def test_flags_import_and_importfrom(self, tmp_path):
+        files = {
+            "repro/core/a.py": "import random\n",
+            "repro/core/b.py": "from random import shuffle\n",
+        }
+        findings = lint_tree(tmp_path, files, [self.RULE()])
+        assert only_ids(findings) == ["RNG003", "RNG003"]
+
+    def test_rng_module_and_tests_exempt(self, tmp_path):
+        files = {
+            "repro/utils/rng.py": "import random\n",
+            "tests/test_thing.py": "import random\n",
+        }
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_unrelated_import_clean(self, tmp_path):
+        src = "from secrets import token_hex\nimport randomlib\n"
+        assert lint_tree(tmp_path, {"repro/core/a.py": src}, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        src = "# lint: disable=RNG003\nimport random\n"
+        assert lint_tree(tmp_path, {"repro/core/a.py": src}, [self.RULE()]) == []
+
+
+class TestRNG004UnseededGenerator:
+    RULE = NoUnseededGeneratorRule
+
+    def test_flags_unseeded_default_rng(self, tmp_path):
+        src = """
+            import numpy as np
+            g = np.random.default_rng()
+        """
+        findings = lint_tree(tmp_path, {"repro/traffic/x.py": src}, [self.RULE()])
+        assert only_ids(findings) == ["RNG004"]
+
+    def test_flags_none_seed(self, tmp_path):
+        src = "from numpy.random import default_rng\ng = default_rng(None)\n"
+        findings = lint_tree(tmp_path, {"repro/traffic/x.py": src}, [self.RULE()])
+        assert only_ids(findings) == ["RNG004"]
+
+    def test_seeded_clean(self, tmp_path):
+        src = """
+            import numpy as np
+            g = np.random.default_rng(42)
+            h = np.random.default_rng(seed)
+        """
+        assert lint_tree(tmp_path, {"repro/traffic/x.py": src}, [self.RULE()]) == []
+
+    def test_rng_module_exempt(self, tmp_path):
+        src = "import numpy as np\ng = np.random.default_rng()\n"
+        assert lint_tree(tmp_path, {"repro/utils/rng.py": src}, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        src = """
+            # lint: disable=RNG004
+            import numpy as np
+            g = np.random.default_rng()
+        """
+        assert lint_tree(tmp_path, {"repro/traffic/x.py": src}, [self.RULE()]) == []
+
+
+# --------------------------------------------------------------------- #
+# Determinism
+# --------------------------------------------------------------------- #
+class TestDET001WallClock:
+    RULE = NoWallClockRule
+
+    def test_flags_time_time_in_scheduler(self, tmp_path):
+        src = """
+            import time
+            def tiebreak():
+                return time.time()
+        """
+        findings = lint_tree(
+            tmp_path, {"repro/schedulers/x.py": src}, [self.RULE()]
+        )
+        assert only_ids(findings) == ["DET001"]
+        assert "time.time" in findings[0].message
+
+    def test_flags_from_time_import(self, tmp_path):
+        src = "from time import perf_counter_ns\n"
+        findings = lint_tree(tmp_path, {"repro/sim/x.py": src}, [self.RULE()])
+        assert only_ids(findings) == ["DET001"]
+
+    def test_flags_datetime_now(self, tmp_path):
+        src = "import datetime\nstamp = datetime.datetime.now()\n"
+        findings = lint_tree(tmp_path, {"repro/report/x.py": src}, [self.RULE()])
+        assert only_ids(findings) == ["DET001"]
+
+    def test_obs_package_exempt(self, tmp_path):
+        src = "import time\nt0 = time.perf_counter()\n"
+        assert lint_tree(tmp_path, {"repro/obs/x.py": src}, [self.RULE()]) == []
+
+    def test_clock_ns_alias_clean(self, tmp_path):
+        src = """
+            from repro.obs.profiler import clock_ns
+            t0 = clock_ns()
+        """
+        assert lint_tree(tmp_path, {"repro/sim/x.py": src}, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        src = "# lint: disable=DET001\nimport time\nt = time.time()\n"
+        assert lint_tree(tmp_path, {"repro/sim/x.py": src}, [self.RULE()]) == []
+
+
+class TestDET002UnsortedSetIteration:
+    RULE = NoUnsortedSetIterationRule
+
+    def test_flags_for_over_set_call(self, tmp_path):
+        src = """
+            def pick(outputs):
+                for j in set(outputs):
+                    yield j
+        """
+        findings = lint_tree(tmp_path, {"repro/core/x.py": src}, [self.RULE()])
+        assert only_ids(findings) == ["DET002"]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_flags_comprehension_over_set_literal(self, tmp_path):
+        src = "order = [v for v in {3, 1, 2}]\n"
+        findings = lint_tree(tmp_path, {"repro/core/x.py": src}, [self.RULE()])
+        assert only_ids(findings) == ["DET002"]
+
+    def test_flags_set_method_result(self, tmp_path):
+        src = """
+            def free(a, b):
+                for j in a.intersection(b):
+                    yield j
+        """
+        findings = lint_tree(tmp_path, {"repro/core/x.py": src}, [self.RULE()])
+        assert only_ids(findings) == ["DET002"]
+
+    def test_sorted_wrapper_clean(self, tmp_path):
+        src = """
+            def pick(outputs):
+                for j in sorted(set(outputs)):
+                    yield j
+            order = [v for v in sorted({3, 1, 2})]
+        """
+        assert lint_tree(tmp_path, {"repro/core/x.py": src}, [self.RULE()]) == []
+
+    def test_list_iteration_clean(self, tmp_path):
+        src = "for j in [1, 2, 3]:\n    pass\n"
+        assert lint_tree(tmp_path, {"repro/core/x.py": src}, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        src = "# lint: disable=DET002\nfor j in {1, 2}:\n    pass\n"
+        assert lint_tree(tmp_path, {"repro/core/x.py": src}, [self.RULE()]) == []
+
+
+# --------------------------------------------------------------------- #
+# Structure
+# --------------------------------------------------------------------- #
+SWITCH_NO_INVARIANTS = """
+    from repro.switch.base import BaseSwitch
+
+    class BrokenSwitch(BaseSwitch):
+        def _accept(self, packet, slot):
+            pass
+"""
+
+SWITCH_WITH_INVARIANTS = """
+    from repro.switch.base import BaseSwitch
+
+    class GoodSwitch(BaseSwitch):
+        def check_invariants(self):
+            pass
+"""
+
+
+class TestSTR001SwitchInvariants:
+    RULE = SwitchInvariantsRule
+
+    def test_flags_missing_override(self, tmp_path):
+        findings = lint_tree(
+            tmp_path, {"repro/switch/x.py": SWITCH_NO_INVARIANTS}, [self.RULE()]
+        )
+        assert only_ids(findings) == ["STR001"]
+        assert "BrokenSwitch" in findings[0].message
+
+    def test_override_clean(self, tmp_path):
+        findings = lint_tree(
+            tmp_path, {"repro/switch/x.py": SWITCH_WITH_INVARIANTS}, [self.RULE()]
+        )
+        assert findings == []
+
+    def test_inherited_override_covers_subclass(self, tmp_path):
+        src = SWITCH_WITH_INVARIANTS + """
+            class DerivedSwitch(GoodSwitch):
+                pass
+        """
+        assert lint_tree(tmp_path, {"repro/switch/x.py": src}, [self.RULE()]) == []
+
+    def test_abstract_intermediate_exempt(self, tmp_path):
+        src = """
+            import abc
+            from repro.switch.base import BaseSwitch
+
+            class AbstractSwitch(BaseSwitch, abc.ABC):
+                @abc.abstractmethod
+                def flavour(self):
+                    ...
+        """
+        assert lint_tree(tmp_path, {"repro/switch/x.py": src}, [self.RULE()]) == []
+
+    def test_unrelated_class_ignored(self, tmp_path):
+        src = "class Collector:\n    pass\n"
+        assert lint_tree(tmp_path, {"repro/stats/x.py": src}, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        src = "# lint: disable=STR001\n" + textwrap.dedent(SWITCH_NO_INVARIANTS)
+        assert lint_tree(tmp_path, {"repro/switch/x.py": src}, [self.RULE()]) == []
+
+
+class TestSTR002SchedulerRegistry:
+    RULE = SchedulerRegistryRule
+
+    REGISTRY_EMPTY = '"""Registry."""\n__all__ = []\n'
+    REGISTRY_WIRED = """
+        from repro.schedulers.myalgo import MyScheduler
+        __all__ = []
+    """
+
+    def test_flags_unregistered_module(self, tmp_path):
+        files = {
+            "repro/schedulers/myalgo.py": "class MyScheduler:\n    pass\n",
+            "repro/schedulers/registry.py": self.REGISTRY_EMPTY,
+        }
+        findings = lint_tree(tmp_path, files, [self.RULE()])
+        assert only_ids(findings) == ["STR002"]
+        assert "myalgo" in findings[0].message
+
+    def test_imported_module_clean(self, tmp_path):
+        files = {
+            "repro/schedulers/myalgo.py": "class MyScheduler:\n    pass\n",
+            "repro/schedulers/registry.py": self.REGISTRY_WIRED,
+        }
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_no_registry_in_tree_skips(self, tmp_path):
+        files = {"repro/schedulers/myalgo.py": "class MyScheduler:\n    pass\n"}
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_base_and_init_exempt(self, tmp_path):
+        files = {
+            "repro/schedulers/base.py": "class SchedulerBase:\n    pass\n",
+            "repro/schedulers/__init__.py": "",
+            "repro/schedulers/registry.py": self.REGISTRY_EMPTY,
+        }
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        files = {
+            "repro/schedulers/myalgo.py": (
+                "# lint: disable=STR002\nclass MyScheduler:\n    pass\n"
+            ),
+            "repro/schedulers/registry.py": self.REGISTRY_EMPTY,
+        }
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+
+class TestSTR003PublicModuleAll:
+    RULE = PublicModuleAllRule
+
+    def test_flags_missing_all(self, tmp_path):
+        src = '"""Public module."""\n\ndef helper():\n    pass\n'
+        findings = lint_tree(tmp_path, {"repro/stats/x.py": src}, [self.RULE()])
+        assert only_ids(findings) == ["STR003"]
+
+    def test_declared_all_clean(self, tmp_path):
+        src = '__all__ = ["helper"]\n\ndef helper():\n    pass\n'
+        assert lint_tree(tmp_path, {"repro/stats/x.py": src}, [self.RULE()]) == []
+
+    def test_private_modules_exempt(self, tmp_path):
+        files = {
+            "repro/_version.py": '__version__ = "1.0"\n',
+            "repro/stats/__init__.py": "",
+        }
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        src = "# lint: disable=STR003\ndef helper():\n    pass\n"
+        assert lint_tree(tmp_path, {"repro/stats/x.py": src}, [self.RULE()]) == []
+
+
+# --------------------------------------------------------------------- #
+# Error hygiene
+# --------------------------------------------------------------------- #
+class TestERR001ExceptHygiene:
+    RULE = ExceptHygieneRule
+
+    def test_flags_bare_except(self, tmp_path):
+        src = """
+            try:
+                risky()
+            except:
+                pass
+        """
+        findings = lint_tree(tmp_path, {"repro/core/x.py": src}, [self.RULE()])
+        assert only_ids(findings) == ["ERR001"]
+
+    def test_flags_swallowed_exception(self, tmp_path):
+        src = """
+            try:
+                risky()
+            except Exception:
+                pass
+        """
+        findings = lint_tree(tmp_path, {"repro/core/x.py": src}, [self.RULE()])
+        assert only_ids(findings) == ["ERR001"]
+
+    def test_handled_broad_exception_clean(self, tmp_path):
+        src = """
+            import logging
+            try:
+                risky()
+            except Exception as exc:
+                logging.exception("boom")
+                raise
+        """
+        assert lint_tree(tmp_path, {"repro/core/x.py": src}, [self.RULE()]) == []
+
+    def test_narrow_handler_clean(self, tmp_path):
+        src = """
+            try:
+                risky()
+            except ValueError:
+                pass
+        """
+        assert lint_tree(tmp_path, {"repro/core/x.py": src}, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        src = """
+            # lint: disable=ERR001
+            try:
+                risky()
+            except:
+                pass
+        """
+        assert lint_tree(tmp_path, {"repro/core/x.py": src}, [self.RULE()]) == []
+
+
+# --------------------------------------------------------------------- #
+# Framework: suppressions, discovery, reports
+# --------------------------------------------------------------------- #
+class TestSuppressionParsing:
+    def test_single_and_list(self):
+        assert parse_suppressions("# lint: disable=RNG001") == {"RNG001"}
+        got = parse_suppressions("x = 1  # lint: disable=RNG001, DET002")
+        assert got == {"RNG001", "DET002"}
+
+    def test_all_keyword(self, tmp_path):
+        src = "# lint: disable=all\nimport random\nimport time\nt = time.time()\n"
+        findings = lint_tree(
+            tmp_path, {"repro/core/x.py": src}, list(default_rules())
+        )
+        assert findings == []
+
+    def test_no_comment_no_suppression(self):
+        assert parse_suppressions("x = 1\n") == frozenset()
+
+
+class TestEngine:
+    def test_parse_error_becomes_finding(self, tmp_path):
+        files = {
+            "repro/core/bad.py": "def broken(:\n",
+            "repro/core/ok.py": "__all__ = []\n",
+        }
+        report_findings = lint_tree(tmp_path, files, list(default_rules()))
+        parse = [f for f in report_findings if f.rule_id == PARSE_RULE_ID]
+        assert len(parse) == 1 and "bad.py" in parse[0].path
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            run_lint(["/nonexistent/nowhere"])
+
+    def test_discovery_skips_pycache_and_non_python(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "x.py").write_text("")
+        (tmp_path / "notes.txt").write_text("")
+        (tmp_path / "a.py").write_text("")
+        found = [p.name for p in iter_python_files([tmp_path])]
+        assert found == ["a.py"]
+
+    def test_default_rule_ids_unique(self):
+        ids = [r.rule_id for r in default_rules()]
+        assert len(ids) == len(set(ids))
+        assert len(ids) >= 8
+
+    def test_exit_codes(self, tmp_path):
+        (tmp_path / "warn.py").write_text("for j in {1, 2}:\n    pass\n")
+        report = run_lint([tmp_path], rules=[NoUnsortedSetIterationRule()])
+        assert report.warnings == 1 and report.errors == 0
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+
+class TestReportFormats:
+    def test_text_clean_and_dirty(self, tmp_path):
+        (tmp_path / "x.py").write_text("import random\n")
+        report = run_lint([tmp_path], rules=[NoStdlibRandomRule()])
+        text = format_text(report)
+        assert "RNG003" in text and "1 error(s)" in text
+        clean = run_lint([tmp_path], rules=[])
+        assert "clean" in format_text(clean)
+
+    def test_json_round_trip(self, tmp_path):
+        (tmp_path / "x.py").write_text("import random\n")
+        report = run_lint([tmp_path], rules=[NoStdlibRandomRule()])
+        data = json.loads(format_json(report))
+        assert data["errors"] == 1
+        assert data["findings"][0]["rule"] == "RNG003"
+        assert data["findings"][0]["line"] == 1
+
+
+# --------------------------------------------------------------------- #
+# The point of it all: our own tree is clean
+# --------------------------------------------------------------------- #
+class TestSelfCheck:
+    def test_src_repro_lints_clean(self):
+        report = run_lint([REPO / "src" / "repro"])
+        assert report.files_scanned > 100
+        assert report.findings == [], format_text(report)

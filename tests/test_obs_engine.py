@@ -5,7 +5,6 @@ from __future__ import annotations
 
 import dataclasses
 import io
-import types
 
 import pytest
 
@@ -56,10 +55,8 @@ class TestDisabledPathGuard:
         )
         monkeypatch.setattr(
             engine_mod,
-            "time",
-            types.SimpleNamespace(
-                perf_counter_ns=lambda: calls.append("perf") or 0
-            ),
+            "clock_ns",
+            lambda: calls.append("perf") or 0,
         )
         monkeypatch.setattr(
             SimulationEngine,
