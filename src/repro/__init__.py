@@ -97,6 +97,18 @@ from repro.frames import (
     FrameTrafficAdapter,
     FrameWorkload,
 )
+from repro.faults import (
+    CellDropModel,
+    CrosspointFailure,
+    CrosspointOutage,
+    FaultInjector,
+    GrantLossModel,
+    LinkDownSchedule,
+    PortOutage,
+    SlotFaultState,
+    available_fault_scenarios,
+    build_fault_injector,
+)
 from repro.verify import exhaustive_verify
 
 __all__ = [
@@ -171,5 +183,16 @@ __all__ = [
     "FrameReassembler",
     "FrameWorkload",
     "FrameTrafficAdapter",
+    # fault injection
+    "FaultInjector",
+    "SlotFaultState",
+    "PortOutage",
+    "LinkDownSchedule",
+    "CrosspointOutage",
+    "CrosspointFailure",
+    "GrantLossModel",
+    "CellDropModel",
+    "available_fault_scenarios",
+    "build_fault_injector",
     "exhaustive_verify",
 ]

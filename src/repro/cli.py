@@ -14,7 +14,10 @@ Subcommands::
 ``run`` grows observability flags: ``--trace FILE.jsonl`` (one JSON record
 per slot), ``--metrics FILE.json`` (metrics-registry dump), ``--progress``
 (heartbeat with slots/sec and backlog) and ``--extended`` (delay
-percentiles + fanout-splitting stats in the output).
+percentiles + fanout-splitting stats in the output) — plus ``--faults
+SCENARIO`` for deterministic fault injection. ``figure`` grows the sweep
+robustness knobs ``--point-timeout``, ``--point-retries``, ``--keep-going``
+and ``--faults``.
 
 Also runnable as ``python -m repro ...``.
 """
@@ -88,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--extended", action="store_true",
         help="collect extended stats (delay p50/p99, split ratio) and print them",
     )
+    run_p.add_argument(
+        "--faults", default=None, metavar="SCENARIO",
+        help="inject a named fault scenario (see 'repro-sim list')",
+    )
 
     prof_p = sub.add_parser(
         "profile", help="run once with phase profiling and print the breakdown"
@@ -106,6 +113,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--loads", type=float, nargs="*", default=None, help="override load points"
     )
     fig_p.add_argument("--workers", type=int, default=None, help="process-pool size")
+    fig_p.add_argument(
+        "--faults", default=None, metavar="SCENARIO",
+        help="inject a named fault scenario into every sweep point",
+    )
+    fig_p.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point wall-clock bound (process-pool mode only)",
+    )
+    fig_p.add_argument(
+        "--point-retries", type=int, default=0, metavar="N",
+        help="same-seed retry rounds for failed points",
+    )
+    fig_p.add_argument(
+        "--keep-going", action="store_true",
+        help="record failed points instead of aborting the sweep",
+    )
     fig_p.add_argument("--charts", action="store_true", help="add ASCII charts")
     fig_p.add_argument("--csv", default=None, help="also write results CSV here")
     fig_p.add_argument("--json", dest="json_path", default=None, help="write JSON here")
@@ -194,6 +217,16 @@ def _print_summary(summary: SimulationSummary) -> None:
         ("avg rounds", round(summary.average_rounds, 3)),
         ("unstable", summary.unstable),
     ]
+    # Loss / fault-injection rows only when something actually happened.
+    if summary.cells_dropped or summary.packets_dropped:
+        rows.append(("cells dropped", summary.cells_dropped))
+        rows.append(("packets dropped", summary.packets_dropped))
+    if summary.grants_lost:
+        rows.append(("grants lost", summary.grants_lost))
+    if summary.faults is not None:
+        rows.append(("fault outage slots", summary.faults.get("outage_slots")))
+        rows.append(("fault degraded slots", summary.faults.get("degraded_slots")))
+        rows.append(("fault recovered", summary.faults.get("recovered")))
     # Extended stats (delay percentiles, fanout splitting) when collected.
     for key in sorted(summary.extra):
         rows.append((key, round(summary.extra[key], 3)))
@@ -223,6 +256,7 @@ def _run_command(args: argparse.Namespace) -> int:
             seed=args.seed,
             extended_stats=args.extended,
             telemetry=telemetry,
+            faults=args.faults,
         )
     finally:
         if tracer is not None:
@@ -291,11 +325,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "list":
+            from repro.faults import FAULT_SCENARIOS
+
             print("algorithms: " + ", ".join(available_schedulers()))
             print("traffic models: " + ", ".join(sorted(TRAFFIC_MODELS)))
             print("figures:")
             for fid in sorted(FIGURES):
                 print(f"  {fid}: {FIGURES[fid].title}")
+            print("fault scenarios:")
+            for name in sorted(FAULT_SCENARIOS):
+                print(f"  {name}: {FAULT_SCENARIOS[name][0]}")
             return 0
         if args.command == "run":
             return _run_command(args)
@@ -345,6 +384,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             seed=args.seed,
             loads=args.loads,
             workers=args.workers,
+            fault_scenario=args.faults,
+            point_timeout=args.point_timeout,
+            point_retries=args.point_retries,
+            on_point_failure="record" if args.keep_going else "raise",
         )
         print(result.to_text(charts=args.charts))
         for exp in check_expectations(result):

@@ -7,8 +7,12 @@ allocate/decrement/release life cycle, and exposes the occupancy counters
 used by the paper's *average queue size* and *maximum queue size* metrics
 ("the number of data cells in the buffer of an input port").
 
-An optional ``capacity`` models a finite hardware buffer; allocation
-beyond capacity raises, which tests use for loss-free-buffer sizing.
+An optional ``capacity`` models a finite hardware buffer. What happens at
+the brim is configurable: ``on_overflow="raise"`` (the default) treats
+overflow as a fatal modelling error, which tests use for loss-free-buffer
+sizing; ``on_overflow="drop"`` models a real drop-tail buffer — the
+arriving packet is counted in ``dropped_total`` and discarded, and the
+simulation keeps running in the degraded regime.
 """
 
 from __future__ import annotations
@@ -23,23 +27,48 @@ __all__ = ["DataCellBuffer"]
 class DataCellBuffer:
     """Pool of live :class:`DataCell` objects for one input port."""
 
-    __slots__ = ("_live", "_capacity", "_peak", "_allocated_total", "_released_total")
+    __slots__ = (
+        "_live",
+        "_capacity",
+        "_on_overflow",
+        "_peak",
+        "_allocated_total",
+        "_released_total",
+        "_dropped_total",
+    )
 
-    def __init__(self, capacity: int | None = None) -> None:
+    def __init__(
+        self, capacity: int | None = None, *, on_overflow: str = "raise"
+    ) -> None:
         if capacity is not None and capacity < 1:
             raise ConfigurationError(f"buffer capacity must be >= 1, got {capacity}")
+        if on_overflow not in ("raise", "drop"):
+            raise ConfigurationError(
+                f"on_overflow must be 'raise' or 'drop', got {on_overflow!r}"
+            )
         self._live: dict[int, DataCell] = {}
         self._capacity = capacity
+        self._on_overflow = on_overflow
         self._peak = 0
         self._allocated_total = 0
         self._released_total = 0
+        self._dropped_total = 0
 
     # ------------------------------------------------------------------ #
     # Life cycle
     # ------------------------------------------------------------------ #
-    def allocate(self, packet: Packet) -> DataCell:
-        """Create and register the data cell for a newly arrived packet."""
+    def allocate(self, packet: Packet) -> DataCell | None:
+        """Create and register the data cell for a newly arrived packet.
+
+        On overflow of a finite buffer: raises
+        :class:`~repro.errors.BufferError_` under the default ``"raise"``
+        policy, or counts the loss and returns ``None`` under the
+        drop-tail ``"drop"`` policy.
+        """
         if self._capacity is not None and len(self._live) >= self._capacity:
+            if self._on_overflow == "drop":
+                self._dropped_total += 1
+                return None
             raise BufferError_(
                 f"data-cell buffer overflow: capacity {self._capacity} reached"
             )
@@ -96,6 +125,16 @@ class DataCellBuffer:
     def capacity(self) -> int | None:
         """Configured hardware capacity, or None for unbounded."""
         return self._capacity
+
+    @property
+    def on_overflow(self) -> str:
+        """Overflow policy: ``"raise"`` (fatal) or ``"drop"`` (drop-tail)."""
+        return self._on_overflow
+
+    @property
+    def dropped_total(self) -> int:
+        """Packets refused by the drop-tail policy (0 under ``"raise"``)."""
+        return self._dropped_total
 
     @property
     def allocated_total(self) -> int:

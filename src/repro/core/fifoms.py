@@ -98,6 +98,11 @@ class FIFOMSScheduler:
         self.tie_break = tie_break
         self.max_iterations = max_iterations
         self.fanout_splitting = fanout_splitting
+        #: Fault-aware switches pass ``input_free``/``output_free`` port
+        #: masks when this is True, so requests to down ports are withheld
+        #: at the source (the no-splitting variant rejects masks and is
+        #: degraded by post-scheduling pruning instead).
+        self.supports_port_masks = fanout_splitting
         self._rng = make_rng(rng)
         # Per-output round-robin pointers (only used for ROUND_ROBIN ties).
         self._grant_pointers = [0] * num_ports

@@ -26,12 +26,15 @@ __all__ = ["preprocess_packet"]
 
 def preprocess_packet(
     port: MulticastVOQInputPort, packet: Packet, current_slot: int
-) -> DataCell:
+) -> DataCell | None:
     """Install ``packet`` into ``port`` per Table 1; return its data cell.
 
     Raises :class:`~repro.errors.TrafficError` if the packet is addressed
     to this switch's nonexistent outputs or arrived on the wrong port, and
     propagates :class:`~repro.errors.BufferError_` on buffer overflow.
+    Under the buffer's drop-tail policy an overflowing allocation returns
+    ``None`` instead: the packet is dropped whole — no data cell, no
+    address cells — and the caller accounts for the loss.
     """
     if packet.input_port != port.port_index:
         raise TrafficError(
@@ -49,6 +52,8 @@ def preprocess_packet(
             f"{current_slot}"
         )
     data_cell = port.buffer.allocate(packet)
+    if data_cell is None:
+        return None
     for dest in packet.destinations:
         port.voqs[dest].push(
             AddressCell(timestamp=current_slot, data_cell=data_cell, output_port=dest)

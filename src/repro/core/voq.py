@@ -90,12 +90,15 @@ class MulticastVOQInputPort:
         num_outputs: int,
         *,
         buffer_capacity: int | None = None,
+        buffer_overflow: str = "raise",
     ) -> None:
         num_outputs = check_port_count(num_outputs, "num_outputs")
         check_index(port_index, 2**31, "port_index")
         self.port_index = port_index
         self.num_outputs = num_outputs
-        self.buffer = DataCellBuffer(capacity=buffer_capacity)
+        self.buffer = DataCellBuffer(
+            capacity=buffer_capacity, on_overflow=buffer_overflow
+        )
         self.voqs: tuple[VirtualOutputQueue, ...] = tuple(
             VirtualOutputQueue(j) for j in range(num_outputs)
         )

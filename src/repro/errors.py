@@ -16,6 +16,7 @@ __all__ = [
     "BufferError_",
     "SimulationError",
     "UnstableSimulationError",
+    "SweepPointError",
 ]
 
 
@@ -57,3 +58,26 @@ class UnstableSimulationError(SimulationError):
     instability is recorded on the result object instead, mirroring how the
     paper truncates curves at the saturation point.
     """
+
+
+class SweepPointError(SimulationError):
+    """One sweep grid point failed after its configured retries.
+
+    Raised by the experiment harness when a worker keeps failing on the
+    same point; ``point`` carries the originating
+    :class:`~repro.experiments.spec.SweepPoint` so the caller can see
+    exactly which (algorithm, load, seed) job was poisoned.
+
+    Worker exceptions cross a ``ProcessPoolExecutor`` boundary by pickle,
+    and the default exception reduction re-calls ``cls(*args)`` — which
+    breaks for multi-argument constructors. The explicit ``__reduce__``
+    keeps this class (and anything subclassing it) round-trippable.
+    """
+
+    def __init__(self, message: str, point: object | None = None) -> None:
+        super().__init__(message)
+        self.point = point
+
+    def __reduce__(self):
+        """Pickle as ``(class, (message, point))`` — see class docstring."""
+        return (type(self), (self.args[0] if self.args else "", self.point))

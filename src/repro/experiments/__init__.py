@@ -3,7 +3,12 @@ runner, and qualitative checks of the paper's claims."""
 
 from repro.experiments.spec import FigureSpec, SweepPoint, METRIC_LABELS
 from repro.experiments.figures import FIGURES, get_figure
-from repro.experiments.sweep import FigureResult, run_figure, run_sweep_point
+from repro.experiments.sweep import (
+    FailedPoint,
+    FigureResult,
+    run_figure,
+    run_sweep_point,
+)
 from repro.experiments.paper import check_expectations, ExpectationResult
 from repro.experiments.campaign import (
     CampaignResult,
@@ -17,6 +22,7 @@ __all__ = [
     "METRIC_LABELS",
     "FIGURES",
     "get_figure",
+    "FailedPoint",
     "FigureResult",
     "run_figure",
     "run_sweep_point",

@@ -40,12 +40,15 @@ class ExpectationResult:
 def _stable_loads(
     result: FigureResult, algorithms: tuple[str, ...], upto: float
 ) -> list[float]:
-    """Loads <= upto at which all listed algorithms stayed stable."""
+    """Loads <= upto at which all listed algorithms completed and stayed
+    stable.  Points missing from ``result.summaries`` (recorded failures
+    from a ``on_point_failure="record"`` sweep) count as not stable."""
     out = []
     for load in result.loads:
         if load > upto:
             continue
-        if all(not result.summaries[(a, load)].unstable for a in algorithms):
+        summaries = [result.summaries.get((a, load)) for a in algorithms]
+        if all(s is not None and not s.unstable for s in summaries):
             out.append(load)
     return out
 
@@ -102,7 +105,8 @@ def _is_smallest(
     not a property of the scheduler.
     """
     contenders = among if among is not None else result.algorithms
-    loads = [l for l in _stable_loads(result, contenders, upto) if l >= lo]
+    present = (alg, *contenders) if alg not in contenders else contenders
+    loads = [l for l in _stable_loads(result, present, upto) if l >= lo]
     if not loads:
         return ExpectationResult(figure_id, claim, False, "no common stable loads")
     failures = []

@@ -45,6 +45,10 @@ class SweepPoint:
     #: returns inside ``SimulationSummary.telemetry`` and the parent
     #: aggregates snapshots with ``repro.obs.aggregate_telemetry``.
     collect_telemetry: bool = False
+    #: Optional fault-injection scenario for this point: a name from
+    #: :data:`repro.faults.FAULT_SCENARIOS` or a spec dict (both are
+    #: picklable, so points cross worker-process boundaries intact).
+    fault_scenario: str | dict[str, Any] | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -85,12 +89,15 @@ class FigureSpec:
         seed: int = 0,
         loads: Sequence[float] | None = None,
         algorithms: Sequence[str] | None = None,
+        fault_scenario: str | dict[str, Any] | None = None,
     ) -> list[SweepPoint]:
         """Materialize the sweep grid.
 
         Each point gets a distinct deterministic seed derived from the
         base seed and its grid position, so parallel execution, subsets
         and re-runs all reproduce identical samples per point.
+        ``fault_scenario`` applies one fault-injection scenario to every
+        point of the grid.
         """
         loads = tuple(loads if loads is not None else self.loads)
         algorithms = tuple(algorithms if algorithms is not None else self.algorithms)
@@ -107,6 +114,7 @@ class FigureSpec:
                         num_slots=num_slots,
                         seed=seed * 1_000_003 + a_idx * 1009 + l_idx,
                         switch_kwargs=dict(self.switch_kwargs.get(alg, {})),
+                        fault_scenario=fault_scenario,
                     )
                 )
         return jobs

@@ -6,24 +6,37 @@ fields (the seed pins all randomness), so points can run in any order and
 in separate processes with bit-identical results — the rank-decomposition
 pattern of the MPI guide, realized with ``concurrent.futures`` since the
 offline environment has no MPI.
+
+Robustness: one crashing or hanging point must not take the whole figure
+with it. :func:`run_figure` runs the grid in rounds — every point that
+fails (worker exception) or times out is retried with the *same* seed up
+to ``point_retries`` extra rounds (a deterministic job either always
+fails or always succeeds; the retry guards against environmental flakes
+like a killed worker). Points still failing after the last round either
+poison the sweep with a :class:`~repro.errors.SweepPointError` carrying
+the originating point (``on_point_failure="raise"``, the default) or are
+recorded as structured :class:`FailedPoint` entries on the result
+(``on_point_failure="record"``), and every presentation helper tolerates
+the holes.
 """
 
 from __future__ import annotations
 
 import math
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
+from typing import Any
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SweepPointError
 from repro.experiments.figures import ALGO_ALIASES
 from repro.experiments.spec import METRIC_LABELS, FigureSpec, SweepPoint
 from repro.report.ascii import format_series, render_ascii_chart
 from repro.sim.runner import run_simulation
 from repro.stats.summary import SimulationSummary
 
-__all__ = ["run_sweep_point", "run_figure", "FigureResult"]
+__all__ = ["run_sweep_point", "run_figure", "FigureResult", "FailedPoint"]
 
 
 def run_sweep_point(point: SweepPoint) -> SimulationSummary:
@@ -36,6 +49,7 @@ def run_sweep_point(point: SweepPoint) -> SimulationSummary:
         num_slots=point.num_slots,
         seed=point.seed,
         collect_telemetry=point.collect_telemetry,
+        faults=point.fault_scenario,
         **point.switch_kwargs,
     )
     if point.algorithm != base_algorithm:
@@ -46,14 +60,44 @@ def run_sweep_point(point: SweepPoint) -> SimulationSummary:
     return summary
 
 
+@dataclass(frozen=True, slots=True)
+class FailedPoint:
+    """Structured record of one grid point that exhausted its retries.
+
+    Errors cross process boundaries as strings (``error_type`` is the
+    exception class name) so the record stays picklable and
+    JSON-friendly regardless of what the worker raised.
+    """
+
+    point: SweepPoint
+    error_type: str
+    message: str
+    #: Total attempts made (1 + configured retries).
+    attempts: int
+
+    def describe(self) -> str:
+        """One-line human description for logs and reports."""
+        return (
+            f"{self.point.algorithm} @ load {self.point.load} "
+            f"(seed {self.point.seed}): {self.error_type}: {self.message} "
+            f"[{self.attempts} attempt(s)]"
+        )
+
+
 @dataclass(slots=True)
 class FigureResult:
-    """All runs of one figure sweep, indexed for presentation."""
+    """All runs of one figure sweep, indexed for presentation.
+
+    ``failures`` is empty unless the sweep ran with
+    ``on_point_failure="record"`` and some points kept failing; the
+    series/table helpers report such holes as NaN rather than raising.
+    """
 
     spec: FigureSpec
     loads: tuple[float, ...]
     algorithms: tuple[str, ...]
     summaries: dict[tuple[str, float], SimulationSummary] = field(default_factory=dict)
+    failures: dict[tuple[str, float], FailedPoint] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     def series(self, metric: str, *, censor_unstable: bool = True) -> dict[str, list[float]]:
@@ -61,13 +105,17 @@ class FigureResult:
 
         ``censor_unstable`` replaces values measured on diverging runs by
         +inf (delay/queue metrics are meaningless there), mirroring how
-        the paper's curves stop at the saturation point.
+        the paper's curves stop at the saturation point. Failed points
+        surface as NaN.
         """
         out: dict[str, list[float]] = {}
         for alg in self.algorithms:
             vals = []
             for load in self.loads:
-                s = self.summaries[(alg, load)]
+                s = self.summaries.get((alg, load))
+                if s is None:
+                    vals.append(math.nan)
+                    continue
                 v = s.metric(metric)
                 if censor_unstable and s.unstable and metric != "throughput":
                     v = math.inf
@@ -78,7 +126,8 @@ class FigureResult:
     def saturation_load(self, algorithm: str) -> float | None:
         """Smallest swept load at which ``algorithm`` went unstable."""
         for load in self.loads:
-            if self.summaries[(algorithm, load)].unstable:
+            s = self.summaries.get((algorithm, load))
+            if s is not None and s.unstable:
                 return load
         return None
 
@@ -105,11 +154,101 @@ class FigureResult:
         ]
         if sat:
             blocks.append("Saturation points: " + "; ".join(sat))
+        if self.failures:
+            blocks.append("Failed points:")
+            for key in sorted(self.failures):
+                blocks.append("  " + self.failures[key].describe())
         return "\n".join(blocks)
 
     def all_summaries(self) -> list[SimulationSummary]:
-        """Every run of the sweep, algorithm-major then load order."""
-        return [self.summaries[(a, l)] for a in self.algorithms for l in self.loads]
+        """Every completed run of the sweep, algorithm-major then load
+        order (failed points are absent)."""
+        out = []
+        for a in self.algorithms:
+            for l in self.loads:
+                s = self.summaries.get((a, l))
+                if s is not None:
+                    out.append(s)
+        return out
+
+
+# --------------------------------------------------------------------- #
+# Round execution
+# --------------------------------------------------------------------- #
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Best-effort teardown of a pool holding a hung worker.
+
+    ``shutdown(wait=True)`` would block on the hung task forever, so the
+    workers are terminated directly; private-attribute access is guarded
+    because the interpreter may rearrange internals across versions.
+    """
+    pool.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(pool, "_processes", None)
+    if not processes:
+        return
+    for proc in list(processes.values()):
+        try:
+            proc.terminate()
+        except (OSError, AttributeError, ValueError):
+            # Already dead, or not a real process object — nothing to do.
+            continue
+
+
+def _run_round(
+    jobs: list[tuple[tuple[str, float], SweepPoint]],
+    *,
+    workers: int,
+    point_timeout: float | None,
+) -> tuple[
+    dict[tuple[str, float], SimulationSummary],
+    dict[tuple[str, float], tuple[str, str]],
+]:
+    """Run one retry round; return (completed, failed) keyed by grid cell.
+
+    Failures are ``(error_type_name, message)`` pairs. With ``workers > 1``
+    each point's result is awaited for at most ``point_timeout`` seconds;
+    a timeout marks the point failed and tears the pool down (the hung
+    worker cannot be cancelled cooperatively). The serial path cannot
+    preempt a hung simulation, so ``point_timeout`` is a pool-only guard.
+    """
+    results: dict[tuple[str, float], SimulationSummary] = {}
+    failed: dict[tuple[str, float], tuple[str, str]] = {}
+    if workers > 1:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        hung = False
+        try:
+            futures = [
+                (key, pool.submit(run_sweep_point, point)) for key, point in jobs
+            ]
+            for key, future in futures:
+                if hung:
+                    # The pool is compromised; fail fast on the rest so
+                    # the retry round gets a fresh pool.
+                    if not future.done():
+                        failed[key] = ("SweepPointError", "pool torn down after a timeout")
+                        continue
+                try:
+                    results[key] = future.result(timeout=point_timeout)
+                except FutureTimeout:
+                    hung = True
+                    failed[key] = (
+                        "TimeoutError",
+                        f"no result within {point_timeout}s",
+                    )
+                except Exception as exc:
+                    failed[key] = (type(exc).__name__, str(exc))
+        finally:
+            if hung:
+                _terminate_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+    else:
+        for key, point in jobs:
+            try:
+                results[key] = run_sweep_point(point)
+            except Exception as exc:
+                failed[key] = (type(exc).__name__, str(exc))
+    return results, failed
 
 
 def run_figure(
@@ -121,6 +260,10 @@ def run_figure(
     algorithms: Sequence[str] | None = None,
     workers: int | None = None,
     collect_telemetry: bool = False,
+    fault_scenario: str | dict[str, Any] | None = None,
+    point_timeout: float | None = None,
+    point_retries: int = 0,
+    on_point_failure: str = "raise",
 ) -> FigureResult:
     """Run a figure sweep and collect the results.
 
@@ -130,9 +273,32 @@ def run_figure(
     ``collect_telemetry`` makes every worker return a metrics+profile
     snapshot in its summary (aggregate across points with
     ``repro.obs.aggregate_telemetry``).
+
+    Robustness knobs: ``point_timeout`` bounds each point's wall-clock in
+    pool mode (a hung worker is terminated, not waited on);
+    ``point_retries`` re-runs failed points with the same seed that many
+    extra rounds; ``on_point_failure`` decides what happens to points
+    that exhaust their retries — ``"raise"`` aborts the sweep with a
+    :class:`~repro.errors.SweepPointError` naming the poisoned point,
+    ``"record"`` keeps going and files a :class:`FailedPoint` on the
+    result. ``fault_scenario`` applies one fault-injection scenario to
+    every point.
     """
+    if on_point_failure not in ("raise", "record"):
+        raise ConfigurationError(
+            f"on_point_failure must be 'raise' or 'record', got {on_point_failure!r}"
+        )
+    if point_retries < 0:
+        raise ConfigurationError(
+            f"point_retries must be >= 0, got {point_retries}"
+        )
+    if point_timeout is not None and point_timeout <= 0:
+        raise ConfigurationError(
+            f"point_timeout must be positive, got {point_timeout}"
+        )
     points = spec.points(
-        num_slots=num_slots, seed=seed, loads=loads, algorithms=algorithms
+        num_slots=num_slots, seed=seed, loads=loads, algorithms=algorithms,
+        fault_scenario=fault_scenario,
     )
     if not points:
         raise ConfigurationError("empty sweep grid")
@@ -140,14 +306,47 @@ def run_figure(
         points = [replace(p, collect_telemetry=True) for p in points]
     if workers is None:
         workers = min(os.cpu_count() or 1, len(points)) if len(points) > 4 else 1
-    if workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(run_sweep_point, points, chunksize=1))
-    else:
-        results = [run_sweep_point(p) for p in points]
+
+    by_key = {(p.algorithm, p.load): p for p in points}
+    pending = [((p.algorithm, p.load), p) for p in points]
+    summaries: dict[tuple[str, float], SimulationSummary] = {}
+    last_error: dict[tuple[str, float], tuple[str, str]] = {}
+    attempts = 0
+    for _round in range(point_retries + 1):
+        if not pending:
+            break
+        attempts = _round + 1
+        results, failed = _run_round(
+            pending, workers=workers, point_timeout=point_timeout
+        )
+        summaries.update(results)
+        last_error.update(failed)
+        pending = [(key, by_key[key]) for key in sorted(failed)]
+
+    failures: dict[tuple[str, float], FailedPoint] = {}
+    for key, _point in pending:
+        error_type, message = last_error[key]
+        failures[key] = FailedPoint(
+            point=by_key[key],
+            error_type=error_type,
+            message=message,
+            attempts=attempts,
+        )
+    if failures and on_point_failure == "raise":
+        first = failures[min(failures)]
+        raise SweepPointError(
+            f"sweep point failed after {first.attempts} attempt(s): "
+            f"{first.describe()}",
+            point=first.point,
+        )
+
     loads_t = tuple(loads if loads is not None else spec.loads)
     algos_t = tuple(algorithms if algorithms is not None else spec.algorithms)
-    out = FigureResult(spec=spec, loads=loads_t, algorithms=algos_t)
-    for point, summary in zip(points, results):
-        out.summaries[(point.algorithm, point.load)] = summary
+    out = FigureResult(
+        spec=spec, loads=loads_t, algorithms=algos_t, failures=failures
+    )
+    for point in points:
+        key = (point.algorithm, point.load)
+        if key in summaries:
+            out.summaries[key] = summaries[key]
     return out

@@ -54,23 +54,52 @@ class MulticastCrossbar:
         )
         self._driver = np.full(self.num_outputs, -1, dtype=np.int64)
         self._configured = False
+        self._failed_crosspoints: frozenset[tuple[int, int]] = frozenset()
         # Cumulative accounting.
         self.slots_configured = 0
         self.cells_transferred = 0
         self.multicast_transfers = 0  # grant sets with fanout > 1
 
     # ------------------------------------------------------------------ #
+    def set_crosspoint_faults(self, pairs) -> None:
+        """Declare the ``(input, output)`` crosspoints currently failed.
+
+        A failed crosspoint is a physical constraint like the
+        one-driver-per-output rule: :meth:`configure` refuses any decision
+        that routes through one. The fault injector keeps this mask in
+        sync with its per-slot state; pass an empty iterable to clear it.
+        """
+        failed = frozenset((int(i), int(j)) for i, j in pairs)
+        for i, j in failed:
+            check_index(i, self.num_inputs, "input_port")
+            check_index(j, self.num_outputs, "output_port")
+        self._failed_crosspoints = failed
+
+    @property
+    def failed_crosspoints(self) -> frozenset[tuple[int, int]]:
+        """The currently-declared failed crosspoints (empty when healthy)."""
+        return self._failed_crosspoints
+
     def configure(self, decision: ScheduleDecision) -> CrossbarConfig:
         """Set crosspoints for one slot from a schedule decision.
 
         Raises :class:`~repro.errors.FabricConflictError` if two inputs
-        claim one output — the scheduler must never let this happen.
+        claim one output — the scheduler must never let this happen — or
+        if a grant routes through a crosspoint declared failed via
+        :meth:`set_crosspoint_faults` (the fault-aware layers above must
+        prune such branches before configuring).
         """
         self._driver.fill(-1)
+        failed = self._failed_crosspoints
         for input_port, grant in decision.grants.items():
             check_index(input_port, self.num_inputs, "input_port")
             for out in grant.output_ports:
                 check_index(out, self.num_outputs, "output_port")
+                if failed and (input_port, out) in failed:
+                    raise FabricConflictError(
+                        f"crosspoint ({input_port}, {out}) is failed; the "
+                        "decision was not pruned for the current fault state"
+                    )
                 if self._driver[out] != -1:
                     raise FabricConflictError(
                         f"output {out} claimed by inputs {self._driver[out]} "

@@ -1,0 +1,38 @@
+"""Deterministic fault injection: seeded fault models, an injector the
+engine drives once per slot, and a catalog of named scenarios.
+
+The paper argues FIFOMS keeps working under adversity; this package makes
+adversity simulable instead of fatal. See ``docs/robustness.md`` for the
+fault taxonomy, degradation semantics and determinism guarantees.
+"""
+
+from repro.faults.injector import FaultInjector, SlotFaultState
+from repro.faults.models import (
+    CellDropModel,
+    CrosspointFailure,
+    CrosspointOutage,
+    GrantLossModel,
+    LinkDownSchedule,
+    PortOutage,
+)
+from repro.faults.scenarios import (
+    FAULT_SCENARIOS,
+    available_fault_scenarios,
+    build_fault_injector,
+    scenario_spec,
+)
+
+__all__ = [
+    "PortOutage",
+    "LinkDownSchedule",
+    "CrosspointOutage",
+    "CrosspointFailure",
+    "GrantLossModel",
+    "CellDropModel",
+    "SlotFaultState",
+    "FaultInjector",
+    "FAULT_SCENARIOS",
+    "available_fault_scenarios",
+    "build_fault_injector",
+    "scenario_spec",
+]

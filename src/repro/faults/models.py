@@ -1,0 +1,267 @@
+"""Seeded, replayable fault models.
+
+Each model describes one adversity class the switch must survive:
+
+* :class:`LinkDownSchedule` — deterministic output/input port outages over
+  slot intervals (a dead line card, a maintenance window);
+* :class:`CrosspointFailure` — stuck-open crosspoints in the crossbar, so
+  one (input, output) path is unusable while both ports stay up;
+* :class:`GrantLossModel` — per-branch grant corruption: a scheduled
+  (input, output) connection is lost before the transfer happens, and the
+  address cell stays at the head of its VOQ for a natural retry;
+* :class:`CellDropModel` — Bernoulli ingress loss: an arriving packet is
+  dropped before preprocessing (no data cell, no address cells).
+
+Deterministic models (outage schedules) carry no randomness at all; the
+stochastic ones (:class:`GrantLossModel`, :class:`CellDropModel`) never own
+a generator — every draw flows through a named stream handed to them by
+the :class:`~repro.faults.injector.FaultInjector`, so a fault-injected run
+stays a pure function of ``(algorithm, traffic, scenario, seed)``.
+
+Windows are ``[start, end)`` in slots; ``end=None`` means the fault never
+recovers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PortOutage",
+    "LinkDownSchedule",
+    "CrosspointOutage",
+    "CrosspointFailure",
+    "GrantLossModel",
+    "CellDropModel",
+]
+
+
+def _check_window(start: int, end: int | None, what: str) -> None:
+    """Validate one ``[start, end)`` slot window."""
+    if start < 0:
+        raise ConfigurationError(f"{what}: start must be >= 0, got {start}")
+    if end is not None and end <= start:
+        raise ConfigurationError(
+            f"{what}: end must be > start (or None), got [{start}, {end})"
+        )
+
+
+def _window_active(slot: int, start: int, end: int | None) -> bool:
+    """True when ``slot`` falls inside ``[start, end)``."""
+    return slot >= start and (end is None or slot < end)
+
+
+@dataclass(frozen=True, slots=True)
+class PortOutage:
+    """One contiguous outage window of a single port.
+
+    ``kind`` selects the side: a down *output* receives no grants (and
+    schedulers that understand masks withhold requests to it); a down
+    *input* sends nothing and loses its arrivals at ingress.
+    """
+
+    port: int
+    start: int
+    end: int | None = None
+    kind: str = "output"
+
+    def __post_init__(self) -> None:
+        if self.port < 0:
+            raise ConfigurationError(f"outage port must be >= 0, got {self.port}")
+        if self.kind not in ("output", "input"):
+            raise ConfigurationError(
+                f"outage kind must be 'output' or 'input', got {self.kind!r}"
+            )
+        _check_window(self.start, self.end, f"outage of {self.kind} {self.port}")
+
+    def active(self, slot: int) -> bool:
+        """True when this outage covers ``slot``."""
+        return _window_active(slot, self.start, self.end)
+
+
+class LinkDownSchedule:
+    """A deterministic timetable of port outages (no randomness).
+
+    The schedule is replayable by construction: the set of down ports in
+    any slot depends only on the outage list, never on the run history.
+    """
+
+    __slots__ = ("outages",)
+
+    def __init__(self, outages: Sequence[PortOutage]) -> None:
+        self.outages: tuple[PortOutage, ...] = tuple(outages)
+        for o in self.outages:
+            if not isinstance(o, PortOutage):
+                raise ConfigurationError(f"expected PortOutage, got {o!r}")
+
+    def down_outputs(self, slot: int) -> tuple[int, ...]:
+        """Sorted output ports that are down during ``slot``."""
+        down = {o.port for o in self.outages if o.kind == "output" and o.active(slot)}
+        return tuple(sorted(down))
+
+    def down_inputs(self, slot: int) -> tuple[int, ...]:
+        """Sorted input ports that are down during ``slot``."""
+        down = {o.port for o in self.outages if o.kind == "input" and o.active(slot)}
+        return tuple(sorted(down))
+
+    def any_active(self, slot: int) -> bool:
+        """True when at least one outage covers ``slot``."""
+        return any(o.active(slot) for o in self.outages)
+
+    def last_end(self) -> int | None:
+        """Slot at which the final outage window closes.
+
+        ``None`` when the schedule is empty or contains a permanent
+        (``end=None``) outage — there is no recovery point to report.
+        """
+        if not self.outages:
+            return None
+        ends = [o.end for o in self.outages]
+        if any(e is None for e in ends):
+            return None
+        return max(e for e in ends if e is not None)
+
+    def max_port(self) -> int:
+        """Largest port index referenced (for validation against N)."""
+        return max((o.port for o in self.outages), default=-1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LinkDownSchedule({len(self.outages)} outages)"
+
+
+@dataclass(frozen=True, slots=True)
+class CrosspointOutage:
+    """One failed crosspoint ``(input_port, output_port)`` over a window."""
+
+    input_port: int
+    output_port: int
+    start: int = 0
+    end: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.input_port < 0 or self.output_port < 0:
+            raise ConfigurationError(
+                f"crosspoint indices must be >= 0, got "
+                f"({self.input_port}, {self.output_port})"
+            )
+        _check_window(
+            self.start,
+            self.end,
+            f"crosspoint ({self.input_port}, {self.output_port})",
+        )
+
+    def active(self, slot: int) -> bool:
+        """True when this crosspoint failure covers ``slot``."""
+        return _window_active(slot, self.start, self.end)
+
+
+class CrosspointFailure:
+    """A mask of failed crossbar crosspoints, possibly windowed in time.
+
+    Both ports of a failed crosspoint stay usable through other
+    crosspoints; only the one (input, output) path is blocked. The switch
+    prunes scheduled branches that would cross a failed crosspoint, and the
+    crossbar independently refuses to configure through one
+    (:class:`~repro.errors.FabricConflictError`) — defence in depth.
+    """
+
+    __slots__ = ("outages",)
+
+    def __init__(self, outages: Sequence[CrosspointOutage]) -> None:
+        self.outages: tuple[CrosspointOutage, ...] = tuple(outages)
+        for o in self.outages:
+            if not isinstance(o, CrosspointOutage):
+                raise ConfigurationError(f"expected CrosspointOutage, got {o!r}")
+
+    def failed_pairs(self, slot: int) -> frozenset[tuple[int, int]]:
+        """The ``(input, output)`` pairs unusable during ``slot``."""
+        return frozenset(
+            (o.input_port, o.output_port) for o in self.outages if o.active(slot)
+        )
+
+    def max_input(self) -> int:
+        """Largest input index referenced (for validation against N)."""
+        return max((o.input_port for o in self.outages), default=-1)
+
+    def max_output(self) -> int:
+        """Largest output index referenced (for validation against N)."""
+        return max((o.output_port for o in self.outages), default=-1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CrosspointFailure({len(self.outages)} crosspoints)"
+
+
+@dataclass(frozen=True, slots=True)
+class GrantLossModel:
+    """Per-slot, per-branch Bernoulli grant corruption.
+
+    Each scheduled (input, output) branch surviving the port/crosspoint
+    masks is independently lost with ``probability`` while the window is
+    active. A lost branch is removed *before* the crossbar is configured:
+    its address cell is never popped, so the existing fanout-splitting
+    semantics retry it on a later slot with its original timestamp.
+    """
+
+    probability: float
+    start: int = 0
+    end: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"grant-loss probability must be in [0, 1], got {self.probability}"
+            )
+        _check_window(self.start, self.end, "grant loss window")
+
+    def active(self, slot: int) -> bool:
+        """True when grant corruption is armed during ``slot``."""
+        return _window_active(slot, self.start, self.end)
+
+    def lose(self, slot: int, rng: np.random.Generator) -> bool:
+        """Draw one branch's fate from the injector's named stream."""
+        if not self.active(slot):
+            return False
+        return bool(rng.random() < self.probability)
+
+
+@dataclass(frozen=True, slots=True)
+class CellDropModel:
+    """Bernoulli ingress loss: arriving packets dropped before buffering.
+
+    ``input_ports=None`` exposes every input to loss; otherwise only the
+    listed inputs are lossy. A dropped packet never allocates a data cell
+    and never enqueues address cells — it is counted, not simulated.
+    """
+
+    probability: float
+    start: int = 0
+    end: int | None = None
+    input_ports: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"cell-drop probability must be in [0, 1], got {self.probability}"
+            )
+        _check_window(self.start, self.end, "cell drop window")
+        if self.input_ports is not None:
+            object.__setattr__(
+                self, "input_ports", tuple(sorted(set(self.input_ports)))
+            )
+
+    def active(self, slot: int) -> bool:
+        """True when ingress loss is armed during ``slot``."""
+        return _window_active(slot, self.start, self.end)
+
+    def drop(self, slot: int, input_port: int, rng: np.random.Generator) -> bool:
+        """Draw one arriving packet's fate from the injector's stream."""
+        if not self.active(slot):
+            return False
+        if self.input_ports is not None and input_port not in self.input_ports:
+            return False
+        return bool(rng.random() < self.probability)

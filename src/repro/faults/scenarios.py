@@ -1,0 +1,274 @@
+"""Named fault scenarios and the spec-to-injector builder.
+
+A *scenario spec* is a plain dict (JSON-friendly, picklable across sweep
+workers) with any of four keys::
+
+    {
+        "link_down":   [{"port": 0, "kind": "output",
+                         "start": 0.4, "end": 0.6}, ...],
+        "crosspoints": [{"input": 0, "output": 0,
+                         "start": 0, "end": None}, ...],
+        "grant_loss":  {"probability": 0.05, "start": 0, "end": None},
+        "cell_drop":   {"probability": 0.02, "input_ports": [0, 1]},
+    }
+
+``start`` / ``end`` accept absolute slot numbers (ints) or fractions of
+the run in ``(0, 1]`` (floats) — fractions let one scenario scale from a
+4k-slot smoke test to the paper's 10^6-slot runs without editing.
+
+The catalog (:data:`FAULT_SCENARIOS`) maps short CLI names to builders
+parameterized by switch size, so ``repro-sim run --faults output-outage``
+works for any N.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    CellDropModel,
+    CrosspointFailure,
+    CrosspointOutage,
+    GrantLossModel,
+    LinkDownSchedule,
+    PortOutage,
+)
+from repro.utils.rng import RngStreams
+
+__all__ = [
+    "FAULT_SCENARIOS",
+    "available_fault_scenarios",
+    "scenario_spec",
+    "build_fault_injector",
+]
+
+
+def _resolve_slot(value: Any, num_slots: int, what: str) -> int | None:
+    """Turn an absolute slot or a run fraction into an absolute slot."""
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(f"{what}: expected slot or fraction, got {value!r}")
+    if isinstance(value, float):
+        if not 0.0 <= value <= 1.0:
+            raise ConfigurationError(
+                f"{what}: fractional slot must be in [0, 1], got {value}"
+            )
+        return int(round(value * num_slots))
+    if value < 0:
+        raise ConfigurationError(f"{what}: slot must be >= 0, got {value}")
+    return value
+
+
+def _build_link_down(entries: list[dict[str, Any]], num_slots: int) -> LinkDownSchedule:
+    """Materialize the ``link_down`` section of a spec."""
+    outages = []
+    for entry in entries:
+        outages.append(
+            PortOutage(
+                port=int(entry["port"]),
+                kind=str(entry.get("kind", "output")),
+                start=_resolve_slot(entry.get("start", 0), num_slots, "outage start") or 0,
+                end=_resolve_slot(entry.get("end"), num_slots, "outage end"),
+            )
+        )
+    return LinkDownSchedule(outages)
+
+
+def _build_crosspoints(
+    entries: list[dict[str, Any]], num_slots: int
+) -> CrosspointFailure:
+    """Materialize the ``crosspoints`` section of a spec."""
+    outages = []
+    for entry in entries:
+        outages.append(
+            CrosspointOutage(
+                input_port=int(entry["input"]),
+                output_port=int(entry["output"]),
+                start=_resolve_slot(entry.get("start", 0), num_slots, "crosspoint start") or 0,
+                end=_resolve_slot(entry.get("end"), num_slots, "crosspoint end"),
+            )
+        )
+    return CrosspointFailure(outages)
+
+
+def build_fault_injector(
+    spec: str | dict[str, Any],
+    *,
+    num_ports: int,
+    num_slots: int,
+    rng: RngStreams | int | None = None,
+) -> FaultInjector:
+    """Build a :class:`FaultInjector` from a scenario name or spec dict.
+
+    ``rng`` should be the run's :class:`~repro.utils.rng.RngStreams` so
+    the injector's named streams descend from the same root seed as
+    traffic and scheduler randomness.
+    """
+    if isinstance(spec, str):
+        try:
+            _desc, builder = FAULT_SCENARIOS[spec]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown fault scenario {spec!r}; one of "
+                f"{sorted(FAULT_SCENARIOS)}"
+            ) from None
+        spec = builder(num_ports)
+    if not isinstance(spec, dict):
+        raise ConfigurationError(
+            f"fault spec must be a scenario name or dict, got {type(spec).__name__}"
+        )
+    unknown = set(spec) - {"link_down", "crosspoints", "grant_loss", "cell_drop"}
+    if unknown:
+        raise ConfigurationError(
+            f"unknown fault spec keys {sorted(unknown)}; known: "
+            "link_down, crosspoints, grant_loss, cell_drop"
+        )
+    link_down = (
+        _build_link_down(spec["link_down"], num_slots)
+        if spec.get("link_down")
+        else None
+    )
+    crosspoints = (
+        _build_crosspoints(spec["crosspoints"], num_slots)
+        if spec.get("crosspoints")
+        else None
+    )
+    grant_loss = None
+    if spec.get("grant_loss"):
+        gl = dict(spec["grant_loss"])
+        grant_loss = GrantLossModel(
+            probability=float(gl["probability"]),
+            start=_resolve_slot(gl.get("start", 0), num_slots, "grant loss start") or 0,
+            end=_resolve_slot(gl.get("end"), num_slots, "grant loss end"),
+        )
+    cell_drop = None
+    if spec.get("cell_drop"):
+        cd = dict(spec["cell_drop"])
+        ports = cd.get("input_ports")
+        cell_drop = CellDropModel(
+            probability=float(cd["probability"]),
+            start=_resolve_slot(cd.get("start", 0), num_slots, "cell drop start") or 0,
+            end=_resolve_slot(cd.get("end"), num_slots, "cell drop end"),
+            input_ports=tuple(int(p) for p in ports) if ports else None,
+        )
+    if link_down is None and crosspoints is None and grant_loss is None and cell_drop is None:
+        raise ConfigurationError("fault spec enables no fault model")
+    return FaultInjector(
+        num_ports,
+        link_down=link_down,
+        crosspoints=crosspoints,
+        grant_loss=grant_loss,
+        cell_drop=cell_drop,
+        rng=rng,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Catalog
+# --------------------------------------------------------------------- #
+def _output_outage(num_ports: int) -> dict[str, Any]:
+    """Output 0 down for the middle fifth of the run."""
+    return {"link_down": [{"port": 0, "kind": "output", "start": 0.4, "end": 0.6}]}
+
+
+def _dual_output_outage(num_ports: int) -> dict[str, Any]:
+    """Two staggered output outages overlapping mid-run."""
+    second = 1 % num_ports
+    return {
+        "link_down": [
+            {"port": 0, "kind": "output", "start": 0.3, "end": 0.55},
+            {"port": second, "kind": "output", "start": 0.45, "end": 0.7},
+        ]
+    }
+
+
+def _input_outage(num_ports: int) -> dict[str, Any]:
+    """Input 0 down (arrivals lost, no requests) mid-run."""
+    return {"link_down": [{"port": 0, "kind": "input", "start": 0.4, "end": 0.6}]}
+
+
+def _flaky_crosspoint(num_ports: int) -> dict[str, Any]:
+    """One crosspoint dead all run, another failing over a window."""
+    spec: dict[str, Any] = {
+        "crosspoints": [{"input": 0, "output": 0, "start": 0, "end": None}]
+    }
+    if num_ports > 1:
+        spec["crosspoints"].append(
+            {"input": 1, "output": num_ports - 1, "start": 0.3, "end": 0.7}
+        )
+    return spec
+
+
+def _grant_glitch(num_ports: int) -> dict[str, Any]:
+    """5% of scheduled branches corrupted, whole run."""
+    return {"grant_loss": {"probability": 0.05}}
+
+
+def _lossy_ingress(num_ports: int) -> dict[str, Any]:
+    """2% Bernoulli packet loss at every input, whole run."""
+    return {"cell_drop": {"probability": 0.02}}
+
+
+def _chaos(num_ports: int) -> dict[str, Any]:
+    """Everything at once: outage + crosspoint + grant loss + ingress loss."""
+    return {
+        "link_down": [{"port": 0, "kind": "output", "start": 0.4, "end": 0.6}],
+        "crosspoints": [
+            {"input": num_ports - 1, "output": num_ports - 1, "start": 0.2, "end": 0.8}
+        ],
+        "grant_loss": {"probability": 0.02},
+        "cell_drop": {"probability": 0.01},
+    }
+
+
+#: name -> (one-line description, builder(num_ports) -> spec dict).
+FAULT_SCENARIOS: dict[str, tuple[str, Callable[[int], dict[str, Any]]]] = {
+    "output-outage": (
+        "output 0 down for the middle fifth of the run",
+        _output_outage,
+    ),
+    "dual-output-outage": (
+        "two staggered, overlapping output outages",
+        _dual_output_outage,
+    ),
+    "input-outage": (
+        "input 0 down mid-run; its arrivals are lost",
+        _input_outage,
+    ),
+    "flaky-crosspoint": (
+        "crosspoint (0,0) dead all run; (1,N-1) fails over a window",
+        _flaky_crosspoint,
+    ),
+    "grant-glitch": (
+        "5% of scheduled branches corrupted (retried later)",
+        _grant_glitch,
+    ),
+    "lossy-ingress": (
+        "2% Bernoulli arrival loss at every input",
+        _lossy_ingress,
+    ),
+    "chaos": (
+        "outage + crosspoint failure + grant loss + ingress loss",
+        _chaos,
+    ),
+}
+
+
+def available_fault_scenarios() -> tuple[str, ...]:
+    """Sorted names of the built-in fault scenarios."""
+    return tuple(sorted(FAULT_SCENARIOS))
+
+
+def scenario_spec(name: str, num_ports: int) -> dict[str, Any]:
+    """The spec dict a named scenario expands to for an N-port switch."""
+    try:
+        _desc, builder = FAULT_SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown fault scenario {name!r}; one of {sorted(FAULT_SCENARIOS)}"
+        ) from None
+    return builder(num_ports)

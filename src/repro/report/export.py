@@ -31,6 +31,10 @@ CSV_COLUMNS: tuple[str, ...] = (
     "delivery_ratio",
     "final_backlog",
     "unstable",
+    # Loss / fault-injection accounting (zero for healthy runs).
+    "cells_dropped",
+    "packets_dropped",
+    "grants_lost",
     # Extended-stats columns (blank unless extended_stats was enabled).
     "delay_p50",
     "delay_p99",

@@ -18,7 +18,7 @@ through the progress reporter.
 
 from __future__ import annotations
 
-from repro.errors import SimulationError, UnstableSimulationError
+from repro.errors import ConfigurationError, SimulationError, UnstableSimulationError
 from repro.obs.profiler import clock_ns
 from repro.obs.telemetry import Telemetry
 from repro.obs.tracer import build_slot_record
@@ -44,12 +44,27 @@ class SimulationEngine:
         seed: int | None = None,
         algorithm_name: str | None = None,
         telemetry: Telemetry | None = None,
+        faults: object | None = None,
     ) -> None:
         if switch.num_ports != traffic.num_ports:
             raise SimulationError(
                 f"switch has {switch.num_ports} ports but traffic targets "
                 f"{traffic.num_ports}"
             )
+        if faults is not None:
+            if not hasattr(switch, "fault_injector"):
+                raise ConfigurationError(
+                    f"{type(switch).__name__} does not support fault "
+                    "injection (no fault_injector attribute)"
+                )
+            switch.fault_injector = faults
+        #: The active fault injector, whether passed here or already
+        #: attached to the switch; None for healthy runs.
+        self.faults = (
+            faults
+            if faults is not None
+            else getattr(switch, "fault_injector", None)
+        )
         self.switch = switch
         self.traffic = traffic
         self.config = config or SimulationConfig()
@@ -100,8 +115,11 @@ class SimulationEngine:
         collector = self.collector
         window = cfg.stability_window
         check_every = cfg.check_invariants_every
+        injector = self.faults
 
         for slot in range(cfg.num_slots):
+            if injector is not None:
+                injector.advance(slot)
             arrivals = traffic.next_slot()
             result = switch.step(arrivals, slot)
             collector.on_slot(slot, arrivals, result, switch.queue_sizes())
@@ -109,9 +127,22 @@ class SimulationEngine:
             if check_every and (slot + 1) % check_every == 0:
                 switch.check_invariants()
             if window and (slot + 1) % window == 0:
-                if self.monitor.observe(switch.total_backlog()):
+                if self._observe_stability(injector, switch.total_backlog()):
                     return True
         return False
+
+    def _observe_stability(self, injector: object | None, backlog: int) -> bool:
+        """Feed the stability monitor, fault-aware.
+
+        While an injected port outage or crosspoint failure is active the
+        backlog ramps by design; the trend detector would misread that as
+        saturation and cut the run short, so degraded windows go through
+        :meth:`~repro.sim.stability.StabilityMonitor.observe_degraded`
+        (hard ceiling only) instead.
+        """
+        if injector is not None and injector.current.degraded:
+            return self.monitor.observe_degraded(backlog)
+        return self.monitor.observe(backlog)
 
     # ------------------------------------------------------------------ #
     def _run_instrumented(self) -> bool:
@@ -127,6 +158,7 @@ class SimulationEngine:
         collector = self.collector
         window = cfg.stability_window
         check_every = cfg.check_invariants_every
+        injector = self.faults
         unstable = False
 
         tel = self.telemetry
@@ -148,6 +180,8 @@ class SimulationEngine:
         c_delivered = registry.counter("sim.cells_delivered", **labels)
         c_splits = registry.counter("sim.fanout_splits", **labels)
         c_reclaimed = registry.counter("sim.buffer_reclamations", **labels)
+        c_dropped = registry.counter("sim.cells_dropped", **labels)
+        c_lost_grants = registry.counter("sim.grants_lost", **labels)
         g_backlog = registry.gauge("sim.backlog", **labels)
         h_rounds = registry.histogram("sim.rounds_per_slot", **labels)
 
@@ -155,6 +189,8 @@ class SimulationEngine:
         ns_traffic = ns_schedule = ns_stats = ns_checks = 0
 
         for slot in range(cfg.num_slots):
+            if injector is not None:
+                injector.advance(slot)
             if prof_on:
                 t0 = perf()
                 arrivals = traffic.next_slot()
@@ -184,6 +220,10 @@ class SimulationEngine:
             c_delivered.inc(result.cells_delivered)
             c_splits.inc(result.splits)
             c_reclaimed.inc(result.reclaimed)
+            if result.dropped_packets:
+                c_dropped.inc(result.cells_dropped)
+            if result.grants_lost:
+                c_lost_grants.inc(result.grants_lost)
             g_backlog.set(backlog)
             if result.requests_made:
                 h_rounds.observe(result.rounds)
@@ -195,7 +235,7 @@ class SimulationEngine:
             if check_every and (slot + 1) % check_every == 0:
                 switch.check_invariants()
             if window and (slot + 1) % window == 0:
-                if self.monitor.observe(backlog):
+                if self._observe_stability(injector, backlog):
                     unstable = True
             if prof_on:
                 ns_checks += perf() - t4
@@ -247,6 +287,12 @@ class SimulationEngine:
             cells_delivered=c.throughput.cells_delivered,
             final_backlog=self.switch.total_backlog(),
             unstable=unstable,
+            cells_dropped=c.cells_dropped,
+            packets_dropped=c.packets_dropped,
+            grants_lost=c.grants_lost,
+            faults=(
+                self.faults.report() if self.faults is not None else None
+            ),
             traffic=traffic_desc,
             extra=c.extended_metrics(),
             telemetry=telemetry_section,

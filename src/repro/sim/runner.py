@@ -78,6 +78,7 @@ def run_simulation(
     extended_stats: bool = False,
     telemetry: Telemetry | None = None,
     collect_telemetry: bool = False,
+    faults: object | None = None,
     **switch_kwargs: Any,
 ) -> SimulationSummary:
     """Build switch + traffic + engine from plain values and run.
@@ -85,7 +86,13 @@ def run_simulation(
     Parameters mirror the registry/traffic specs; ``config`` overrides the
     (num_slots, warmup_fraction) shorthand when given. Determinism: the
     ``seed`` spawns two independent named streams, one for the traffic
-    model and one for scheduler tie-breaking.
+    model and one for scheduler tie-breaking; fault models draw from
+    their own ``faults.*`` streams off the same root seed.
+
+    Fault injection: ``faults`` accepts a scenario name from
+    :data:`repro.faults.FAULT_SCENARIOS`, a JSON-friendly spec dict, or a
+    prebuilt :class:`~repro.faults.FaultInjector` (which must match
+    ``num_ports`` and is used as-is).
 
     Observability: pass a preconfigured ``telemetry`` bundle (tracing,
     progress, …), or set ``collect_telemetry=True`` to build a default
@@ -109,8 +116,22 @@ def run_simulation(
         stability_window=max(100, num_slots // 100),
         extended_stats=extended_stats,
     )
+    injector = None
+    if faults is not None:
+        from repro.faults.injector import FaultInjector
+        from repro.faults.scenarios import build_fault_injector
+
+        if isinstance(faults, FaultInjector):
+            injector = faults
+        else:
+            injector = build_fault_injector(
+                faults,
+                num_ports=num_ports,
+                num_slots=cfg.num_slots,
+                rng=streams,
+            )
     engine = SimulationEngine(
         switch, traffic, cfg, seed=seed, algorithm_name=algorithm,
-        telemetry=telemetry,
+        telemetry=telemetry, faults=injector,
     )
     return engine.run()

@@ -64,3 +64,26 @@ class StabilityMonitor:
                 self._streak = 0
         self._prev = backlog
         return self.unstable
+
+    def observe_degraded(self, backlog: int) -> bool:
+        """Record a sample taken while the switch is fault-degraded.
+
+        During an injected port outage the backlog legitimately ramps for
+        as long as the fault lasts — that is graceful degradation, not
+        supercriticality — so the trend detector must not mistake it for
+        instability. This variant enforces only the hard ceiling and
+        resets the growth streak (and its baseline) so the detector
+        restarts cleanly once the fault clears.
+        """
+        if backlog < 0:
+            raise ConfigurationError(f"backlog must be >= 0, got {backlog}")
+        self.samples += 1
+        if self.max_backlog is not None and backlog > self.max_backlog:
+            self.unstable = True
+            self.reason = (
+                f"backlog {backlog} exceeded ceiling {self.max_backlog} "
+                "during fault-degraded operation"
+            )
+        self._streak = 0
+        self._prev = None
+        return self.unstable

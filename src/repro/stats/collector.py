@@ -37,6 +37,13 @@ class StatsCollector:
         self.delay_histogram = DelayHistogram() if extended else None
         self.multicast = MulticastServiceTracker(warmup_slot) if extended else None
         self._arrival_slots: dict[int, int] = {}
+        # Whole-run loss/fault accounting (the throughput tracker keeps
+        # the post-warmup view). Dropped packets are NEVER registered with
+        # the delay tracker, so the engine's conservation audit — pending
+        # cells vs switch backlog — stays balanced under loss.
+        self.cells_dropped = 0
+        self.packets_dropped = 0
+        self.grants_lost = 0
 
     def on_slot(
         self,
@@ -46,6 +53,10 @@ class StatsCollector:
         queue_sizes: Sequence[int],
     ) -> None:
         """Process one completed slot (arrivals already include warmup)."""
+        dropped = result.dropped_packets
+        dropped_ids = frozenset(p.packet_id for p in dropped)
+        dropped_cells = 0
+        dropped_packets = 0
         arrived_cells = 0
         arrived_packets = 0
         for pkt in arrivals:
@@ -53,6 +64,10 @@ class StatsCollector:
                 continue
             arrived_packets += 1
             arrived_cells += pkt.fanout
+            if dropped_ids and pkt.packet_id in dropped_ids:
+                dropped_packets += 1
+                dropped_cells += pkt.fanout
+                continue
             self.delay.on_arrival(pkt.packet_id, pkt.arrival_slot, pkt.fanout)
             if self.multicast is not None:
                 self.multicast.on_arrival(
@@ -67,10 +82,18 @@ class StatsCollector:
                 and delivery.packet.arrival_slot >= self.warmup_slot
             ):
                 self.delay_histogram.record(delivery.delay)
+        self.cells_dropped += dropped_cells
+        self.packets_dropped += dropped_packets
+        self.grants_lost += result.grants_lost
         self.occupancy.on_slot(slot, queue_sizes)
         self.convergence.on_slot(slot, result.rounds, result.requests_made)
         self.throughput.on_slot(
-            slot, arrived_cells, arrived_packets, result.cells_delivered
+            slot,
+            arrived_cells,
+            arrived_packets,
+            result.cells_delivered,
+            dropped_cells,
+            dropped_packets,
         )
 
     def extended_metrics(self) -> dict[str, float]:

@@ -41,6 +41,20 @@ class SimulationSummary:
     cells_delivered: int
     final_backlog: int
     unstable: bool
+    # --- loss / fault accounting (whole-run; zero for healthy runs) ---
+    #: Address cells lost with ingress-dropped packets (fault injection
+    #: or drop-tail buffers). Excluded from delay tracking.
+    cells_dropped: int = 0
+    #: Packets dropped whole at ingress.
+    packets_dropped: int = 0
+    #: Scheduled branches corrupted by injected grant loss (the cells
+    #: stayed queued and were retried, so this is not cell loss).
+    grants_lost: int = 0
+    #: Fault-injection report (outage slots, recovery, per-model drop
+    #: ledger) from :meth:`repro.faults.FaultInjector.report`; None for
+    #: runs without an injector. A plain dict so it pickles across sweep
+    #: worker processes.
+    faults: dict[str, object] | None = None
     # --- provenance ---
     traffic: dict[str, object] = field(default_factory=dict)
     extra: dict[str, float] = field(default_factory=dict)

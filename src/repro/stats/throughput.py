@@ -21,15 +21,33 @@ class ThroughputTracker:
         self.cells_offered = 0
         self.cells_delivered = 0
         self.packets_offered = 0
+        self.cells_dropped = 0
+        self.packets_dropped = 0
 
-    def on_slot(self, slot: int, arrived_cells: int, arrived_packets: int, delivered_cells: int) -> None:
-        """Accumulate one slot's offered and delivered cell counts."""
+    def on_slot(
+        self,
+        slot: int,
+        arrived_cells: int,
+        arrived_packets: int,
+        delivered_cells: int,
+        dropped_cells: int = 0,
+        dropped_packets: int = 0,
+    ) -> None:
+        """Accumulate one slot's offered, delivered and dropped counts.
+
+        Dropped cells (fault injection, drop-tail buffers) are part of the
+        offered counts — the traffic model did offer them — and are
+        additionally tracked so :attr:`loss_ratio` can report the measured
+        loss fraction.
+        """
         if slot < self.warmup_slot:
             return
         self.measured_slots += 1
         self.cells_offered += arrived_cells
         self.packets_offered += arrived_packets
         self.cells_delivered += delivered_cells
+        self.cells_dropped += dropped_cells
+        self.packets_dropped += dropped_packets
 
     # ------------------------------------------------------------------ #
     @property
@@ -51,3 +69,11 @@ class ThroughputTracker:
         if self.cells_offered == 0:
             return float("nan")
         return self.cells_delivered / self.cells_offered
+
+    @property
+    def loss_ratio(self) -> float:
+        """Dropped / offered cells over the measurement window (0.0 for
+        loss-free runs; NaN before anything was offered)."""
+        if self.cells_offered == 0:
+            return float("nan")
+        return self.cells_dropped / self.cells_offered

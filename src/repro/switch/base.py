@@ -40,10 +40,23 @@ class SlotResult:
     #: Data cells whose fanout was exhausted and whose buffer space was
     #: reclaimed, this slot.
     reclaimed: int = 0
+    #: Packets dropped whole at ingress this slot (down input port,
+    #: Bernoulli cell drop, or buffer drop-tail). Dropped packets are
+    #: excluded from delay tracking and the conservation audit; the stats
+    #: layer counts their cells as losses.
+    dropped_packets: tuple[Packet, ...] = ()
+    #: Scheduled (input, output) branches corrupted by grant loss this
+    #: slot; the address cells stay queued and retry on later slots.
+    grants_lost: int = 0
 
     @property
     def cells_delivered(self) -> int:
         return len(self.deliveries)
+
+    @property
+    def cells_dropped(self) -> int:
+        """Address cells lost with this slot's ingress-dropped packets."""
+        return sum(p.fanout for p in self.dropped_packets)
 
 
 class BaseSwitch(abc.ABC):
@@ -92,8 +105,8 @@ class BaseSwitch(abc.ABC):
                     f"destination {pkt.destinations[-1]} out of range for "
                     f"{self.num_ports}-port switch"
                 )
-            self._accept(pkt, slot)
-            self.packets_accepted += 1
+            if self._accept(pkt, slot) is not False:
+                self.packets_accepted += 1
         result = self._schedule_and_transmit(slot)
         self.cells_delivered += result.cells_delivered
         return result
@@ -102,8 +115,15 @@ class BaseSwitch(abc.ABC):
     # Architecture-specific hooks
     # ------------------------------------------------------------------ #
     @abc.abstractmethod
-    def _accept(self, packet: Packet, slot: int) -> None:
-        """Enqueue one arriving packet (architecture-specific buffering)."""
+    def _accept(self, packet: Packet, slot: int) -> bool | None:
+        """Enqueue one arriving packet (architecture-specific buffering).
+
+        Returning ``False`` signals the packet was dropped at ingress
+        (fault injection or a drop-tail buffer): it is not counted in
+        ``packets_accepted`` and the switch must surface it in the slot's
+        :attr:`SlotResult.dropped_packets`. Any other return value
+        (including ``None``) means the packet was accepted.
+        """
 
     @abc.abstractmethod
     def _schedule_and_transmit(self, slot: int) -> SlotResult:

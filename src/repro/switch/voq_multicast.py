@@ -11,6 +11,16 @@ multicast crossbar. The per-slot sequence follows the paper exactly:
    data cell to all its granted outputs simultaneously,
 4. *post-transmission processing* — pop served address cells, decrement
    fanout counters, destroy exhausted data cells.
+
+Fault injection (optional): with a
+:class:`~repro.faults.injector.FaultInjector` attached, arrivals may be
+dropped at ingress (down input, Bernoulli loss, buffer drop-tail), the
+scheduler is handed port masks so it withholds requests to down ports
+(post-scheduling pruning degrades schedulers that do not understand
+masks), and between scheduling and fabric configuration the injector
+prunes branches through failed crosspoints and applies grant loss. Pruned
+address cells stay at their VOQ heads, so the paper's fanout-splitting
+semantics retry them on later slots — degraded operation, not a crash.
 """
 
 from __future__ import annotations
@@ -37,9 +47,18 @@ class MulticastVOQSwitch(BaseSwitch):
         Any object exposing ``schedule(ports) -> ScheduleDecision`` over a
         sequence of :class:`MulticastVOQInputPort`. Defaults to a
         paper-configured :class:`~repro.core.fifoms.FIFOMSScheduler`.
+        Schedulers advertising ``supports_port_masks`` are handed
+        ``input_free``/``output_free`` masks during port outages.
     buffer_capacity:
         Optional finite per-input data-cell buffer (None = unbounded, as
         in the paper's simulations, which *measure* the needed size).
+    buffer_overflow:
+        What a full finite buffer does with the next packet:
+        ``"raise"`` (default, fatal :class:`~repro.errors.BufferError_`)
+        or ``"drop"`` (drop-tail: the packet is counted and discarded).
+    fault_injector:
+        Optional :class:`~repro.faults.injector.FaultInjector`; the
+        simulation engine attaches one when the run is fault-injected.
     """
 
     name = "mcast-voq"
@@ -50,23 +69,75 @@ class MulticastVOQSwitch(BaseSwitch):
         scheduler: object | None = None,
         *,
         buffer_capacity: int | None = None,
+        buffer_overflow: str = "raise",
+        fault_injector: object | None = None,
     ) -> None:
         super().__init__(num_ports)
         self.ports: tuple[MulticastVOQInputPort, ...] = tuple(
-            MulticastVOQInputPort(i, num_ports, buffer_capacity=buffer_capacity)
+            MulticastVOQInputPort(
+                i,
+                num_ports,
+                buffer_capacity=buffer_capacity,
+                buffer_overflow=buffer_overflow,
+            )
             for i in range(num_ports)
         )
         self.scheduler = (
             scheduler if scheduler is not None else FIFOMSScheduler(num_ports)
         )
         self.crossbar = MulticastCrossbar(num_ports)
+        self.fault_injector = fault_injector
+        self._dropped_this_slot: list[Packet] = []
 
     # ------------------------------------------------------------------ #
-    def _accept(self, packet: Packet, slot: int) -> None:
-        preprocess_packet(self.ports[packet.input_port], packet, slot)
+    def _accept(self, packet: Packet, slot: int) -> bool:
+        """Preprocess one arrival; ``False`` when it is dropped at ingress."""
+        injector = self.fault_injector
+        if injector is not None and injector.drop_arrival(
+            injector.state_for(slot), packet
+        ):
+            self._dropped_this_slot.append(packet)
+            return False
+        if preprocess_packet(self.ports[packet.input_port], packet, slot) is None:
+            # Drop-tail buffer overflow: counted loss, not a crash.
+            self._dropped_this_slot.append(packet)
+            return False
+        return True
+
+    def _schedule(self, slot: int) -> tuple[object, int]:
+        """Run the scheduling pass, fault-degraded when an injector is set.
+
+        Returns ``(decision, grants_lost)``. This is the seam between the
+        paper's schedule phase and the fabric-configure phase: the fault
+        injector prunes the decision here, and the crossbar's crosspoint
+        fault mask is refreshed for the slot.
+        """
+        injector = self.fault_injector
+        if injector is None:
+            return self.scheduler.schedule(self.ports), 0
+        state = injector.state_for(slot)
+        if state.has_port_outage and getattr(
+            self.scheduler, "supports_port_masks", False
+        ):
+            # Mask-aware schedulers withhold requests to down ports at the
+            # source — the paper's request step simply skips them.
+            input_free = (
+                list(state.input_up) if state.input_up is not None else None
+            )
+            output_free = (
+                list(state.output_up) if state.output_up is not None else None
+            )
+            decision = self.scheduler.schedule(
+                self.ports, input_free=input_free, output_free=output_free
+            )
+        else:
+            decision = self.scheduler.schedule(self.ports)
+        decision, grants_lost = injector.filter_decision(state, decision)
+        self.crossbar.set_crosspoint_faults(state.failed_crosspoints)
+        return decision, grants_lost
 
     def _schedule_and_transmit(self, slot: int) -> SlotResult:
-        decision = self.scheduler.schedule(self.ports)
+        decision, grants_lost = self._schedule(slot)
         decision.validate(self.num_ports, self.num_ports)
         self.crossbar.configure(decision)
         result = SlotResult(
@@ -74,6 +145,7 @@ class MulticastVOQSwitch(BaseSwitch):
             rounds=decision.rounds,
             requests_made=decision.requests_made,
             round_grants=tuple(decision.round_grants),
+            grants_lost=grants_lost,
         )
         for input_port, grant in decision.grants.items():
             port = self.ports[input_port]
@@ -104,6 +176,9 @@ class MulticastVOQSwitch(BaseSwitch):
             else:
                 result.splits += 1
         self.crossbar.release()
+        if self._dropped_this_slot:
+            result.dropped_packets = tuple(self._dropped_this_slot)
+            self._dropped_this_slot.clear()
         return result
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,169 @@
+"""Sweep hardening: retries, FailedPoint reporting, error pickling."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro.errors as errors_mod
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    SweepPointError,
+)
+from repro.experiments.spec import FigureSpec, SweepPoint
+from repro.experiments.sweep import FailedPoint, run_figure
+
+
+def _spec(poison_load: float | None = None, *, loads=(0.2, 0.4)) -> FigureSpec:
+    """A small FIFOMS figure; ``poison_load`` maps to an invalid traffic
+    spec so that exactly that grid point crashes deterministically."""
+
+    def traffic_for_load(load: float) -> dict:
+        if poison_load is not None and load == poison_load:
+            return {"model": "bernoulli", "p": 2.0, "b": 0.2}  # invalid p
+        return {"model": "bernoulli", "p": load / (0.2 * 4), "b": 0.2 / 4}
+
+    return FigureSpec(
+        figure_id="t-robust",
+        title="robustness test figure",
+        description="",
+        num_ports=4,
+        algorithms=("fifoms",),
+        loads=tuple(loads),
+        traffic_for_load=traffic_for_load,
+        metrics=("throughput",),
+    )
+
+
+class TestCrashingPoint:
+    def test_raise_mode_carries_the_point(self):
+        with pytest.raises(SweepPointError) as exc_info:
+            run_figure(_spec(poison_load=0.4), num_slots=400, workers=1)
+        err = exc_info.value
+        assert isinstance(err.point, SweepPoint)
+        assert err.point.load == 0.4
+        assert "ConfigurationError" in str(err)
+
+    def test_record_mode_completes_with_failed_point(self):
+        result = run_figure(
+            _spec(poison_load=0.4),
+            num_slots=400,
+            workers=1,
+            point_retries=2,
+            on_point_failure="record",
+        )
+        # The healthy point completed; the poisoned one is a structured
+        # failure that exhausted 1 + 2 retry rounds.
+        assert ("fifoms", 0.2) in result.summaries
+        fp = result.failures[("fifoms", 0.4)]
+        assert isinstance(fp, FailedPoint)
+        assert fp.attempts == 3
+        assert fp.error_type == "ConfigurationError"
+        assert fp.point.load == 0.4
+
+    def test_presentation_tolerates_holes(self):
+        result = run_figure(
+            _spec(poison_load=0.4),
+            num_slots=400,
+            workers=1,
+            on_point_failure="record",
+        )
+        series = result.series("throughput")["fifoms"]
+        assert series[1] != series[1]  # NaN for the failed point
+        assert len(result.all_summaries()) == 1
+        text = result.to_text()
+        assert "Failed points:" in text
+        assert "ConfigurationError" in text
+
+    def test_crash_crosses_process_pool(self):
+        # The worker exception must survive the pickle round-trip home.
+        result = run_figure(
+            _spec(poison_load=0.4),
+            num_slots=400,
+            workers=2,
+            on_point_failure="record",
+        )
+        fp = result.failures[("fifoms", 0.4)]
+        assert fp.error_type == "ConfigurationError"
+        assert ("fifoms", 0.2) in result.summaries
+
+    def test_knobs_validated(self):
+        with pytest.raises(ConfigurationError):
+            run_figure(_spec(), num_slots=400, workers=1, on_point_failure="ignore")
+        with pytest.raises(ConfigurationError):
+            run_figure(_spec(), num_slots=400, workers=1, point_retries=-1)
+        with pytest.raises(ConfigurationError):
+            run_figure(_spec(), num_slots=400, workers=1, point_timeout=0)
+
+
+class TestErrorPickling:
+    def test_every_repro_error_subclass_round_trips(self):
+        # Default BaseException reduction re-calls cls(*args); any
+        # subclass growing a multi-arg constructor must add __reduce__.
+        # This sweep catches regressions for all current and future ones.
+        def all_subclasses(cls):
+            out = []
+            for sub in cls.__subclasses__():
+                out.append(sub)
+                out.extend(all_subclasses(sub))
+            return out
+
+        for cls in [ReproError, *all_subclasses(ReproError)]:
+            if cls is SweepPointError:
+                continue  # exercised separately below
+            err = cls("boom")
+            back = pickle.loads(pickle.dumps(err))
+            assert type(back) is cls
+            assert back.args == ("boom",)
+
+    def test_sweep_point_error_round_trips_with_point(self):
+        point = SweepPoint(
+            figure_id="f",
+            algorithm="fifoms",
+            load=0.5,
+            num_ports=4,
+            traffic_spec={"model": "bernoulli", "p": 0.1, "b": 0.2},
+            num_slots=100,
+            seed=3,
+        )
+        err = SweepPointError("point failed", point=point)
+        back = pickle.loads(pickle.dumps(err))
+        assert type(back) is SweepPointError
+        assert back.args == ("point failed",)
+        assert back.point == point
+
+    def test_all_errors_exported(self):
+        for name in errors_mod.__all__:
+            assert hasattr(errors_mod, name)
+
+
+class TestFaultSweepDeterminism:
+    @pytest.fixture(scope="class")
+    def serial_result(self):
+        return run_figure(
+            _spec(loads=(0.2, 0.3, 0.4, 0.5, 0.6)),
+            num_slots=1500,
+            workers=1,
+            fault_scenario="chaos",
+        )
+
+    def test_workers_do_not_change_results(self, serial_result):
+        parallel = run_figure(
+            _spec(loads=(0.2, 0.3, 0.4, 0.5, 0.6)),
+            num_slots=1500,
+            workers=4,
+            fault_scenario="chaos",
+        )
+        for key, summary in serial_result.summaries.items():
+            assert summary.to_json() == parallel.summaries[key].to_json(), key
+
+    def test_fault_scenario_reached_every_point(self, serial_result):
+        for summary in serial_result.all_summaries():
+            assert summary.faults is not None
+            assert summary.faults["slots_advanced"] == 1500
+
+    def test_sweep_points_carry_scenario(self):
+        points = _spec().points(num_slots=100, fault_scenario="output-outage")
+        assert all(p.fault_scenario == "output-outage" for p in points)
