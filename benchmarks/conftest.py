@@ -63,6 +63,13 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         default=False,
         help="narrate benchmark sweeps with heartbeat lines",
     )
+    group.addoption(
+        "--bench-json",
+        default=None,
+        metavar="PATH",
+        help="write machine-readable benchmark results (slots/sec per "
+        "kernel backend, per scheduler) to PATH as JSON",
+    )
 
 
 def pytest_configure(config: pytest.Config) -> None:

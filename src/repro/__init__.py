@@ -88,6 +88,16 @@ from repro.obs import (
     Telemetry,
     aggregate_telemetry,
 )
+from repro.kernel import (
+    KernelBackend,
+    ObjectBackend,
+    SwitchState,
+    VectorizedBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+    soa_snapshot,
+)
 from repro.switch.cioq import CIOQSwitch
 from repro.qos import PriorityMulticastVOQSwitch, PriorityTagger
 from repro.frames import (
@@ -174,6 +184,15 @@ __all__ = [
     "PhaseProfiler",
     "ProgressReporter",
     "aggregate_telemetry",
+    # kernel backends
+    "KernelBackend",
+    "SwitchState",
+    "ObjectBackend",
+    "VectorizedBackend",
+    "available_backends",
+    "make_backend",
+    "register_backend",
+    "soa_snapshot",
     # extensions
     "CIOQSwitch",
     "PriorityMulticastVOQSwitch",

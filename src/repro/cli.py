@@ -30,6 +30,7 @@ from collections.abc import Sequence
 
 from repro.errors import ReproError
 from repro.experiments import FIGURES, check_expectations, get_figure, run_figure
+from repro.kernel.base import available_backends
 from repro.report.ascii import format_table
 from repro.report.export import write_csv, write_json
 from repro.schedulers.registry import available_schedulers
@@ -95,6 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default=None, metavar="SCENARIO",
         help="inject a named fault scenario (see 'repro-sim list')",
     )
+    run_p.add_argument(
+        "--backend", default="object", choices=sorted(available_backends()),
+        help="kernel backend for the queue state / scheduling hot path "
+        "(bit-identical results; 'vectorized' needs scheduler support)",
+    )
 
     prof_p = sub.add_parser(
         "profile", help="run once with phase profiling and print the breakdown"
@@ -104,6 +110,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_traffic_args(prof_p)
     prof_p.add_argument("--slots", type=int, default=20_000, help="simulated slots")
     prof_p.add_argument("--seed", type=int, default=0)
+    prof_p.add_argument(
+        "--backend", default="object", choices=sorted(available_backends()),
+        help="kernel backend to profile",
+    )
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure / ablation")
     fig_p.add_argument("--id", required=True, help="figure id, e.g. fig4")
@@ -257,6 +267,7 @@ def _run_command(args: argparse.Namespace) -> int:
             extended_stats=args.extended,
             telemetry=telemetry,
             faults=args.faults,
+            backend=args.backend,
         )
     finally:
         if tracer is not None:
@@ -288,6 +299,7 @@ def _profile_command(args: argparse.Namespace) -> int:
         num_slots=args.slots,
         seed=args.seed,
         telemetry=telemetry,
+        backend=args.backend,
     )
     report = telemetry.profiler.report(summary.slots_run)
     print(

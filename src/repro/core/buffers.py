@@ -17,6 +17,8 @@ simulation keeps running in the degraded regime.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.cells import DataCell
 from repro.errors import BufferError_, ConfigurationError
 from repro.packet import Packet
@@ -149,6 +151,19 @@ class DataCellBuffer:
     def live_cells(self) -> list[DataCell]:
         """Snapshot of live cells (stable order: allocation order)."""
         return list(self._live.values())
+
+    def fanout_counters(self) -> "np.ndarray":
+        """Live fanout counters in allocation order, as int64.
+
+        Struct-of-arrays export consumed by the ``repro.kernel``
+        equivalence harness to compare this buffer against the
+        vectorized backend's packet pool.
+        """
+        return np.fromiter(
+            (c.fanout_counter for c in self._live.values()),
+            dtype=np.int64,
+            count=len(self._live),
+        )
 
     def __len__(self) -> int:
         return len(self._live)

@@ -31,7 +31,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.core.matching import ScheduleDecision
+from repro.core.matching import GrantSet, ScheduleDecision
 from repro.core.voq import MulticastVOQInputPort
 from repro.errors import ConfigurationError
 from repro.utils.rng import make_rng
@@ -106,6 +106,18 @@ class FIFOMSScheduler:
         self._rng = make_rng(rng)
         # Per-output round-robin pointers (only used for ROUND_ROBIN ties).
         self._grant_pointers = [0] * num_ports
+
+    @property
+    def supported_backends(self) -> tuple[str, ...]:
+        """Kernel backends this configuration can drive.
+
+        The vectorized entry point (:meth:`schedule_state`) implements
+        the paper's fanout-splitting rounds only; the no-splitting
+        ablation stays object-only.
+        """
+        if self.fanout_splitting:
+            return ("object", "vectorized")
+        return ("object",)
 
     # ------------------------------------------------------------------ #
     def schedule(
@@ -194,6 +206,137 @@ class FIFOMSScheduler:
             if granted_outputs[i]:
                 decision.add(i, tuple(granted_outputs[i]))
         decision.rounds = rounds
+        return decision
+
+    # ------------------------------------------------------------------ #
+    def schedule_state(
+        self,
+        state,
+        *,
+        input_free: list[bool] | None = None,
+        output_free: list[bool] | None = None,
+    ) -> ScheduleDecision:
+        """Vectorized twin of :meth:`schedule` over a struct-of-arrays
+        :class:`~repro.kernel.state.SwitchState`.
+
+        Each round is three masked reductions over the HOL-timestamp
+        matrix: a row min (every free input's smallest eligible
+        timestamp = the request step), an equality mask (which VOQs carry
+        it), and a column min (every free output's best request = the
+        grant step). Tie-breaks call the same :meth:`_pick` arbiter with
+        the same ascending-output order and winner lists, so RNG draws
+        and round-robin pointer movement are bit-identical to the object
+        path — the equivalence harness holds this method to that.
+        """
+        n = self.num_ports
+        if state.num_ports != n:
+            raise ConfigurationError(
+                f"scheduler built for {n} ports, got a {state.num_ports}-port state"
+            )
+        if not self.fanout_splitting:
+            raise ConfigurationError(
+                "the no-splitting variant has no vectorized kernel entry"
+            )
+        if (input_free is not None and len(input_free) != n) or (
+            output_free is not None and len(output_free) != n
+        ):
+            raise ConfigurationError("port masks must have length N")
+        inf = np.inf
+        buf = state.ts_scratch
+        col = state.col_scratch
+        req = state.req_scratch
+        win = state.win_scratch
+        row_min = state.row_min_scratch
+        col_min = state.col_min_scratch
+        # The working matrix starts as the HOL timestamps with pre-reserved
+        # (masked) ports blanked; each granted row/column is blanked as the
+        # rounds progress, so no per-round re-masking is needed.
+        np.copyto(buf, state.hol_ts)
+        if input_free is not None:
+            in_free = state.input_free
+            in_free[:] = input_free
+            buf[~in_free, :] = inf
+        if output_free is not None:
+            out_free = state.output_free
+            out_free[:] = output_free
+            buf[:, ~out_free] = inf
+        granted_outputs: list[list[int]] = [[] for _ in range(n)]
+        decision = ScheduleDecision()
+        rounds = 0
+
+        row_min_col = state.row_min_col
+        col_min_row = state.col_min_row
+        max_it = self.max_iterations
+        pick = self._pick
+        round_grants = decision.round_grants
+        while max_it is None or rounds < max_it:
+            # Request step: row-wise min of the masked HOL timestamps.
+            # An all-inf (matched or empty) row yields row_min == inf; its
+            # spurious inf "requests" can never win a column, so no
+            # explicit liveness mask is needed.
+            buf.min(axis=1, out=row_min)
+            # Python min over the 16-ish floats beats a second ufunc
+            # reduction at this matrix size.
+            if min(row_min.tolist()) == inf:
+                break
+            decision.requests_made = True
+            np.equal(buf, row_min_col, out=req)
+
+            # Grant step: column-wise min over the requesting timestamps
+            # (buf == row_min at every request, so masking buf itself
+            # gives each column the timestamps competing for it).
+            col.fill(inf)
+            np.copyto(col, buf, where=req)
+            col.min(axis=0, out=col_min)
+            np.equal(col, col_min_row, out=win)
+            counts = win.sum(axis=0).tolist()
+            firsts = win.argmax(axis=0).tolist()
+            new_matches = 0
+            for j, best in enumerate(col_min.tolist()):
+                if best == inf:
+                    continue
+                if counts[j] == 1:
+                    winner = firsts[j]
+                else:
+                    # Same winner list, same output, same arbiter state as
+                    # the object path -> identical RNG/pointer behaviour.
+                    winner = pick(np.nonzero(win[:, j])[0].tolist(), j)
+                granted_outputs[winner].append(j)
+                new_matches += 1
+                # Blank the winner's row and the taken column for the
+                # following rounds. counts/firsts/col_min are already
+                # materialized, and ``win`` only backs the tie lists, so
+                # in-loop blanking cannot disturb this round's grants.
+                buf[winner] = inf
+                buf[:, j] = inf
+            rounds += 1
+            round_grants.append(new_matches)
+
+        # Inputs are distinct by construction (granted rows blank out), so
+        # write the grants dict directly instead of paying decision.add()'s
+        # duplicate check on every entry.
+        grants = decision.grants
+        for i in range(n):
+            outs = granted_outputs[i]
+            if outs:
+                grants[i] = GrantSet(i, tuple(outs))
+        decision.rounds = rounds
+        if input_free is not None or output_free is not None:
+            # Write the final reservation state back through the caller's
+            # mask lists (the object path's mutate-in-place contract).
+            matched = [bool(g) for g in granted_outputs]
+            if input_free is not None:
+                input_free[:] = [
+                    bool(f) and not m for f, m in zip(input_free, matched)
+                ]
+            if output_free is not None:
+                taken = set()
+                for outs in granted_outputs:
+                    taken.update(outs)
+                output_free[:] = [
+                    bool(f) and j not in taken
+                    for j, f in enumerate(output_free)
+                ]
         return decision
 
     # ------------------------------------------------------------------ #

@@ -24,6 +24,11 @@ class GrantSet:
     output_ports: tuple[int, ...]
 
     def __post_init__(self) -> None:
+        if len(self.output_ports) == 1:
+            # A single output is already sorted and duplicate-free; this is
+            # the common case on the hot path (most grants are fanout-1
+            # residues under fanout splitting), so skip canonicalization.
+            return
         outs = tuple(sorted(set(self.output_ports)))
         if not outs:
             raise SchedulingError(f"empty grant set for input {self.input_port}")

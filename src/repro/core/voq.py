@@ -16,6 +16,8 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Iterator
 
+import numpy as np
+
 from repro.core.buffers import DataCellBuffer
 from repro.core.cells import AddressCell
 from repro.errors import SchedulingError
@@ -132,6 +134,25 @@ class MulticastVOQInputPort:
             if best is None or ts < best:
                 best = ts
         return best
+
+    # ------------------------------------------------------------------ #
+    # Struct-of-arrays exports (consumed by repro.kernel)
+    # ------------------------------------------------------------------ #
+    def hol_timestamp_row(self) -> "np.ndarray":
+        """Row ``i`` of the kernel's HOL-timestamp matrix: float64 of
+        length ``num_outputs``, ``+inf`` where the VOQ is empty."""
+        row = np.full(self.num_outputs, np.inf, dtype=np.float64)
+        for j, q in enumerate(self.voqs):
+            if q._cells:
+                row[j] = q._cells[0].timestamp
+        return row
+
+    def occupancy_row(self) -> "np.ndarray":
+        """Row ``i`` of the kernel's queue-occupancy matrix: int64 counts
+        of queued address cells per VOQ."""
+        return np.fromiter(
+            (len(q) for q in self.voqs), dtype=np.int64, count=self.num_outputs
+        )
 
     # ------------------------------------------------------------------ #
     # Metrics

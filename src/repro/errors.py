@@ -17,6 +17,7 @@ __all__ = [
     "SimulationError",
     "UnstableSimulationError",
     "SweepPointError",
+    "EquivalenceError",
 ]
 
 
@@ -57,6 +58,15 @@ class UnstableSimulationError(SimulationError):
     The engine only raises this when ``raise_on_unstable=True``; by default
     instability is recorded on the result object instead, mirroring how the
     paper truncates curves at the saturation point.
+    """
+
+
+class EquivalenceError(SimulationError):
+    """Two kernel backends produced observably different behaviour.
+
+    Raised by :mod:`repro.kernel.equivalence` when the object and
+    vectorized backends disagree on any per-slot digest, the final
+    summary, or the final queue-state snapshot of a grid case.
     """
 
 

@@ -112,7 +112,42 @@ class MulticastCrossbar:
             self.cells_transferred += grant.fanout
             if grant.fanout > 1:
                 self.multicast_transfers += 1
-        return CrossbarConfig(driver=tuple(int(d) for d in self._driver))
+        return CrossbarConfig(driver=tuple(self._driver.tolist()))
+
+    def configure_drivers(self, driver: np.ndarray) -> CrossbarConfig:
+        """Array twin of :meth:`configure` for the vectorized kernel.
+
+        ``driver[j]`` is the input driving output ``j`` (-1 = idle), as
+        produced by a validated :class:`~repro.core.matching.\
+        ScheduleDecision` — one driver per output by construction, so only
+        the failed-crosspoint constraint needs checking. Accounting
+        matches :meth:`configure` exactly: cells = busy outputs, one
+        multicast transfer per input driving more than one output.
+        """
+        if driver.shape != (self.num_outputs,):
+            raise FabricConflictError(
+                f"driver vector of shape {driver.shape} for a "
+                f"{self.num_inputs}x{self.num_outputs} crossbar"
+            )
+        row = driver.tolist()
+        for input_port, out in sorted(self._failed_crosspoints):
+            if row[out] == input_port:
+                raise FabricConflictError(
+                    f"crosspoint ({input_port}, {out}) is failed; the "
+                    "decision was not pruned for the current fault state"
+                )
+        np.copyto(self._driver, driver)
+        self._configured = True
+        self.slots_configured += 1
+        drivers_seen: dict[int, int] = {}
+        for d in row:
+            if d >= 0:
+                self.cells_transferred += 1
+                drivers_seen[d] = drivers_seen.get(d, 0) + 1
+        for count in drivers_seen.values():
+            if count > 1:
+                self.multicast_transfers += 1
+        return CrossbarConfig(driver=tuple(row))
 
     def release(self) -> None:
         """Tear down the crosspoints at the end of the slot."""

@@ -1,0 +1,151 @@
+"""Kernel backend interface and registry.
+
+A *kernel backend* owns the queue state of a multicast VOQ switch and
+implements the four per-slot state transitions the switch layer needs:
+
+1. ``admit``  — packet preprocessing (allocate data cell, enqueue
+   address cells / placeholders);
+2. ``schedule`` — run the scheduler against the backend's native state
+   representation;
+3. ``commit`` — post-transmission processing (pop HOL entries, decrement
+   fanout counters, reclaim buffer space, emit deliveries);
+4. metric/invariant taps (``queue_sizes``, ``total_backlog``,
+   ``check_invariants``, ``state_arrays``).
+
+Two implementations register themselves here:
+
+* ``object`` — the reference semantics: per-cell ``AddressCell`` /
+  ``DataCell`` objects in :class:`~repro.core.voq.MulticastVOQInputPort`
+  structures, exactly as the paper describes them.
+* ``vectorized`` — the same transitions over the struct-of-arrays
+  :class:`~repro.kernel.state.SwitchState`, with no per-cell objects on
+  the hot path.
+
+The two are interchangeable and bit-exact; ``repro.kernel.equivalence``
+is the harness that proves it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.core.matching import ScheduleDecision
+from repro.errors import ConfigurationError
+from repro.packet import Packet
+
+if TYPE_CHECKING:  # avoid a runtime repro.switch <-> repro.kernel cycle
+    from repro.switch.base import SlotResult
+
+__all__ = [
+    "KernelBackend",
+    "register_backend",
+    "make_backend",
+    "available_backends",
+]
+
+
+class KernelBackend(ABC):
+    """Abstract per-slot state machine behind :class:`MulticastVOQSwitch`.
+
+    Concrete backends are constructed by :func:`make_backend` and driven
+    by the switch's template method: ``admit`` during the arrival phase,
+    ``schedule`` + ``commit`` during the scheduling/transmission phase.
+    """
+
+    #: Registry key of the backend ("object" / "vectorized").
+    name: str = ""
+
+    @abstractmethod
+    def admit(self, packet: Packet, slot: int) -> bool:
+        """Preprocess one arriving packet; False means drop-tailed."""
+
+    @abstractmethod
+    def schedule(
+        self,
+        scheduler,
+        *,
+        input_free: list[bool] | None = None,
+        output_free: list[bool] | None = None,
+    ) -> ScheduleDecision:
+        """Run ``scheduler`` over this backend's state for one slot.
+
+        ``input_free`` / ``output_free`` are the fault-mask vectors; when
+        given they are mutated in place by the scheduler, exactly as in
+        the object-model ``schedule(ports, ...)`` contract.
+        """
+
+    @abstractmethod
+    def commit(
+        self, decision: ScheduleDecision, result: SlotResult, slot: int
+    ) -> None:
+        """Apply a validated decision: pop served HOL entries, decrement
+        fanout counters, reclaim exhausted buffer space, and append the
+        slot's :class:`~repro.packet.Delivery` records plus the
+        ``splits`` / ``reclaimed`` counts to ``result``."""
+
+    def driver_row(self, decision: ScheduleDecision) -> "np.ndarray | None":
+        """Optional fast path for crossbar setup: a per-output driver
+        vector (int64, -1 = idle) equivalent to ``decision``, or None to
+        use :meth:`~repro.fabric.crossbar.MulticastCrossbar.configure`."""
+        return None
+
+    @abstractmethod
+    def queue_sizes(self) -> list[int]:
+        """Live data cells per input (the paper's queue-size metric)."""
+
+    @abstractmethod
+    def total_backlog(self) -> int:
+        """Pending (cell, destination) pairs across all inputs."""
+
+    @abstractmethod
+    def check_invariants(self) -> None:
+        """Raise :class:`~repro.errors.SchedulingError` on state drift."""
+
+    @abstractmethod
+    def state_arrays(self) -> dict[str, object]:
+        """Struct-of-arrays snapshot (HOL timestamps, occupancy, live
+        counts, fanout counters) for equivalence comparison."""
+
+
+_BACKENDS: dict[str, Callable[..., KernelBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., KernelBackend]) -> None:
+    """Register a backend factory under ``name``.
+
+    The factory is called as ``factory(num_ports, buffer_capacity=...,
+    buffer_overflow=...)`` and must return a :class:`KernelBackend`.
+    """
+    if not name or not name.isidentifier():
+        raise ConfigurationError(f"invalid backend name {name!r}")
+    _BACKENDS[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Sorted names of all registered kernel backends."""
+    return tuple(sorted(_BACKENDS))
+
+
+def make_backend(
+    name: str,
+    num_ports: int,
+    *,
+    buffer_capacity: int | None = None,
+    buffer_overflow: str = "raise",
+) -> KernelBackend:
+    """Instantiate the kernel backend registered under ``name``."""
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown kernel backend {name!r}; available: "
+            f"{', '.join(available_backends())}"
+        ) from None
+    return factory(
+        num_ports,
+        buffer_capacity=buffer_capacity,
+        buffer_overflow=buffer_overflow,
+    )

@@ -1,0 +1,329 @@
+"""Backend equivalence harness: object vs vectorized, bit for bit.
+
+The vectorized kernel is only admissible because it is *indistinguishable*
+from the reference per-cell object model. This module is the executable
+form of that claim: it runs the same (scheduler, traffic, seed) case once
+per backend, records a digest of every :class:`~repro.switch.base.SlotResult`
+as the slots stream by, and requires
+
+1. the per-slot digest streams to be identical — same deliveries (by
+   cross-run packet identity), same rounds, same per-round grant counts,
+   same splits/reclamations/drops in every single slot;
+2. the final :class:`~repro.stats.summary.SimulationSummary` dictionaries
+   to be identical (NaN-aware: an unstable run's NaN averages must be NaN
+   on both sides); and
+3. for the multicast VOQ switch, the final ``state_arrays()`` snapshots —
+   HOL timestamp matrix, occupancy, liveness, fanout counters — to match
+   exactly.
+
+Cross-run packet identity is ``(input_port, arrival_slot)``: packet ids
+come from a process-global counter, so the second run's ids are offset
+from the first even though the traffic streams are identical.
+
+The default grid covers FIFOMS, iSLIP and TATRA under Bernoulli and
+bursty traffic plus one fault-injection scenario, all at 8 ports. Run it
+directly (CI does, on every push)::
+
+    PYTHONPATH=src python -m repro.kernel.equivalence --ports 8 --slots 4000
+
+This module is deliberately *not* imported from ``repro.kernel`` — it
+pulls in the whole sim stack, which the kernel package must not depend on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import EquivalenceError
+from repro.schedulers.registry import make_switch
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.runner import build_traffic
+from repro.switch.base import SlotResult
+from repro.utils.rng import RngStreams
+
+__all__ = [
+    "EquivalenceCase",
+    "EquivalenceReport",
+    "RecordingSwitch",
+    "slot_digest",
+    "run_case",
+    "default_grid",
+    "run_grid",
+    "main",
+]
+
+
+def slot_digest(result: SlotResult) -> tuple:
+    """Hashable digest of one slot's observable behaviour.
+
+    Deliveries and drops are keyed by ``(input_port, arrival_slot)`` —
+    stable across runs — and sorted so that digest equality means
+    set-equality of the slot's events, not accidental ordering.
+    """
+    deliveries = sorted(
+        (
+            d.packet.input_port,
+            d.packet.arrival_slot,
+            d.output_port,
+            d.service_slot,
+        )
+        for d in result.deliveries
+    )
+    dropped = sorted(
+        (p.input_port, p.arrival_slot, p.destinations)
+        for p in result.dropped_packets
+    )
+    return (
+        result.slot,
+        result.rounds,
+        result.requests_made,
+        result.round_grants,
+        result.splits,
+        result.reclaimed,
+        result.grants_lost,
+        tuple(deliveries),
+        tuple(dropped),
+    )
+
+
+class RecordingSwitch:
+    """Transparent proxy that captures a digest of every stepped slot.
+
+    Everything except :meth:`step` forwards to the wrapped switch — both
+    reads and writes, so the engine's ``switch.fault_injector = ...``
+    assignment lands on the real switch.
+    """
+
+    def __init__(self, inner: Any) -> None:
+        """Wrap ``inner`` and start with an empty digest log."""
+        self.__dict__["_inner"] = inner
+        self.__dict__["digests"] = []
+
+    def step(self, arrivals: Any, slot: int) -> SlotResult:
+        """Step the wrapped switch and record the slot's digest."""
+        result = self.__dict__["_inner"].step(arrivals, slot)
+        self.__dict__["digests"].append(slot_digest(result))
+        return result
+
+    def __getattr__(self, name: str) -> Any:
+        """Forward attribute reads to the wrapped switch."""
+        return getattr(self.__dict__["_inner"], name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        """Forward attribute writes to the wrapped switch."""
+        setattr(self.__dict__["_inner"], name, value)
+
+
+@dataclass(frozen=True, slots=True)
+class EquivalenceCase:
+    """One (scheduler, traffic, fault) point of the equivalence grid."""
+
+    #: Registry name of the switch pairing (must support both backends).
+    algorithm: str
+    #: Traffic spec dict as accepted by :func:`repro.sim.runner.build_traffic`.
+    traffic: dict[str, Any]
+    #: Fault scenario name from :data:`repro.faults.FAULT_SCENARIOS`, or None.
+    fault: str | None = None
+    #: Root seed for both runs of the case.
+    seed: int = 12061
+
+    @property
+    def label(self) -> str:
+        """Human-readable case name for reports and failures."""
+        fault = f"+{self.fault}" if self.fault else ""
+        return f"{self.algorithm}/{self.traffic['model']}{fault}"
+
+
+@dataclass(frozen=True, slots=True)
+class EquivalenceReport:
+    """Outcome of one case: what was compared and whether it matched."""
+
+    case: EquivalenceCase
+    slots_compared: int
+    summaries_match: bool
+    digests_match: bool
+    state_match: bool
+
+    @property
+    def ok(self) -> bool:
+        """True when every comparison level matched."""
+        return self.summaries_match and self.digests_match and self.state_match
+
+
+def _run_one_backend(
+    case: EquivalenceCase, num_ports: int, num_slots: int, backend: str
+) -> tuple[list[tuple], dict[str, Any], Any]:
+    """Run one backend of a case; return (digests, summary dict, state).
+
+    Mirrors :func:`repro.sim.runner.run_simulation` wiring, but wraps the
+    switch in a :class:`RecordingSwitch` so per-slot digests are captured
+    — the runner offers no seam for that.
+    """
+    streams = RngStreams(case.seed)
+    traffic = build_traffic(dict(case.traffic), num_ports, rng=streams.get("traffic"))
+    switch = make_switch(
+        case.algorithm, num_ports, rng=streams.get("scheduler"), backend=backend
+    )
+    recorder = RecordingSwitch(switch)
+    injector = None
+    if case.fault is not None:
+        from repro.faults.scenarios import build_fault_injector
+
+        injector = build_fault_injector(
+            case.fault, num_ports=num_ports, num_slots=num_slots, rng=streams
+        )
+    cfg = SimulationConfig(
+        num_slots=num_slots,
+        warmup_fraction=0.5,
+        stability_window=max(100, num_slots // 100),
+    )
+    engine = SimulationEngine(
+        recorder, traffic, cfg, seed=case.seed,
+        algorithm_name=case.algorithm, faults=injector,
+    )
+    summary = engine.run().to_dict()
+    state = switch.state_arrays() if hasattr(switch, "state_arrays") else None
+    return recorder.digests, summary, state
+
+
+def _state_equal(a: Any, b: Any) -> bool:
+    """NaN/array-aware deep equality for ``state_arrays()`` snapshots."""
+    import numpy as np
+
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return bool(np.array_equal(np.asarray(a), np.asarray(b), equal_nan=True))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(_state_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(_state_equal(x, y) for x, y in zip(a, b))
+    return a == b
+
+
+def _first_digest_divergence(
+    obj: list[tuple], vec: list[tuple]
+) -> int | None:
+    """Index of the first differing slot digest, or None when identical."""
+    if obj == vec:
+        return None
+    for k, (x, y) in enumerate(zip(obj, vec)):
+        if x != y:
+            return k
+    return min(len(obj), len(vec))
+
+
+def run_case(
+    case: EquivalenceCase, *, num_ports: int = 8, num_slots: int = 4000
+) -> EquivalenceReport:
+    """Run one case on both backends and compare every level.
+
+    Raises :class:`~repro.errors.EquivalenceError` on the first mismatch,
+    with the slot index of the first digest divergence when there is one.
+    """
+    obj_digests, obj_summary, obj_state = _run_one_backend(
+        case, num_ports, num_slots, "object"
+    )
+    vec_digests, vec_summary, vec_state = _run_one_backend(
+        case, num_ports, num_slots, "vectorized"
+    )
+    # json round-trip makes NaN compare equal (both serialize to "NaN").
+    summaries_match = json.dumps(obj_summary, sort_keys=True) == json.dumps(
+        vec_summary, sort_keys=True
+    )
+    divergence = _first_digest_divergence(obj_digests, vec_digests)
+    state_match = _state_equal(obj_state, vec_state)
+    report = EquivalenceReport(
+        case=case,
+        slots_compared=len(obj_digests),
+        summaries_match=summaries_match,
+        digests_match=divergence is None,
+        state_match=state_match,
+    )
+    if not report.ok:
+        detail = []
+        if divergence is not None:
+            detail.append(f"first digest divergence at slot {divergence}")
+        if not summaries_match:
+            detail.append("summary dicts differ")
+        if not state_match:
+            detail.append("final state_arrays differ")
+        raise EquivalenceError(
+            f"backends diverge for {case.label}: " + "; ".join(detail)
+        )
+    return report
+
+
+def default_grid() -> list[EquivalenceCase]:
+    """The CI grid: 3 schedulers × 2 traffic models + 1 fault case.
+
+    Loads are chosen so every run is stable for the full slot count
+    (TATRA saturates well below the FIFOMS loads, hence its lighter
+    points) — an unstable early stop would silently shrink the number of
+    compared slots.
+    """
+    bernoulli = {"model": "bernoulli", "p": 0.3, "b": 0.25}
+    burst = {"model": "burst", "e_on": 4.0, "e_off": 16.0, "b": 0.3}
+    light_bernoulli = {"model": "bernoulli", "p": 0.25, "b": 0.25}
+    light_burst = {"model": "burst", "e_on": 3.0, "e_off": 21.0, "b": 0.25}
+    return [
+        EquivalenceCase("fifoms", bernoulli),
+        EquivalenceCase("fifoms", burst),
+        EquivalenceCase("fifoms", bernoulli, fault="flaky-crosspoint"),
+        EquivalenceCase("islip", bernoulli),
+        EquivalenceCase("islip", burst),
+        EquivalenceCase("tatra", light_bernoulli),
+        EquivalenceCase("tatra", light_burst),
+    ]
+
+
+def run_grid(
+    cases: list[EquivalenceCase] | None = None,
+    *,
+    num_ports: int = 8,
+    num_slots: int = 4000,
+    verbose: bool = False,
+) -> list[EquivalenceReport]:
+    """Run every case of the grid; raise on the first inequivalence."""
+    reports = []
+    for case in cases if cases is not None else default_grid():
+        report = run_case(case, num_ports=num_ports, num_slots=num_slots)
+        if verbose:
+            print(
+                f"  ok  {case.label:34s} {report.slots_compared} slots, "
+                f"digests+summary+state identical"
+            )
+        reports.append(report)
+    return reports
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run the default grid, exit 0 on full equivalence."""
+    parser = argparse.ArgumentParser(
+        prog="repro.kernel.equivalence",
+        description="Prove object and vectorized backends bit-identical.",
+    )
+    parser.add_argument("--ports", type=int, default=8, help="switch size N")
+    parser.add_argument(
+        "--slots", type=int, default=4000, help="slots per case per backend"
+    )
+    args = parser.parse_args(argv)
+    print(
+        f"backend equivalence grid: N={args.ports}, "
+        f"{args.slots} slots per case"
+    )
+    try:
+        reports = run_grid(
+            num_ports=args.ports, num_slots=args.slots, verbose=True
+        )
+    except EquivalenceError as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    print(f"all {len(reports)} cases bit-identical across backends")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,7 @@ from repro.lint.rules_rng import (
     NoUnseededGeneratorRule,
 )
 from repro.lint.rules_structure import (
+    KernelHotPathImportRule,
     PublicModuleAllRule,
     SchedulerRegistryRule,
     SwitchInvariantsRule,
@@ -57,6 +58,7 @@ def default_rules() -> tuple[Rule, ...]:
         SwitchInvariantsRule(),
         SchedulerRegistryRule(),
         PublicModuleAllRule(),
+        KernelHotPathImportRule(),
         ExceptHygieneRule(),
     )
 

@@ -19,6 +19,7 @@ __all__ = [
     "SwitchInvariantsRule",
     "SchedulerRegistryRule",
     "PublicModuleAllRule",
+    "KernelHotPathImportRule",
 ]
 
 _ABSTRACT_BASES = frozenset({"ABC", "ABCMeta", "Protocol"})
@@ -195,3 +196,59 @@ class PublicModuleAllRule(Rule):
             f"{module.name} defines no __all__; declare the module's public "
             "surface explicitly",
         )
+
+
+class KernelHotPathImportRule(Rule):
+    """STR004 — kernel hot-path modules stay free of per-cell objects."""
+
+    rule_id = "STR004"
+    title = "per-cell object import in a kernel hot-path module"
+    rationale = (
+        "repro.kernel exists to keep per-cell Python objects off the "
+        "vectorized hot path; a kernel module importing the object-model "
+        "types (cells, VOQ structures, buffers, preprocess) reintroduces "
+        "pointer-chasing state the backend seam was built to exclude. "
+        "Only the reference object backend may bridge the two worlds."
+    )
+
+    #: Object-model modules whose types must not leak into the kernel.
+    _FORBIDDEN = (
+        "repro.core.buffers",
+        "repro.core.cells",
+        "repro.core.preprocess",
+        "repro.core.voq",
+    )
+
+    #: The reference backend is the deliberate bridge to the object model.
+    _EXEMPT_STEMS = frozenset({"object_backend"})
+
+    def _forbidden_target(self, dotted: str) -> str | None:
+        """The forbidden module ``dotted`` refers to, or None."""
+        for target in self._FORBIDDEN:
+            if dotted == target or dotted.startswith(target + "."):
+                return target
+        return None
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if "repro/kernel/" not in module.abspath:
+            return
+        if module.stem in self._EXEMPT_STEMS:
+            return
+        for node in ast.walk(module.tree):
+            dotted_targets: list[tuple[str, int]] = []
+            if isinstance(node, ast.ImportFrom) and node.module:
+                dotted_targets.append((node.module, node.lineno))
+            elif isinstance(node, ast.Import):
+                dotted_targets.extend(
+                    (alias.name, node.lineno) for alias in node.names
+                )
+            for dotted, lineno in dotted_targets:
+                target = self._forbidden_target(dotted)
+                if target is not None:
+                    yield self.finding(
+                        module,
+                        lineno,
+                        f"kernel module {module.name} imports {target} "
+                        "(per-cell object model); only the 'object' backend "
+                        "may touch per-cell types",
+                    )

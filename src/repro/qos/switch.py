@@ -64,6 +64,8 @@ class PriorityMulticastVOQSwitch(BaseSwitch):
         ]
         self.crossbar = MulticastCrossbar(num_ports)
         self.deliveries_per_class = [0] * num_classes
+        # Per-class decisions staged by _decide() for _transfer().
+        self._pending: list[ScheduleDecision] | None = None
 
     # ------------------------------------------------------------------ #
     def _accept(self, packet: Packet, slot: int) -> None:
@@ -75,7 +77,10 @@ class PriorityMulticastVOQSwitch(BaseSwitch):
             self.class_ports[packet.priority][packet.input_port], packet, slot
         )
 
-    def _schedule_and_transmit(self, slot: int) -> SlotResult:
+    def _decide(self, slot: int) -> tuple[ScheduleDecision, int]:
+        """One FIFOMS pass per class, strictly high to low, carrying the
+        port reservations down; the per-class decisions are staged for
+        :meth:`_transfer` (each class drains its own port set)."""
         n = self.num_ports
         input_free = [True] * n
         output_free = [True] * n
@@ -95,13 +100,14 @@ class PriorityMulticastVOQSwitch(BaseSwitch):
             for i, grant in decision.grants.items():
                 combined.add(i, grant.output_ports)
         combined.rounds = total_rounds
-        combined.validate(n, n)
-        self.crossbar.configure(combined)
-        result = SlotResult(
-            slot=slot,
-            rounds=combined.rounds,
-            requests_made=combined.requests_made,
-        )
+        self._pending = per_class
+        return combined, 0
+
+    def _transfer(
+        self, decision: ScheduleDecision, result: SlotResult, slot: int
+    ) -> None:
+        per_class = self._pending
+        self._pending = None
         for cls, decision in enumerate(per_class):
             ports = self.class_ports[cls]
             for i, grant in decision.grants.items():
@@ -123,8 +129,6 @@ class PriorityMulticastVOQSwitch(BaseSwitch):
                     )
                     port.buffer.record_service(data_cell)
                     self.deliveries_per_class[cls] += 1
-        self.crossbar.release()
-        return result
 
     # ------------------------------------------------------------------ #
     def queue_sizes(self) -> list[int]:

@@ -12,7 +12,12 @@
   scheduler on the multicast VOQ switch (ablation baseline).
 """
 
-from repro.schedulers.base import UnicastVOQView, SIQHolCell
+from repro.schedulers.base import (
+    SIQHolCell,
+    UnicastVOQView,
+    resolve_backend,
+    scheduler_backends,
+)
 from repro.schedulers.islip import ISLIPScheduler
 from repro.schedulers.pim import PIMScheduler
 from repro.schedulers.maxweight import MaxWeightScheduler
@@ -29,6 +34,8 @@ from repro.schedulers.registry import (
 __all__ = [
     "UnicastVOQView",
     "SIQHolCell",
+    "resolve_backend",
+    "scheduler_backends",
     "ISLIPScheduler",
     "PIMScheduler",
     "MaxWeightScheduler",

@@ -15,8 +15,47 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.matching import ScheduleDecision
+from repro.errors import ConfigurationError
 
-__all__ = ["UnicastVOQView", "SIQHolCell", "note_round"]
+__all__ = [
+    "UnicastVOQView",
+    "SIQHolCell",
+    "note_round",
+    "DEFAULT_BACKENDS",
+    "scheduler_backends",
+    "resolve_backend",
+]
+
+#: Backends a scheduler supports when it declares nothing: the per-cell
+#: object model is always available; the vectorized kernel is opt-in via
+#: a ``supported_backends`` attribute.
+DEFAULT_BACKENDS: tuple[str, ...] = ("object",)
+
+
+def scheduler_backends(scheduler: object) -> tuple[str, ...]:
+    """Kernel backends ``scheduler`` declares support for.
+
+    Schedulers opt in by exposing ``supported_backends`` (attribute or
+    property); anything else is object-only.
+    """
+    return tuple(getattr(scheduler, "supported_backends", DEFAULT_BACKENDS))
+
+
+def resolve_backend(scheduler: object, backend: str) -> str:
+    """Validate ``backend`` against the scheduler's declared support.
+
+    Returns the backend name unchanged, or raises
+    :class:`~repro.errors.ConfigurationError` naming the scheduler and
+    what it does support.
+    """
+    supported = scheduler_backends(scheduler)
+    if backend not in supported:
+        name = getattr(scheduler, "name", type(scheduler).__name__)
+        raise ConfigurationError(
+            f"scheduler {name!r} does not support the {backend!r} kernel "
+            f"backend (supported: {', '.join(supported)})"
+        )
+    return backend
 
 
 def note_round(decision: ScheduleDecision, new_matches: int) -> None:

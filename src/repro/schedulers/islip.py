@@ -20,6 +20,8 @@ its desynchronization and 100% throughput under uniform unicast traffic.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.matching import ScheduleDecision
 from repro.errors import ConfigurationError
 from repro.schedulers.base import UnicastVOQView, note_round
@@ -53,6 +55,10 @@ class ISLIPScheduler:
         self.max_iterations = max_iterations
         self.grant_pointers = [0] * num_ports  # one per output
         self.accept_pointers = [0] * num_ports  # one per input
+
+    #: iSLIP is deterministic, so the array entry point below is bit-exact
+    #: with :meth:`schedule` and both kernel backends are supported.
+    supported_backends = ("object", "vectorized")
 
     # ------------------------------------------------------------------ #
     def schedule(self, view: UnicastVOQView) -> ScheduleDecision:
@@ -100,6 +106,75 @@ class ISLIPScheduler:
                     continue
                 ptr = self.accept_pointers[i]
                 j = min(grants, key=lambda jj: (jj - ptr) % n)
+                input_matched[i] = True
+                output_matched[j] = True
+                match_of_input[i] = j
+                new_matches += 1
+                if iteration == 1:
+                    # Pointer updates happen only on first-iteration accepts.
+                    self.grant_pointers[j] = (i + 1) % n
+                    self.accept_pointers[i] = (j + 1) % n
+            if not new_matches:
+                break
+            rounds += 1
+            note_round(decision, new_matches)
+
+        for i, j in enumerate(match_of_input):
+            if j is not None:
+                decision.add(i, (j,))
+        decision.rounds = rounds
+        return decision
+
+    def schedule_vectorized(self, view: UnicastVOQView) -> ScheduleDecision:
+        """Array twin of :meth:`schedule` for the vectorized kernel backend.
+
+        Each iteration's grant and accept arbiters become masked argmins
+        over modular-distance key matrices (``(i - pointer) % N``). The
+        keys within one arbiter are distinct, so every argmin is unique
+        and the chosen matches — and therefore the pointer evolution — are
+        bit-identical to the reference loop.
+        """
+        n = self.num_ports
+        if view.num_ports != n:
+            raise ConfigurationError(
+                f"view has {view.num_ports} ports, scheduler built for {n}"
+            )
+        idx = np.arange(n, dtype=np.int64)
+        # wants transposed: rows = outputs, columns = requesting inputs.
+        wants_to = (view.occupancy > 0).T
+        input_matched = np.zeros(n, dtype=bool)
+        output_matched = np.zeros(n, dtype=bool)
+        match_of_input: list[int | None] = [None] * n
+        amask = np.empty((n, n), dtype=bool)
+        decision = ScheduleDecision()
+        rounds = 0
+        iteration = 0
+
+        while self.max_iterations is None or iteration < self.max_iterations:
+            iteration += 1
+            # ---- request ----
+            elig = wants_to & ~input_matched
+            elig[output_matched] = False
+            if elig.any():
+                decision.requests_made = True
+            else:
+                break
+            # ---- grant: masked argmin over (i - grant_pointer[j]) % n ----
+            gptr = np.asarray(self.grant_pointers, dtype=np.int64)
+            gkey = np.where(elig, (idx[None, :] - gptr[:, None]) % n, n)
+            chosen_in = gkey.argmin(axis=1)
+            has_req = gkey.min(axis=1) < n
+            # ---- accept: masked argmin over (j - accept_pointer[i]) % n ----
+            amask.fill(False)
+            granted_js = np.nonzero(has_req)[0]
+            amask[chosen_in[granted_js], granted_js] = True
+            aptr = np.asarray(self.accept_pointers, dtype=np.int64)
+            akey = np.where(amask, (idx[None, :] - aptr[:, None]) % n, n)
+            best_j = akey.argmin(axis=1).tolist()
+            accepted = np.nonzero(akey.min(axis=1) < n)[0].tolist()
+            new_matches = 0
+            for i in accepted:
+                j = best_j[i]
                 input_matched[i] = True
                 output_matched[j] = True
                 match_of_input[i] = j

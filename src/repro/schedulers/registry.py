@@ -60,13 +60,18 @@ def make_switch(
     num_ports: int,
     *,
     rng: int | np.random.Generator | None = None,
+    backend: str = "object",
     **kwargs: object,
 ) -> "BaseSwitch":
     """Build the switch+scheduler pairing for algorithm ``name``.
 
     ``rng`` seeds the scheduler's tie-breaking stream (ignored by
-    deterministic algorithms). Extra keyword arguments are forwarded to
-    the factory (e.g. ``max_iterations`` for fifoms/islip/pim).
+    deterministic algorithms). ``backend`` selects the kernel backend
+    ("object" or "vectorized"); names whose switch or scheduler cannot
+    drive a non-object backend raise
+    :class:`~repro.errors.ConfigurationError`. Extra keyword arguments
+    are forwarded to the factory (e.g. ``max_iterations`` for
+    fifoms/islip/pim).
     """
     try:
         factory = _REGISTRY[name.lower()]
@@ -74,7 +79,26 @@ def make_switch(
         raise ConfigurationError(
             f"unknown scheduler {name!r}; available: {', '.join(available_schedulers())}"
         ) from None
+    if backend != "object":
+        # Injected only when non-default so factories for object-only
+        # architectures keep their exact historical signatures.
+        kwargs["backend"] = backend
     return factory(num_ports, rng=rng, **kwargs)
+
+
+def _require_object_backend(kw: dict, name: str) -> None:
+    """Reject a non-object ``backend`` kwarg for object-only architectures.
+
+    Factories whose switch has no kernel-backend seam call this first, so
+    ``make_switch(..., backend="vectorized")`` fails with a configuration
+    error naming the pairing instead of an opaque ``TypeError``.
+    """
+    backend = kw.pop("backend", "object")
+    if backend != "object":
+        raise ConfigurationError(
+            f"switch pairing {name!r} supports only the 'object' kernel "
+            f"backend, got {backend!r}"
+        )
 
 
 # --------------------------------------------------------------------- #
@@ -154,11 +178,15 @@ def _greedy(num_ports: int, *, rng=None, **kw) -> "BaseSwitch":
 def _oqfifo(num_ports: int, *, rng=None, **kw) -> "BaseSwitch":
     from repro.switch.output_queue import OutputQueuedSwitch
 
+    _require_object_backend(kw, "oqfifo")
+
     return OutputQueuedSwitch(num_ports, **kw)
 
 
 def _fifoms_prio(num_ports: int, *, rng=None, **kw) -> "BaseSwitch":
     from repro.qos.switch import PriorityMulticastVOQSwitch
+
+    _require_object_backend(kw, "fifoms-prio")
 
     tie = kw.pop("tie_break", TieBreak.RANDOM)
     if isinstance(tie, str):
@@ -198,6 +226,8 @@ def _cioq(num_ports: int, *, rng=None, **kw) -> "BaseSwitch":
     from repro.schedulers.islip import ISLIPScheduler
     from repro.switch.cioq import CIOQSwitch
 
+    _require_object_backend(kw, "cioq-islip")
+
     speedup = kw.pop("speedup", 2)
     return CIOQSwitch(num_ports, speedup, ISLIPScheduler(num_ports), **kw)
 
@@ -207,6 +237,8 @@ register_switch_factory("cioq-islip", _cioq)
 def _cicq(num_ports: int, *, rng=None, **kw) -> "BaseSwitch":
     from repro.switch.cicq import BufferedCrossbarSwitch
 
+    _require_object_backend(kw, "cicq")
+
     return BufferedCrossbarSwitch(
         num_ports, crosspoint_depth=kw.pop("crosspoint_depth", 1), **kw
     )
@@ -214,6 +246,8 @@ def _cicq(num_ports: int, *, rng=None, **kw) -> "BaseSwitch":
 
 def _eslip(num_ports: int, *, rng=None, **kw) -> "BaseSwitch":
     from repro.switch.eslip import ESLIPSwitch
+
+    _require_object_backend(kw, "eslip")
 
     return ESLIPSwitch(
         num_ports, max_iterations=kw.pop("max_iterations", None), **kw

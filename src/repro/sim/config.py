@@ -48,6 +48,12 @@ class SimulationConfig:
         Also collect the delay histogram (exact percentiles) and the
         multicast fanout-splitting tracker; results land in
         ``SimulationSummary.extra``.
+    backend:
+        Kernel backend for the switch's queue state and scheduling hot
+        path: ``"object"`` (reference per-cell semantics) or
+        ``"vectorized"`` (struct-of-arrays; bit-identical results, see
+        ``repro.kernel.equivalence``). Pairings that cannot drive the
+        requested backend fail with a configuration error at build time.
     """
 
     num_slots: int = PAPER_NUM_SLOTS
@@ -58,10 +64,15 @@ class SimulationConfig:
     check_invariants_every: int = 0
     raise_on_unstable: bool = False
     extended_stats: bool = False
+    backend: str = "object"
 
     def __post_init__(self) -> None:
         if self.num_slots < 1:
             raise ConfigurationError(f"num_slots must be >= 1, got {self.num_slots}")
+        if not self.backend or not isinstance(self.backend, str):
+            raise ConfigurationError(
+                f"backend must be a non-empty str, got {self.backend!r}"
+            )
         if not 0.0 <= self.warmup_fraction < 1.0:
             raise ConfigurationError(
                 f"warmup_fraction must be in [0, 1), got {self.warmup_fraction}"

@@ -70,6 +70,11 @@ class SimulationEngine:
         self.config = config or SimulationConfig()
         self.seed = seed
         self.algorithm_name = algorithm_name or getattr(switch, "name", "unknown")
+        #: Kernel backend the switch is running on ("object" for switches
+        #: without a backend seam). Introspection only — deliberately kept
+        #: out of the summary so backend-equivalence comparisons stay
+        #: bit-identical.
+        self.backend = getattr(switch, "backend", "object")
         self.telemetry = telemetry
         self.collector = StatsCollector(
             switch.num_ports,

@@ -79,6 +79,7 @@ def run_simulation(
     telemetry: Telemetry | None = None,
     collect_telemetry: bool = False,
     faults: object | None = None,
+    backend: str | None = None,
     **switch_kwargs: Any,
 ) -> SimulationSummary:
     """Build switch + traffic + engine from plain values and run.
@@ -99,14 +100,17 @@ def run_simulation(
     metrics+profile bundle in-process — the plain-values form a sweep
     worker can request across a ``multiprocessing`` boundary; the
     resulting snapshot rides home in ``SimulationSummary.telemetry``.
+
+    Kernel backend: the explicit ``backend`` argument wins, then a
+    ``backend`` key in ``switch_kwargs``, then ``config.backend``; the
+    default is the reference ``"object"`` model. Both backends produce
+    bit-identical summaries for the schedulers that support both
+    (``repro.kernel.equivalence`` enforces this).
     """
     if telemetry is None and collect_telemetry:
         telemetry = Telemetry(profile=True)
     streams = RngStreams(seed)
     traffic = build_traffic(traffic_spec, num_ports, rng=streams.get("traffic"))
-    switch = make_switch(
-        algorithm, num_ports, rng=streams.get("scheduler"), **switch_kwargs
-    )
     cfg = config or SimulationConfig(
         num_slots=num_slots,
         warmup_fraction=warmup_fraction,
@@ -115,6 +119,17 @@ def run_simulation(
         # windows = ~8% of the run spent strictly climbing).
         stability_window=max(100, num_slots // 100),
         extended_stats=extended_stats,
+    )
+    if backend is None:
+        backend = switch_kwargs.pop("backend", None)
+    if backend is None:
+        backend = cfg.backend
+    switch = make_switch(
+        algorithm,
+        num_ports,
+        rng=streams.get("scheduler"),
+        backend=str(backend),
+        **switch_kwargs,
     )
     injector = None
     if faults is not None:

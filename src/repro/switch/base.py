@@ -73,11 +73,19 @@ class BaseSwitch(abc.ABC):
     #: suites skip the cross-class FIFO check for them.
     fifo_per_pair: bool = True
 
+    #: Kernel backend driving the queue state. Architectures that accept a
+    #: ``backend=`` kwarg overwrite this per instance; everything else is
+    #: implicitly the per-cell object model.
+    backend: str = "object"
+
     def __init__(self, num_ports: int) -> None:
         self.num_ports = check_port_count(num_ports)
         self.current_slot = -1
         self.packets_accepted = 0
         self.cells_delivered = 0
+        #: Packets dropped whole at ingress this slot, surfaced by the
+        #: template method in the slot's :attr:`SlotResult.dropped_packets`.
+        self._dropped_this_slot: list[Packet] = []
 
     # ------------------------------------------------------------------ #
     # Engine-facing API
@@ -125,9 +133,60 @@ class BaseSwitch(abc.ABC):
         (including ``None``) means the packet was accepted.
         """
 
-    @abc.abstractmethod
     def _schedule_and_transmit(self, slot: int) -> SlotResult:
-        """Run the slot's scheduling pass and perform the transfers."""
+        """Template method for the slot's schedule/transmit sequence.
+
+        The shared boilerplate every decision-shaped architecture used to
+        copy-paste — validate the decision, build the
+        :class:`SlotResult` from its metadata, configure the fabric,
+        transfer, release, surface ingress drops — lives here once.
+        Subclasses implement :meth:`_decide` and :meth:`_transfer` (and
+        optionally :meth:`_configure_fabric`); architectures whose slot
+        sequence is not decision-shaped (output-queued, CIOQ's speedup
+        phases) override this method wholesale instead.
+        """
+        decision, grants_lost = self._decide(slot)
+        decision.validate(self.num_ports, self.num_ports)
+        result = SlotResult(
+            slot=slot,
+            rounds=decision.rounds,
+            requests_made=decision.requests_made,
+            round_grants=tuple(decision.round_grants),
+            grants_lost=grants_lost,
+        )
+        crossbar = getattr(self, "crossbar", None)
+        if crossbar is not None:
+            self._configure_fabric(decision)
+        self._transfer(decision, result, slot)
+        if crossbar is not None:
+            crossbar.release()
+        if self._dropped_this_slot:
+            result.dropped_packets = tuple(self._dropped_this_slot)
+            self._dropped_this_slot.clear()
+        return result
+
+    def _decide(self, slot: int):
+        """Produce this slot's ``(ScheduleDecision, grants_lost)`` pair.
+
+        Required by the template method; architectures that override
+        :meth:`_schedule_and_transmit` wholesale never call it.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _decide() or override "
+            f"_schedule_and_transmit()"
+        )
+
+    def _configure_fabric(self, decision) -> None:
+        """Set the crossbar for the validated decision (template hook)."""
+        self.crossbar.configure(decision)
+
+    def _transfer(self, decision, result: SlotResult, slot: int) -> None:
+        """Move the granted cells and record deliveries/accounting on
+        ``result`` (template hook paired with :meth:`_decide`)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _transfer() or override "
+            f"_schedule_and_transmit()"
+        )
 
     @abc.abstractmethod
     def queue_sizes(self) -> list[int]:

@@ -79,6 +79,8 @@ class ESLIPSwitch(BaseSwitch):
         self.mc_queues: list[deque[Packet]] = [deque() for _ in range(n)]
         self._mc_residue: list[set[int]] = [set() for _ in range(n)]
         self.mcast_ptr = 0  # the SHARED multicast grant pointer
+        # Grant split staged by _decide() for _transfer() within one slot.
+        self._pending: tuple[dict[int, list[int]], dict[int, int]] | None = None
 
     # ------------------------------------------------------------------ #
     def _accept(self, packet: Packet, slot: int) -> None:
@@ -166,19 +168,26 @@ class ESLIPSwitch(BaseSwitch):
             rounds += 1
         return mc_grants, uni_match, rounds, requests_made
 
-    def _schedule_and_transmit(self, slot: int) -> SlotResult:
-        n = self.num_ports
+    def _decide(self, slot: int) -> tuple[ScheduleDecision, int]:
+        """Build the slot's decision; the grant split is kept for
+        :meth:`_transfer` (multicast and unicast queues drain differently)."""
         mc_grants, uni_match, rounds, requests_made = self._schedule()
         decision = ScheduleDecision()
         for i, outs in mc_grants.items():
             decision.add(i, tuple(outs))
         for i, j in uni_match.items():
             decision.add(i, (j,))
-        decision.validate(n, n)
         decision.rounds = rounds
         decision.requests_made = requests_made
-        self.crossbar.configure(decision)
-        result = SlotResult(slot=slot, rounds=rounds, requests_made=requests_made)
+        self._pending = (mc_grants, uni_match)
+        return decision, 0
+
+    def _transfer(
+        self, decision: ScheduleDecision, result: SlotResult, slot: int
+    ) -> None:
+        n = self.num_ports
+        mc_grants, uni_match = self._pending
+        self._pending = None
         # Multicast transmissions (+ residue/pointer bookkeeping).
         for i, outs in mc_grants.items():
             q = self.mc_queues[i]
@@ -213,8 +222,6 @@ class ESLIPSwitch(BaseSwitch):
             result.deliveries.append(
                 Delivery(packet=pkt, output_port=j, service_slot=slot)
             )
-        self.crossbar.release()
-        return result
 
     # ------------------------------------------------------------------ #
     def queue_sizes(self) -> list[int]:

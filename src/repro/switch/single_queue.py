@@ -19,20 +19,28 @@ from repro.core.matching import ScheduleDecision
 from repro.errors import SchedulingError
 from repro.fabric.crossbar import MulticastCrossbar
 from repro.packet import Delivery, Packet
-from repro.schedulers.base import SIQHolCell
+from repro.schedulers.base import SIQHolCell, resolve_backend
 from repro.switch.base import BaseSwitch, SlotResult
 
 __all__ = ["SingleInputQueueSwitch"]
 
 
 class SingleInputQueueSwitch(BaseSwitch):
-    """N×N switch with a single FIFO per input port."""
+    """N×N switch with a single FIFO per input port.
+
+    ``backend="vectorized"`` routes scheduling through the scheduler's
+    ``schedule_vectorized`` entry point (the scheduler must declare
+    support via ``supported_backends``); the queue state is unchanged.
+    """
 
     name = "siq"
 
-    def __init__(self, num_ports: int, scheduler: object) -> None:
+    def __init__(
+        self, num_ports: int, scheduler: object, *, backend: str = "object"
+    ) -> None:
         super().__init__(num_ports)
         self.scheduler = scheduler
+        self.backend = resolve_backend(scheduler, backend)
         self.crossbar = MulticastCrossbar(num_ports)
         self.queues: list[deque[Packet]] = [deque() for _ in range(num_ports)]
         # Residue (unserved destinations) of each input's HOL packet.
@@ -65,13 +73,14 @@ class SingleInputQueueSwitch(BaseSwitch):
                 )
         return cells
 
-    def _schedule_and_transmit(self, slot: int) -> SlotResult:
-        decision: ScheduleDecision = self.scheduler.schedule(self.hol_cells(), slot)
-        decision.validate(self.num_ports, self.num_ports)
-        result = SlotResult(
-            slot=slot, rounds=decision.rounds, requests_made=decision.requests_made
-        )
-        self.crossbar.configure(decision)
+    def _decide(self, slot: int) -> tuple[ScheduleDecision, int]:
+        if self.backend == "vectorized":
+            return self.scheduler.schedule_vectorized(self.hol_cells(), slot), 0
+        return self.scheduler.schedule(self.hol_cells(), slot), 0
+
+    def _transfer(
+        self, decision: ScheduleDecision, result: SlotResult, slot: int
+    ) -> None:
         for i, grant in decision.grants.items():
             q = self.queues[i]
             if not q:
@@ -92,8 +101,6 @@ class SingleInputQueueSwitch(BaseSwitch):
                 q.popleft()
                 if q:
                     self._hol_remaining[i] = set(q[0].destinations)
-        self.crossbar.release()
-        return result
 
     # ------------------------------------------------------------------ #
     def queue_sizes(self) -> list[int]:

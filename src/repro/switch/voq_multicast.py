@@ -1,9 +1,9 @@
 """The paper's switch: multicast VOQ input ports + multicast crossbar.
 
-This composes the Section II queue structure
-(:class:`~repro.core.voq.MulticastVOQInputPort`), a scheduler with the
-FIFOMS interface (``schedule(ports) -> ScheduleDecision``), and the
-multicast crossbar. The per-slot sequence follows the paper exactly:
+This composes the Section II queue structure — held by a pluggable
+:class:`~repro.kernel.base.KernelBackend` — a scheduler with the FIFOMS
+interface, and the multicast crossbar. The per-slot sequence follows the
+paper exactly:
 
 1. *preprocess* arrivals (Table 1),
 2. *schedule* (Table 2's iterative request/grant rounds),
@@ -11,6 +11,14 @@ multicast crossbar. The per-slot sequence follows the paper exactly:
    data cell to all its granted outputs simultaneously,
 4. *post-transmission processing* — pop served address cells, decrement
    fanout counters, destroy exhausted data cells.
+
+The queue state itself lives behind ``backend=``: ``"object"`` keeps the
+reference per-cell address/data-cell structures
+(:class:`~repro.kernel.object_backend.ObjectBackend`); ``"vectorized"``
+holds the same state as numpy matrices
+(:class:`~repro.kernel.vectorized.VectorizedBackend`) and routes
+scheduling through the scheduler's ``schedule_state`` array entry point.
+Both produce bit-identical slot streams (``repro.kernel.equivalence``).
 
 Fault injection (optional): with a
 :class:`~repro.faults.injector.FaultInjector` attached, arrivals may be
@@ -26,11 +34,11 @@ semantics retry them on later slots — degraded operation, not a crash.
 from __future__ import annotations
 
 from repro.core.fifoms import FIFOMSScheduler
-from repro.core.preprocess import preprocess_packet
-from repro.core.voq import MulticastVOQInputPort
-from repro.errors import SchedulingError
+from repro.core.matching import ScheduleDecision
 from repro.fabric.crossbar import MulticastCrossbar
-from repro.packet import Delivery, Packet
+from repro.kernel.base import make_backend
+from repro.packet import Packet
+from repro.schedulers.base import resolve_backend
 from repro.switch.base import BaseSwitch, SlotResult
 
 __all__ = ["MulticastVOQSwitch"]
@@ -45,10 +53,16 @@ class MulticastVOQSwitch(BaseSwitch):
         N. The switch is square, as in the paper.
     scheduler:
         Any object exposing ``schedule(ports) -> ScheduleDecision`` over a
-        sequence of :class:`MulticastVOQInputPort`. Defaults to a
-        paper-configured :class:`~repro.core.fifoms.FIFOMSScheduler`.
+        sequence of :class:`~repro.core.voq.MulticastVOQInputPort` (plus
+        ``schedule_state(state)`` for the vectorized backend). Defaults to
+        a paper-configured :class:`~repro.core.fifoms.FIFOMSScheduler`.
         Schedulers advertising ``supports_port_masks`` are handed
         ``input_free``/``output_free`` masks during port outages.
+    backend:
+        Kernel backend holding the queue state: ``"object"`` (default,
+        reference per-cell semantics) or ``"vectorized"`` (struct-of-
+        arrays hot path). The scheduler must declare support for it
+        (``supported_backends``).
     buffer_capacity:
         Optional finite per-input data-cell buffer (None = unbounded, as
         in the paper's simulations, which *measure* the needed size).
@@ -68,26 +82,37 @@ class MulticastVOQSwitch(BaseSwitch):
         num_ports: int,
         scheduler: object | None = None,
         *,
+        backend: str = "object",
         buffer_capacity: int | None = None,
         buffer_overflow: str = "raise",
         fault_injector: object | None = None,
     ) -> None:
         super().__init__(num_ports)
-        self.ports: tuple[MulticastVOQInputPort, ...] = tuple(
-            MulticastVOQInputPort(
-                i,
-                num_ports,
-                buffer_capacity=buffer_capacity,
-                buffer_overflow=buffer_overflow,
-            )
-            for i in range(num_ports)
-        )
         self.scheduler = (
             scheduler if scheduler is not None else FIFOMSScheduler(num_ports)
         )
+        self.backend = resolve_backend(self.scheduler, backend)
+        self._backend = make_backend(
+            self.backend,
+            num_ports,
+            buffer_capacity=buffer_capacity,
+            buffer_overflow=buffer_overflow,
+        )
         self.crossbar = MulticastCrossbar(num_ports)
         self.fault_injector = fault_injector
-        self._dropped_this_slot: list[Packet] = []
+
+    @property
+    def ports(self):
+        """The object backend's port tuple (reference semantics only).
+
+        The vectorized backend has no per-cell port objects; use
+        :meth:`state_arrays` for a backend-agnostic view.
+        """
+        return self._backend.ports
+
+    def state_arrays(self) -> dict[str, object]:
+        """Struct-of-arrays snapshot of the queue state (both backends)."""
+        return self._backend.state_arrays()
 
     # ------------------------------------------------------------------ #
     def _accept(self, packet: Packet, slot: int) -> bool:
@@ -98,13 +123,13 @@ class MulticastVOQSwitch(BaseSwitch):
         ):
             self._dropped_this_slot.append(packet)
             return False
-        if preprocess_packet(self.ports[packet.input_port], packet, slot) is None:
+        if not self._backend.admit(packet, slot):
             # Drop-tail buffer overflow: counted loss, not a crash.
             self._dropped_this_slot.append(packet)
             return False
         return True
 
-    def _schedule(self, slot: int) -> tuple[object, int]:
+    def _decide(self, slot: int) -> tuple[ScheduleDecision, int]:
         """Run the scheduling pass, fault-degraded when an injector is set.
 
         Returns ``(decision, grants_lost)``. This is the seam between the
@@ -114,7 +139,7 @@ class MulticastVOQSwitch(BaseSwitch):
         """
         injector = self.fault_injector
         if injector is None:
-            return self.scheduler.schedule(self.ports), 0
+            return self._backend.schedule(self.scheduler), 0
         state = injector.state_for(slot)
         if state.has_port_outage and getattr(
             self.scheduler, "supports_port_masks", False
@@ -127,69 +152,39 @@ class MulticastVOQSwitch(BaseSwitch):
             output_free = (
                 list(state.output_up) if state.output_up is not None else None
             )
-            decision = self.scheduler.schedule(
-                self.ports, input_free=input_free, output_free=output_free
+            decision = self._backend.schedule(
+                self.scheduler, input_free=input_free, output_free=output_free
             )
         else:
-            decision = self.scheduler.schedule(self.ports)
+            decision = self._backend.schedule(self.scheduler)
         decision, grants_lost = injector.filter_decision(state, decision)
         self.crossbar.set_crosspoint_faults(state.failed_crosspoints)
         return decision, grants_lost
 
-    def _schedule_and_transmit(self, slot: int) -> SlotResult:
-        decision, grants_lost = self._schedule(slot)
-        decision.validate(self.num_ports, self.num_ports)
-        self.crossbar.configure(decision)
-        result = SlotResult(
-            slot=slot,
-            rounds=decision.rounds,
-            requests_made=decision.requests_made,
-            round_grants=tuple(decision.round_grants),
-            grants_lost=grants_lost,
-        )
-        for input_port, grant in decision.grants.items():
-            port = self.ports[input_port]
-            # Pop every granted HOL address cell; they must all point to
-            # one data cell (the paper's "no accept step needed" argument).
-            cells = [port.voqs[j].pop_head() for j in grant.output_ports]
-            data_cell = cells[0].data_cell
-            for cell in cells[1:]:
-                if cell.data_cell is not data_cell:
-                    raise SchedulingError(
-                        f"input {input_port} granted two distinct data cells "
-                        f"in one slot (timestamps "
-                        f"{[c.timestamp for c in cells]})"
-                    )
-            released = False
-            for cell in cells:
-                result.deliveries.append(
-                    Delivery(
-                        packet=data_cell.packet,
-                        output_port=cell.output_port,
-                        service_slot=slot,
-                    )
-                )
-                if port.buffer.record_service(data_cell):
-                    released = True
-            if released:
-                result.reclaimed += 1
-            else:
-                result.splits += 1
-        self.crossbar.release()
-        if self._dropped_this_slot:
-            result.dropped_packets = tuple(self._dropped_this_slot)
-            self._dropped_this_slot.clear()
-        return result
+    def _configure_fabric(self, decision: ScheduleDecision) -> None:
+        """Crossbar setup: array path when the backend provides a driver
+        vector, per-branch path otherwise."""
+        driver = self._backend.driver_row(decision)
+        if driver is None:
+            self.crossbar.configure(decision)
+        else:
+            self.crossbar.configure_drivers(driver)
+
+    def _transfer(
+        self, decision: ScheduleDecision, result: SlotResult, slot: int
+    ) -> None:
+        """Post-transmission processing, delegated to the kernel backend."""
+        self._backend.commit(decision, result, slot)
 
     # ------------------------------------------------------------------ #
     def queue_sizes(self) -> list[int]:
         """Paper metric: live data cells (unsent packets) per input port."""
-        return [p.queue_size for p in self.ports]
+        return self._backend.queue_sizes()
 
     def total_backlog(self) -> int:
         """Pending (packet, destination) pairs = queued address cells."""
-        return sum(p.total_address_cells for p in self.ports)
+        return self._backend.total_backlog()
 
     def check_invariants(self) -> None:
-        for p in self.ports:
-            p.check_invariants()
+        """Delegate the deep structural checks to the kernel backend."""
+        self._backend.check_invariants()

@@ -18,7 +18,7 @@ from repro.core.matching import ScheduleDecision
 from repro.errors import SchedulingError
 from repro.fabric.crossbar import MulticastCrossbar
 from repro.packet import Delivery, Packet
-from repro.schedulers.base import UnicastVOQView
+from repro.schedulers.base import UnicastVOQView, resolve_backend
 from repro.switch.base import BaseSwitch, SlotResult
 
 __all__ = ["UnicastVOQSwitch"]
@@ -34,13 +34,23 @@ class UnicastVOQSwitch(BaseSwitch):
     scheduler:
         Object exposing ``schedule(view: UnicastVOQView) ->
         ScheduleDecision`` where every grant set has fanout 1 (enforced).
+        For ``backend="vectorized"`` the scheduler's
+        ``schedule_vectorized`` entry point is used instead (the queue
+        state is already struct-of-arrays: the view's occupancy and
+        HOL-arrival matrices).
+    backend:
+        Kernel backend name; the scheduler must declare support for it
+        (``supported_backends``).
     """
 
     name = "unicast-voq"
 
-    def __init__(self, num_ports: int, scheduler: object) -> None:
+    def __init__(
+        self, num_ports: int, scheduler: object, *, backend: str = "object"
+    ) -> None:
         super().__init__(num_ports)
         self.scheduler = scheduler
+        self.backend = resolve_backend(scheduler, backend)
         self.crossbar = MulticastCrossbar(num_ports)
         # queues[i][j] holds (packet, arrival_slot) unicast copies.
         self.queues: list[list[deque[Packet]]] = [
@@ -64,19 +74,17 @@ class UnicastVOQSwitch(BaseSwitch):
         if size > self._peak_queue[i]:
             self._peak_queue[i] = size
 
-    def _schedule_and_transmit(self, slot: int) -> SlotResult:
+    def _decide(self, slot: int) -> tuple[ScheduleDecision, int]:
         view = UnicastVOQView(
             occupancy=self._occupancy, hol_arrival=self._hol_arrival, current_slot=slot
         )
-        decision: ScheduleDecision = self.scheduler.schedule(view)
-        decision.validate(self.num_ports, self.num_ports)
-        result = SlotResult(
-            slot=slot,
-            rounds=decision.rounds,
-            requests_made=decision.requests_made,
-            round_grants=tuple(decision.round_grants),
-        )
-        self.crossbar.configure(decision)
+        if self.backend == "vectorized":
+            return self.scheduler.schedule_vectorized(view), 0
+        return self.scheduler.schedule(view), 0
+
+    def _transfer(
+        self, decision: ScheduleDecision, result: SlotResult, slot: int
+    ) -> None:
         for i, grant in decision.grants.items():
             if grant.fanout != 1:
                 raise SchedulingError(
@@ -92,8 +100,6 @@ class UnicastVOQSwitch(BaseSwitch):
             result.deliveries.append(
                 Delivery(packet=packet, output_port=j, service_slot=slot)
             )
-        self.crossbar.release()
-        return result
 
     # ------------------------------------------------------------------ #
     def queue_sizes(self) -> list[int]:

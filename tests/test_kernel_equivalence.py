@@ -1,0 +1,97 @@
+"""Tests for repro.kernel.equivalence (backend bit-exactness harness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.equivalence import (
+    EquivalenceCase,
+    RecordingSwitch,
+    default_grid,
+    main,
+    run_case,
+    slot_digest,
+)
+from repro.packet import Delivery, Packet
+from repro.switch.base import SlotResult
+
+
+class TestSlotDigest:
+    def test_delivery_order_is_canonicalized(self):
+        p1 = Packet(input_port=0, destinations=(1,), arrival_slot=3)
+        p2 = Packet(input_port=2, destinations=(1,), arrival_slot=1)
+        a = SlotResult(slot=5, rounds=2, requests_made=True)
+        a.deliveries = [
+            Delivery(packet=p1, output_port=1, service_slot=5),
+            Delivery(packet=p2, output_port=0, service_slot=5),
+        ]
+        b = SlotResult(slot=5, rounds=2, requests_made=True)
+        b.deliveries = list(reversed(a.deliveries))
+        assert slot_digest(a) == slot_digest(b)
+
+    def test_digest_sees_every_counter(self):
+        base = SlotResult(slot=0)
+        for field, value in [
+            ("rounds", 3),
+            ("splits", 1),
+            ("reclaimed", 2),
+            ("grants_lost", 1),
+            ("requests_made", True),
+            ("round_grants", (2, 1)),
+        ]:
+            other = SlotResult(slot=0)
+            setattr(other, field, value)
+            assert slot_digest(other) != slot_digest(base)
+
+
+class TestRecordingSwitch:
+    class _Stub:
+        num_ports = 4
+        answered = None
+
+        def step(self, arrivals, slot):
+            return SlotResult(slot=slot)
+
+    def test_records_and_forwards(self):
+        stub = self._Stub()
+        proxy = RecordingSwitch(stub)
+        assert proxy.num_ports == 4
+        proxy.answered = "yes"  # attribute write lands on the stub
+        assert stub.answered == "yes"
+        proxy.step([None] * 4, 0)
+        proxy.step([None] * 4, 1)
+        assert len(proxy.digests) == 2
+        assert proxy.digests[0][0] == 0 and proxy.digests[1][0] == 1
+
+
+class TestGrid:
+    def test_default_grid_shape(self):
+        grid = default_grid()
+        assert len(grid) == 7
+        assert {c.algorithm for c in grid} == {"fifoms", "islip", "tatra"}
+        assert {c.traffic["model"] for c in grid} == {"bernoulli", "burst"}
+        assert sum(1 for c in grid if c.fault is not None) == 1
+
+    @pytest.mark.parametrize(
+        "case",
+        [
+            EquivalenceCase("fifoms", {"model": "bernoulli", "p": 0.3, "b": 0.25}),
+            EquivalenceCase(
+                "fifoms",
+                {"model": "burst", "e_on": 4.0, "e_off": 16.0, "b": 0.3},
+                fault="flaky-crosspoint",
+            ),
+            EquivalenceCase("islip", {"model": "bernoulli", "p": 0.3, "b": 0.25}),
+            EquivalenceCase("tatra", {"model": "bernoulli", "p": 0.25, "b": 0.25}),
+        ],
+        ids=lambda c: c.label,
+    )
+    def test_backends_bit_identical(self, case):
+        report = run_case(case, num_ports=8, num_slots=600)
+        assert report.ok
+        assert report.slots_compared == 600
+
+    def test_main_runs_reduced_grid(self, capsys):
+        assert main(["--ports", "4", "--slots", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "all 7 cases bit-identical" in out

@@ -37,6 +37,7 @@ from repro.lint.rules_rng import (
     NoUnseededGeneratorRule,
 )
 from repro.lint.rules_structure import (
+    KernelHotPathImportRule,
     PublicModuleAllRule,
     SchedulerRegistryRule,
     SwitchInvariantsRule,
@@ -407,6 +408,69 @@ class TestSTR003PublicModuleAll:
     def test_suppression_comment(self, tmp_path):
         src = "# lint: disable=STR003\ndef helper():\n    pass\n"
         assert lint_tree(tmp_path, {"repro/stats/x.py": src}, [self.RULE()]) == []
+
+
+class TestSTR004KernelHotPathImport:
+    RULE = KernelHotPathImportRule
+
+    def test_flags_per_cell_import_in_kernel(self, tmp_path):
+        src = (
+            '"""Kernel module."""\n'
+            "from repro.core.cells import AddressCell\n"
+            "__all__ = []\n"
+        )
+        findings = lint_tree(
+            tmp_path, {"repro/kernel/fastpath.py": src}, [self.RULE()]
+        )
+        assert only_ids(findings) == ["STR004"]
+        assert "repro.core.cells" in findings[0].message
+
+    def test_flags_plain_import_form(self, tmp_path):
+        src = "import repro.core.voq\n__all__ = []\n"
+        findings = lint_tree(
+            tmp_path, {"repro/kernel/fastpath.py": src}, [self.RULE()]
+        )
+        assert only_ids(findings) == ["STR004"]
+
+    def test_object_backend_is_exempt(self, tmp_path):
+        src = (
+            "from repro.core.cells import AddressCell\n"
+            "from repro.core.voq import MulticastVOQInputPort\n"
+            "from repro.core.preprocess import preprocess_packet\n"
+            "__all__ = []\n"
+        )
+        assert (
+            lint_tree(
+                tmp_path, {"repro/kernel/object_backend.py": src}, [self.RULE()]
+            )
+            == []
+        )
+
+    def test_non_kernel_modules_not_flagged(self, tmp_path):
+        src = "from repro.core.cells import AddressCell\n__all__ = []\n"
+        assert (
+            lint_tree(tmp_path, {"repro/switch/x.py": src}, [self.RULE()]) == []
+        )
+
+    def test_clean_kernel_module(self, tmp_path):
+        src = "from repro.core.matching import ScheduleDecision\n__all__ = []\n"
+        assert (
+            lint_tree(tmp_path, {"repro/kernel/state.py": src}, [self.RULE()])
+            == []
+        )
+
+    def test_suppression_comment(self, tmp_path):
+        src = (
+            "# lint: disable=STR004\n"
+            "from repro.core.buffers import DataCellBuffer\n"
+            "__all__ = []\n"
+        )
+        assert (
+            lint_tree(
+                tmp_path, {"repro/kernel/fastpath.py": src}, [self.RULE()]
+            )
+            == []
+        )
 
 
 # --------------------------------------------------------------------- #

@@ -2,10 +2,16 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
+from repro.core.fifoms import FIFOMSScheduler, TieBreak
 from repro.core.matching import GrantSet, ScheduleDecision
+from repro.core.preprocess import preprocess_packet
+from repro.core.voq import MulticastVOQInputPort
 from repro.errors import SchedulingError
+from repro.kernel.state import SwitchState
+from repro.packet import Packet
 
 
 class TestGrantSet:
@@ -61,3 +67,77 @@ class TestScheduleDecision:
         d = ScheduleDecision()
         assert not d
         d.validate(4, 4)
+
+
+def _fed(n, packets):
+    """(object ports, SwitchState) pair loaded with the same packets."""
+    ports = [MulticastVOQInputPort(i, n) for i in range(n)]
+    state = SwitchState(n)
+    for pkt in packets:
+        preprocess_packet(ports[pkt.input_port], pkt, pkt.arrival_slot)
+        state.admit(pkt, pkt.arrival_slot)
+    return ports, state
+
+
+def _grants(decision):
+    return {i: g.output_ports for i, g in decision.grants.items()}
+
+
+class TestMatchingEdgeCases:
+    """Decision-shape edge cases, checked on both scheduler entry points."""
+
+    def test_empty_request_matrix(self):
+        ports, state = _fed(4, [])
+        for decision in (
+            FIFOMSScheduler(4, tie_break=TieBreak.LOWEST_INPUT).schedule(ports),
+            FIFOMSScheduler(4, tie_break=TieBreak.LOWEST_INPUT).schedule_state(state),
+        ):
+            assert not decision
+            assert not decision.requests_made
+            assert decision.grants == {}
+            assert decision.matched_outputs == 0
+            decision.validate(4, 4)
+
+    def test_full_fanout_single_input(self):
+        pkt = Packet(input_port=2, destinations=(0, 1, 2, 3), arrival_slot=0)
+        ports, state = _fed(4, [pkt])
+        for decision in (
+            FIFOMSScheduler(4, tie_break=TieBreak.LOWEST_INPUT).schedule(ports),
+            FIFOMSScheduler(4, tie_break=TieBreak.LOWEST_INPUT).schedule_state(state),
+        ):
+            assert _grants(decision) == {2: (0, 1, 2, 3)}
+            assert decision.matched_outputs == 4
+            assert decision.requests_made
+
+    def test_equal_timestamp_tie_lowest_input(self):
+        """Three equal-timestamp HOL cells contending for output 1:
+        LOWEST_INPUT must give it to the smallest input index."""
+        packets = [
+            Packet(input_port=i, destinations=(1,), arrival_slot=0)
+            for i in (3, 0, 2)
+        ]
+        ports, state = _fed(4, packets)
+        for decision in (
+            FIFOMSScheduler(4, tie_break=TieBreak.LOWEST_INPUT).schedule(ports),
+            FIFOMSScheduler(4, tie_break=TieBreak.LOWEST_INPUT).schedule_state(state),
+        ):
+            assert _grants(decision) == {0: (1,)}
+
+    @pytest.mark.parametrize("tie", list(TieBreak), ids=lambda t: t.value)
+    def test_equal_timestamp_tie_parity_across_entry_points(self, tie):
+        """Whatever the tie-break policy picks, schedule() and
+        schedule_state() must pick the *same* winner (same RNG draws)."""
+        packets = [
+            Packet(input_port=i, destinations=(1, 2), arrival_slot=0)
+            for i in range(4)
+        ]
+        ports, state = _fed(4, packets)
+        d_obj = FIFOMSScheduler(
+            4, tie_break=tie, rng=np.random.default_rng(99)
+        ).schedule(ports)
+        d_vec = FIFOMSScheduler(
+            4, tie_break=tie, rng=np.random.default_rng(99)
+        ).schedule_state(state)
+        assert _grants(d_obj) == _grants(d_vec)
+        assert d_obj.rounds == d_vec.rounds
+        assert list(d_obj.round_grants) == list(d_vec.round_grants)
