@@ -26,6 +26,8 @@ from repro.lint.base import (
     dotted_name,
     parse_suppressions,
 )
+from repro.lint.baseline import Baseline, write_baseline
+from repro.lint.cache import AnalysisCache, lint_package_signature
 from repro.lint.engine import (
     PARSE_RULE_ID,
     LintReport,
@@ -34,7 +36,9 @@ from repro.lint.engine import (
     iter_python_files,
     run_lint,
 )
+from repro.lint.graph import ProjectGraph, project_graph
 from repro.lint.report import format_json, format_rule_catalog, format_text
+from repro.lint.sarif import format_sarif, sarif_document
 
 __all__ = [
     "Severity",
@@ -53,4 +57,12 @@ __all__ = [
     "format_text",
     "format_json",
     "format_rule_catalog",
+    "format_sarif",
+    "sarif_document",
+    "Baseline",
+    "write_baseline",
+    "AnalysisCache",
+    "lint_package_signature",
+    "ProjectGraph",
+    "project_graph",
 ]

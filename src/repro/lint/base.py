@@ -190,6 +190,10 @@ class Project:
     """Every module of one lint run, for cross-file rules."""
 
     modules: list[ModuleInfo]
+    #: Memoized :class:`~repro.lint.graph.ProjectGraph` (built lazily by
+    #: :func:`repro.lint.graph.project_graph` so the flow-aware rules
+    #: share one symbol-table/import-graph build per run).
+    graph_cache: object | None = None
 
     def find(self, suffix: str) -> ModuleInfo | None:
         """First module whose resolved path ends with ``suffix``."""

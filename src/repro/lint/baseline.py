@@ -1,0 +1,106 @@
+"""Finding baselines: ratchet new rules onto legacy code.
+
+Turning a new rule on over an existing tree usually surfaces findings
+that are real but not this PR's job to fix. A *baseline* file freezes
+those known findings so the rule can gate **new** violations immediately
+(the ratchet): a finding is suppressed iff it matches an entry, and
+fixing the code later leaves a stale entry that ``repro-sim lint
+--write-baseline`` regeneration removes.
+
+Matching is deliberately line-insensitive — ``(rule, path, message)`` —
+so unrelated edits that shift a finding a few lines do not break the
+baseline, while any change to *what* is reported (different message,
+different file) counts as new. Every entry carries a ``reason`` field;
+the repo convention is that a baseline entry without a reason is a
+review comment waiting to happen.
+
+Format (JSON, one object)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"rule": "KB002", "path": "src/x.py", "message": "...",
+         "reason": "why this stays"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.base import Finding
+from repro.errors import ConfigurationError
+
+__all__ = ["Baseline", "write_baseline"]
+
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """A loaded baseline file; answers "is this finding pre-existing?"."""
+
+    def __init__(self, entries: list[dict[str, str]]) -> None:
+        self._keys = {
+            (e.get("rule", ""), e.get("path", ""), e.get("message", ""))
+            for e in entries
+        }
+        self.entries = entries
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read and validate a baseline file (raises ConfigurationError)."""
+        try:
+            data = json.loads(Path(path).read_text())
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read baseline {path}: {exc}") from exc
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"baseline {path} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise ConfigurationError(
+                f"baseline {path}: expected a JSON object with version "
+                f"{BASELINE_VERSION}"
+            )
+        entries = data.get("entries")
+        if not isinstance(entries, list) or not all(
+            isinstance(e, dict) for e in entries
+        ):
+            raise ConfigurationError(f"baseline {path}: 'entries' must be a list")
+        return cls(entries)
+
+    def matches(self, finding: Finding) -> bool:
+        """Line-insensitive membership test for one finding."""
+        return (finding.rule_id, finding.path, finding.message) in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> int:
+    """Write ``findings`` as a fresh baseline; returns the entry count.
+
+    Entries get an empty ``reason`` for the author to fill in — the
+    self-check convention is that every baselined finding documents why
+    it stays.
+    """
+    entries = [
+        {
+            "rule": f.rule_id,
+            "path": f.path,
+            "message": f.message,
+            "reason": "",
+        }
+        for f in findings
+    ]
+    # One entry per (rule, path, message); duplicates add nothing.
+    unique: dict[tuple[str, str, str], dict[str, str]] = {}
+    for e in entries:
+        unique.setdefault((e["rule"], e["path"], e["message"]), e)
+    doc = {"version": BASELINE_VERSION, "entries": sorted(
+        unique.values(), key=lambda e: (e["path"], e["rule"], e["message"])
+    )}
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+    return len(unique)

@@ -1,0 +1,175 @@
+"""Content-hash-keyed analysis cache for incremental lint runs.
+
+CI lints the whole tree on every push; almost every file is unchanged
+between runs. The cache makes the common case cheap without ever trading
+correctness for speed, because every key is *content-derived*:
+
+* **Per-file entries** map ``sha256(file bytes)`` to the module-rule
+  findings produced for that content. A hit skips parsing and running
+  the per-module rules for that file.
+* **One project entry** maps the digest of *all* (path, sha) pairs to
+  the cross-file findings (registry completeness, kernel closure, ...).
+  A hit means the tree as a whole is byte-identical, so the entire run
+  is served from cache and zero files are re-analyzed.
+* **The analyzer's own source** is part of every key: the signature
+  hashes the ``repro.lint`` package files plus the active rule ids, so
+  editing a rule invalidates everything it might have produced. There is
+  no mtime anywhere — a rebuilt checkout with equal bytes still hits.
+
+The cache is one JSON document (``lint-cache.json``) inside the
+directory handed to ``repro-sim lint --cache``; it is rewritten each run
+with only the files that still exist, so it cannot grow unboundedly.
+A corrupt or version-skewed cache file is treated as empty, never as an
+error — the cache must be impossible to wedge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.lint.base import Finding, Severity
+
+__all__ = ["AnalysisCache", "file_digest", "lint_package_signature"]
+
+#: Bump to invalidate every existing cache on disk (format changes).
+CACHE_FORMAT = 1
+
+
+def file_digest(data: bytes) -> str:
+    """Hex sha256 of a file's bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def lint_package_signature(rule_ids: tuple[str, ...]) -> str:
+    """Digest of the analyzer itself plus the active rule set.
+
+    Hashing the ``repro.lint`` sources means a rule edit (new check,
+    changed message, different severity) invalidates every cached
+    finding that rule could have produced, with no version bookkeeping.
+    """
+    h = hashlib.sha256()
+    h.update(f"format={CACHE_FORMAT};rules={','.join(rule_ids)};".encode())
+    package_dir = Path(__file__).resolve().parent
+    for source in sorted(package_dir.glob("*.py")):
+        h.update(source.name.encode())
+        h.update(source.read_bytes())
+    return h.hexdigest()
+
+
+def _finding_to_entry(finding: Finding) -> dict[str, object]:
+    return {
+        "rule": finding.rule_id,
+        "path": finding.path,
+        "line": finding.line,
+        "message": finding.message,
+        "severity": finding.severity.value,
+    }
+
+
+def _entry_to_finding(entry: dict[str, object]) -> Finding:
+    return Finding(
+        rule_id=str(entry["rule"]),
+        path=str(entry["path"]),
+        line=int(entry["line"]),
+        message=str(entry["message"]),
+        severity=Severity(entry["severity"]),
+    )
+
+
+class AnalysisCache:
+    """Load/store per-file and whole-project findings keyed by content."""
+
+    FILENAME = "lint-cache.json"
+
+    def __init__(self, directory: str | Path, signature: str) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / self.FILENAME
+        self.signature = signature
+        self._old: dict[str, object] = self._load()
+        self._new_files: dict[str, dict[str, object]] = {}
+        self._new_project: dict[str, object] | None = None
+
+    # ------------------------------------------------------------------ #
+    def _load(self) -> dict[str, object]:
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return {}
+        if (
+            not isinstance(data, dict)
+            or data.get("format") != CACHE_FORMAT
+            or data.get("signature") != self.signature
+        ):
+            return {}
+        return data
+
+    # ------------------------------------------------------------------ #
+    # Per-file module-rule findings
+    # ------------------------------------------------------------------ #
+    def lookup_file(self, abspath: str, sha: str) -> list[Finding] | None:
+        """Cached module-rule findings for this exact content, or None."""
+        files = self._old.get("files")
+        entry = files.get(abspath) if isinstance(files, dict) else None
+        if not isinstance(entry, dict) or entry.get("sha") != sha:
+            return None
+        findings = entry.get("findings")
+        if not isinstance(findings, list):
+            return None
+        try:
+            return [_entry_to_finding(e) for e in findings]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store_file(self, abspath: str, sha: str, findings: list[Finding]) -> None:
+        """Record module-rule findings for one file's content hash."""
+        self._new_files[abspath] = {
+            "sha": sha,
+            "findings": [_finding_to_entry(f) for f in findings],
+        }
+
+    # ------------------------------------------------------------------ #
+    # Whole-project cross-file findings
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def project_key(shas: list[tuple[str, str]]) -> str:
+        """Digest of every (abspath, sha) pair — the tree's identity."""
+        h = hashlib.sha256()
+        for abspath, sha in sorted(shas):
+            h.update(abspath.encode())
+            h.update(sha.encode())
+        return h.hexdigest()
+
+    def lookup_project(self, key: str) -> list[Finding] | None:
+        """Cached cross-file findings for this exact tree, or None."""
+        entry = self._old.get("project")
+        if not isinstance(entry, dict) or entry.get("key") != key:
+            return None
+        findings = entry.get("findings")
+        if not isinstance(findings, list):
+            return None
+        try:
+            return [_entry_to_finding(e) for e in findings]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store_project(self, key: str, findings: list[Finding]) -> None:
+        """Record the cross-file findings under the tree's identity key."""
+        self._new_project = {
+            "key": key,
+            "findings": [_finding_to_entry(f) for f in findings],
+        }
+
+    # ------------------------------------------------------------------ #
+    def save(self) -> None:
+        """Write the rewritten cache (current files only) to disk."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        doc: dict[str, object] = {
+            "format": CACHE_FORMAT,
+            "signature": self.signature,
+            "files": self._new_files,
+        }
+        if self._new_project is not None:
+            doc["project"] = self._new_project
+        self.path.write_text(json.dumps(doc, indent=1, sort_keys=True))

@@ -20,12 +20,19 @@ def format_text(report: LintReport) -> str:
     """One line per finding plus a summary tail line."""
     lines = [str(f) for f in report.findings]
     noun = "file" if report.files_scanned == 1 else "files"
+    extras = []
+    reused = report.files_scanned - report.files_reanalyzed
+    if reused > 0:
+        extras.append(f"{reused} from cache")
+    if report.baselined:
+        extras.append(f"{report.baselined} baselined")
+    tail = f" ({', '.join(extras)})" if extras else ""
     if report.ok:
-        lines.append(f"clean: {report.files_scanned} {noun}, no findings")
+        lines.append(f"clean: {report.files_scanned} {noun}, no findings{tail}")
     else:
         lines.append(
             f"{report.errors} error(s), {report.warnings} warning(s) "
-            f"in {report.files_scanned} {noun}"
+            f"in {report.files_scanned} {noun}{tail}"
         )
     return "\n".join(lines)
 

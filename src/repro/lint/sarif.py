@@ -1,0 +1,125 @@
+"""SARIF 2.1.0 rendering for lint reports.
+
+SARIF (Static Analysis Results Interchange Format) is the document
+format GitHub code scanning ingests: uploading one makes every lint
+finding a first-class annotation on the PR diff and a trackable alert on
+the repository, instead of a line in a CI log. This module renders a
+:class:`~repro.lint.engine.LintReport` as one SARIF ``run``:
+
+* the tool's ``driver`` carries the full rule catalog (id, short/full
+  description, default severity level), so the code-scanning UI can
+  show the rationale next to each alert;
+* each finding becomes a ``result`` with ``ruleId``, ``level``,
+  ``message.text`` and one physical location (URI + start line);
+* file URIs are emitted relative with a ``%SRCROOT%`` uriBase, which is
+  what ``github/codeql-action/upload-sarif`` expects from a checkout.
+
+Only the spec subset code scanning consumes is emitted; the structure
+follows the SARIF 2.1.0 schema (see ``$schema`` in the output) and is
+validated by the structural checks in ``tests/test_lint.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+
+from repro.lint.base import Rule, Severity
+from repro.lint.engine import PARSE_RULE_ID, LintReport
+
+__all__ = ["sarif_document", "format_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_INFORMATION_URI = "https://github.com/example/fifoms-repro"
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _rule_descriptor(rule: Rule) -> dict[str, object]:
+    return {
+        "id": rule.rule_id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.rationale},
+        "defaultConfiguration": {"level": _level(rule.severity)},
+    }
+
+
+def _parse_rule_descriptor() -> dict[str, object]:
+    return {
+        "id": PARSE_RULE_ID,
+        "name": "ParseError",
+        "shortDescription": {"text": "file cannot be parsed"},
+        "fullDescription": {
+            "text": (
+                "A syntax error in one module must surface as a finding "
+                "rather than abort the run and hide findings elsewhere."
+            )
+        },
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _relative_uri(path: str) -> str:
+    """Finding paths are already cwd-relative POSIX where possible; keep
+    them relative for %SRCROOT% resolution, stripping any leading ./"""
+    return path.removeprefix("./")
+
+
+def sarif_document(
+    report: LintReport, rules: Iterable[Rule]
+) -> dict[str, object]:
+    """The report as a SARIF 2.1.0 document (a JSON-ready dict)."""
+    descriptors = [_rule_descriptor(r) for r in rules]
+    descriptors.append(_parse_rule_descriptor())
+    index = {d["id"]: i for i, d in enumerate(descriptors)}
+    results: list[dict[str, object]] = []
+    for finding in report.findings:
+        result: dict[str, object] = {
+            "ruleId": finding.rule_id,
+            "level": _level(finding.severity),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relative_uri(finding.path),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {"startLine": max(1, finding.line)},
+                    }
+                }
+            ],
+        }
+        if finding.rule_id in index:
+            result["ruleIndex"] = index[finding.rule_id]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": _INFORMATION_URI,
+                        "rules": descriptors,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def format_sarif(report: LintReport, rules: Iterable[Rule]) -> str:
+    """The SARIF document as an indented JSON string."""
+    return json.dumps(sarif_document(report, rules), indent=2)

@@ -86,19 +86,34 @@ def make_switch(
     return factory(num_ports, rng=rng, **kwargs)
 
 
-def _require_object_backend(kw: dict, name: str) -> None:
+def _require_object_backend(
+    kw: dict, name: str, scheduler: object | None = None
+) -> None:
     """Reject a non-object ``backend`` kwarg for object-only architectures.
 
     Factories whose switch has no kernel-backend seam call this first, so
     ``make_switch(..., backend="vectorized")`` fails with a configuration
-    error naming the pairing instead of an opaque ``TypeError``.
+    error naming the pairing *and* what it does support instead of an
+    opaque ``TypeError``. Pass the ``scheduler`` class when the scheduler
+    itself declares wider support — the message then explains that the
+    restriction comes from the switch architecture, not the algorithm
+    (e.g. iSLIP is vectorized-capable, but the CIOQ crossbar cannot
+    drive an array kernel).
     """
     backend = kw.pop("backend", "object")
-    if backend != "object":
-        raise ConfigurationError(
-            f"switch pairing {name!r} supports only the 'object' kernel "
-            f"backend, got {backend!r}"
+    if backend == "object":
+        return
+    declared = getattr(scheduler, "supported_backends", None)
+    detail = ""
+    if isinstance(declared, (tuple, list)) and set(declared) != {"object"}:
+        detail = (
+            f"; the scheduler declares {', '.join(repr(b) for b in declared)}"
+            f", but this switch architecture has no kernel seam to drive it"
         )
+    raise ConfigurationError(
+        f"switch pairing {name!r} got backend {backend!r}; the pairing "
+        f"supports only the 'object' kernel backend{detail}"
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -226,7 +241,7 @@ def _cioq(num_ports: int, *, rng=None, **kw) -> "BaseSwitch":
     from repro.schedulers.islip import ISLIPScheduler
     from repro.switch.cioq import CIOQSwitch
 
-    _require_object_backend(kw, "cioq-islip")
+    _require_object_backend(kw, "cioq-islip", ISLIPScheduler)
 
     speedup = kw.pop("speedup", 2)
     return CIOQSwitch(num_ports, speedup, ISLIPScheduler(num_ports), **kw)

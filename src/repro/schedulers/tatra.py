@@ -100,7 +100,7 @@ class TATRAScheduler:
 
         if hol_cells:
             decision.requests_made = True
-        for i, outs in grants.items():
+        for i, outs in sorted(grants.items()):
             decision.add(i, tuple(outs))
             # If this serves the piece's last squares, the input's box slot
             # frees up so the next HOL cell registers as fresh.
@@ -161,7 +161,7 @@ class TATRAScheduler:
 
         if hol_cells:
             decision.requests_made = True
-        for i, outs in grants.items():
+        for i, outs in sorted(grants.items()):
             decision.add(i, tuple(outs))
             if not any(i in col for col in self.columns):
                 self._in_box[i] = -1

@@ -87,7 +87,7 @@ class WBAScheduler:
                 else winners[int(self._rng.integers(len(winners)))]
             )
             grants.setdefault(winner, []).append(j)
-        for i, outs in grants.items():
+        for i, outs in sorted(grants.items()):
             decision.add(i, tuple(outs))
         decision.rounds = 1 if grants else 0
         return decision

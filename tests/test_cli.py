@@ -255,9 +255,64 @@ class TestLintCommand:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RNG001", "DET001", "STR001", "ERR001"):
+        for rule_id in ("RNG001", "DET001", "STR001", "ERR001",
+                        "KB001", "KB002", "KB003", "RNG005", "RNG006",
+                        "DET003"):
             assert rule_id in out
 
     def test_missing_path_exit_2(self, capsys):
         assert main(["lint", "/nonexistent/nowhere"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_paths_option_accepts_directories(self, capsys, tmp_path):
+        nested = tmp_path / "extra" / "deep"
+        nested.mkdir(parents=True)
+        (nested / "bad.py").write_text("import random\n__all__ = []\n")
+        # Overlapping roots must not double-report the same file.
+        code = main(
+            ["lint", "--paths", str(tmp_path), str(tmp_path / "extra")]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert out.count("RNG003") == 1
+
+    def test_sarif_output(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n__all__ = []\n")
+        sarif_path = tmp_path / "lint.sarif"
+        assert main(["lint", str(tmp_path), "--sarif", str(sarif_path)]) == 1
+        doc = json.loads(sarif_path.read_text())
+        assert doc["version"] == "2.1.0"
+        results = doc["runs"][0]["results"]
+        assert results and results[0]["ruleId"] == "RNG003"
+
+    def test_cache_round_trip(self, capsys, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        (tree / "ok.py").write_text("__all__ = []\n")
+        cache = tmp_path / "cache"
+        assert main(["lint", str(tree), "--cache", str(cache), "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["files_reanalyzed"] == 1
+        assert main(["lint", str(tree), "--cache", str(cache), "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["files_reanalyzed"] == 0
+
+    def test_write_baseline_then_gate_with_it(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n__all__ = []\n")
+        bpath = tmp_path / "baseline.json"
+        assert main(
+            ["lint", str(bad), "--write-baseline", str(bpath)]
+        ) == 0
+        assert "1 baseline entry" in capsys.readouterr().out
+        assert main(
+            ["lint", str(bad), "--strict", "--baseline", str(bpath)]
+        ) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_bad_baseline_file_exit_2(self, capsys, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{ nope")
+        assert main(["lint", "--baseline", str(bad)]) == 2
         assert "error:" in capsys.readouterr().err

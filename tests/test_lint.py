@@ -16,17 +16,32 @@ from pathlib import Path
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.lint import (
     PARSE_RULE_ID,
+    Baseline,
     Finding,
     ModuleInfo,
     Severity,
     default_rules,
     format_json,
+    format_sarif,
     format_text,
     iter_python_files,
     parse_suppressions,
     run_lint,
+    sarif_document,
+    write_baseline,
+)
+from repro.lint.rules_flow import (
+    GeneratorIntoWorkerRule,
+    GeneratorProvenanceRule,
+    OrderFlowRule,
+)
+from repro.lint.rules_kernel import (
+    KernelClosurePurityRule,
+    RegistryBackendPairingRule,
+    VectorizedEntryPointRule,
 )
 from repro.lint.rules_determinism import NoUnsortedSetIterationRule, NoWallClockRule
 from repro.lint.rules_errors import ExceptHygieneRule
@@ -57,6 +72,15 @@ def lint_tree(tmp_path, files: dict[str, str], rules) -> list[Finding]:
 
 def only_ids(findings) -> list[str]:
     return [f.rule_id for f in findings]
+
+
+def lint_with_baseline(tmp_path, files: dict[str, str], rules):
+    """Lint ``files``, baseline every finding, lint again with the baseline."""
+    first = lint_tree(tmp_path, files, rules)
+    assert first, "baseline fixture must produce at least one finding"
+    bpath = tmp_path / "lint-baseline.json"
+    write_baseline(bpath, first)
+    return run_lint([tmp_path], rules=rules, baseline=Baseline.load(bpath))
 
 
 # --------------------------------------------------------------------- #
@@ -531,6 +555,532 @@ class TestERR001ExceptHygiene:
 
 
 # --------------------------------------------------------------------- #
+# Kernel-backend contracts (flow-aware, whole-project)
+# --------------------------------------------------------------------- #
+KB001_BAD = """
+    __all__ = []
+
+    class FancyScheduler:
+        supported_backends = ("object", "vectorized")
+
+        def schedule(self, views, slot):
+            pass
+"""
+
+
+class TestKB001VectorizedEntryPoint:
+    RULE = VectorizedEntryPointRule
+
+    def test_flags_missing_entry_point(self, tmp_path):
+        findings = lint_tree(
+            tmp_path, {"repro/schedulers/fancy.py": KB001_BAD}, [self.RULE()]
+        )
+        assert only_ids(findings) == ["KB001"]
+        assert "FancyScheduler" in findings[0].message
+
+    def test_schedule_vectorized_clean(self, tmp_path):
+        src = """
+            class FancyScheduler:
+                supported_backends = ("object", "vectorized")
+
+                def schedule_vectorized(self, state, slot):
+                    pass
+        """
+        files = {"repro/schedulers/fancy.py": src}
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_property_form_and_schedule_state_clean(self, tmp_path):
+        # The FIFOMS shape: conditional property + schedule_state entry.
+        src = """
+            class CondScheduler:
+                @property
+                def supported_backends(self):
+                    if self.fanout_splitting:
+                        return ("object", "vectorized")
+                    return ("object",)
+
+                def schedule_state(self, state, slot):
+                    pass
+        """
+        files = {"repro/core/cond.py": src}
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_property_form_flagged_without_entry(self, tmp_path):
+        src = """
+            class CondScheduler:
+                @property
+                def supported_backends(self):
+                    return ("object", "vectorized")
+        """
+        files = {"repro/core/cond.py": src}
+        assert only_ids(lint_tree(tmp_path, files, [self.RULE()])) == ["KB001"]
+
+    def test_entry_point_on_ancestor_clean(self, tmp_path):
+        files = {
+            "repro/schedulers/base2.py": """
+                class ArrayBase:
+                    def schedule_vectorized(self, state, slot):
+                        pass
+            """,
+            "repro/schedulers/fancy.py": """
+                from repro.schedulers.base2 import ArrayBase
+
+                class FancyScheduler(ArrayBase):
+                    supported_backends = ("object", "vectorized")
+            """,
+        }
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_object_only_clean(self, tmp_path):
+        src = """
+            class PlainScheduler:
+                supported_backends = ("object",)
+        """
+        files = {"repro/schedulers/plain.py": src}
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        src = "# lint: disable=KB001\n" + textwrap.dedent(KB001_BAD)
+        files = {"repro/schedulers/fancy.py": src}
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_baseline_suppression(self, tmp_path):
+        report = lint_with_baseline(
+            tmp_path, {"repro/schedulers/fancy.py": KB001_BAD}, [self.RULE()]
+        )
+        assert report.findings == []
+        assert report.baselined == 1
+
+
+KB002_REGISTRY = """
+    __all__ = []
+
+    def _require_object_backend(kw, name):
+        pass
+
+    class SeamedSwitch:
+        def __init__(self, num_ports, scheduler, backend="object"):
+            pass
+
+    class SeamlessSwitch:
+        def __init__(self, num_ports, scheduler):
+            pass
+
+    def _guarded_seam(num_ports, **kw):
+        _require_object_backend(kw, "guarded-seam")
+        return SeamedSwitch(num_ports, None, **kw)
+
+    def _unguarded_seamless(num_ports, **kw):
+        return SeamlessSwitch(num_ports, None, **kw)
+
+    def _guarded_seamless(num_ports, **kw):
+        _require_object_backend(kw, "ok-guard")
+        return SeamlessSwitch(num_ports, None, **kw)
+
+    def _unguarded_seam(num_ports, **kw):
+        return SeamedSwitch(num_ports, None, **kw)
+"""
+
+
+class TestKB002RegistryBackendPairing:
+    RULE = RegistryBackendPairingRule
+
+    def test_flags_both_mismatch_directions(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"repro/schedulers/registry.py": KB002_REGISTRY},
+            [self.RULE()],
+        )
+        assert only_ids(findings) == ["KB002", "KB002"]
+        messages = " | ".join(f.message for f in findings)
+        assert "_guarded_seam()" in messages
+        assert "_unguarded_seamless()" in messages
+        assert "_guarded_seamless()" not in messages
+        assert "_unguarded_seam()" not in messages
+
+    def test_consistent_registry_clean(self, tmp_path):
+        src = """
+            __all__ = []
+
+            def _require_object_backend(kw, name):
+                pass
+
+            class SeamlessSwitch:
+                def __init__(self, num_ports):
+                    pass
+
+            def _factory(num_ports, **kw):
+                _require_object_backend(kw, "x")
+                return SeamlessSwitch(num_ports)
+        """
+        files = {"repro/schedulers/registry.py": src}
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_seam_on_ancestor_counts(self, tmp_path):
+        files = {
+            "repro/switch/base2.py": """
+                class SwitchBase:
+                    def __init__(self, num_ports, backend="object"):
+                        pass
+            """,
+            "repro/schedulers/registry.py": """
+                __all__ = []
+                from repro.switch.base2 import SwitchBase
+
+                def _require_object_backend(kw, name):
+                    pass
+
+                class ChildSwitch(SwitchBase):
+                    pass
+
+                def _factory(num_ports, **kw):
+                    _require_object_backend(kw, "child")
+                    return ChildSwitch(num_ports, **kw)
+            """,
+        }
+        findings = lint_tree(tmp_path, files, [self.RULE()])
+        assert only_ids(findings) == ["KB002"]
+        assert "ChildSwitch" in findings[0].message
+
+    def test_no_registry_module_skips(self, tmp_path):
+        files = {"repro/schedulers/other.py": "__all__ = []\n"}
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        src = "# lint: disable=KB002\n" + textwrap.dedent(KB002_REGISTRY)
+        files = {"repro/schedulers/registry.py": src}
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_baseline_suppression(self, tmp_path):
+        report = lint_with_baseline(
+            tmp_path,
+            {"repro/schedulers/registry.py": KB002_REGISTRY},
+            [self.RULE()],
+        )
+        assert report.findings == []
+        assert report.baselined == 2
+
+
+KB003_TREE = {
+    "repro/kernel/vectorized.py": """
+        __all__ = []
+        from repro.kernel.helper import pack
+    """,
+    "repro/kernel/helper.py": """
+        __all__ = []
+        from repro.core.cells import Cell
+
+        def pack(cell):
+            pass
+    """,
+    "repro/core/cells.py": """
+        __all__ = []
+
+        class Cell:
+            pass
+    """,
+}
+
+
+class TestKB003KernelClosurePurity:
+    RULE = KernelClosurePurityRule
+
+    def test_flags_indirect_reach(self, tmp_path):
+        findings = lint_tree(tmp_path, dict(KB003_TREE), [self.RULE()])
+        assert only_ids(findings) == ["KB003"]
+        f = findings[0]
+        assert "vectorized" in f.path
+        assert "repro.kernel.helper -> repro.core.cells" in f.message
+
+    def test_type_checking_import_exempt(self, tmp_path):
+        files = dict(KB003_TREE)
+        files["repro/kernel/helper.py"] = """
+            __all__ = []
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro.core.cells import Cell
+
+            def pack(cell):
+                pass
+        """
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_clean_closure(self, tmp_path):
+        files = dict(KB003_TREE)
+        files["repro/kernel/helper.py"] = """
+            __all__ = []
+
+            def pack(cell):
+                pass
+        """
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        files = dict(KB003_TREE)
+        files["repro/kernel/vectorized.py"] = (
+            "# lint: disable=KB003\n"
+            + textwrap.dedent(files["repro/kernel/vectorized.py"])
+        )
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_baseline_suppression(self, tmp_path):
+        report = lint_with_baseline(tmp_path, dict(KB003_TREE), [self.RULE()])
+        assert report.findings == []
+        assert report.baselined == 1
+
+
+# --------------------------------------------------------------------- #
+# Flow-aware RNG provenance
+# --------------------------------------------------------------------- #
+class TestRNG005GeneratorProvenance:
+    RULE = GeneratorProvenanceRule
+
+    def test_flags_seeded_default_rng(self, tmp_path):
+        src = """
+            from numpy.random import default_rng
+            g = default_rng(123)
+        """
+        findings = lint_tree(tmp_path, {"repro/traffic/x.py": src}, [self.RULE()])
+        assert only_ids(findings) == ["RNG005"]
+
+    def test_flags_bitgenerator_construction(self, tmp_path):
+        src = """
+            import numpy as np
+            g = np.random.Generator(np.random.PCG64(7))
+        """
+        findings = lint_tree(tmp_path, {"repro/core/x.py": src}, [self.RULE()])
+        # Both Generator(...) and PCG64(...) are direct constructions.
+        assert only_ids(findings) == ["RNG005", "RNG005"]
+
+    def test_unseeded_is_rng004_territory(self, tmp_path):
+        src = "from numpy.random import default_rng\ng = default_rng()\n"
+        assert lint_tree(tmp_path, {"repro/core/x.py": src}, [self.RULE()]) == []
+
+    def test_factory_api_clean(self, tmp_path):
+        src = """
+            from repro.utils.rng import make_rng, spawn_rngs
+            g = make_rng(7)
+            children = spawn_rngs(7, 4)
+        """
+        assert lint_tree(tmp_path, {"repro/core/x.py": src}, [self.RULE()]) == []
+
+    def test_rng_module_and_tests_exempt(self, tmp_path):
+        files = {
+            "repro/utils/rng.py": (
+                "from numpy.random import default_rng\ng = default_rng(1)\n"
+            ),
+            "tests/test_x.py": (
+                "from numpy.random import default_rng\ng = default_rng(1)\n"
+            ),
+        }
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        src = (
+            "# lint: disable=RNG005\n"
+            "from numpy.random import default_rng\ng = default_rng(3)\n"
+        )
+        assert lint_tree(tmp_path, {"repro/core/x.py": src}, [self.RULE()]) == []
+
+    def test_baseline_suppression(self, tmp_path):
+        src = "from numpy.random import default_rng\ng = default_rng(3)\n"
+        report = lint_with_baseline(
+            tmp_path, {"repro/core/x.py": src}, [self.RULE()]
+        )
+        assert report.findings == []
+        assert report.baselined == 1
+
+
+RNG006_BAD = """
+    from concurrent.futures import ProcessPoolExecutor
+    from repro.utils.rng import make_rng
+
+    def run_point(point, rng):
+        pass
+
+    def sweep(points, seed):
+        gen = make_rng(seed)
+        with ProcessPoolExecutor() as pool:
+            for point in points:
+                pool.submit(run_point, point, gen)
+"""
+
+
+class TestRNG006GeneratorIntoWorker:
+    RULE = GeneratorIntoWorkerRule
+
+    def test_flags_generator_in_submit(self, tmp_path):
+        findings = lint_tree(
+            tmp_path, {"repro/experiments/x.py": RNG006_BAD}, [self.RULE()]
+        )
+        assert only_ids(findings) == ["RNG006"]
+        assert "submit" in findings[0].message
+
+    def test_flags_generators_in_map(self, tmp_path):
+        src = """
+            from concurrent.futures import ProcessPoolExecutor
+            from repro.utils.rng import spawn_rngs
+
+            def run_point(rng):
+                pass
+
+            def sweep(seed, n):
+                gens = spawn_rngs(seed, n)
+                pool = ProcessPoolExecutor()
+                pool.map(run_point, gens)
+        """
+        findings = lint_tree(
+            tmp_path, {"repro/experiments/x.py": src}, [self.RULE()]
+        )
+        assert only_ids(findings) == ["RNG006"]
+
+    def test_seed_payload_clean(self, tmp_path):
+        src = """
+            from concurrent.futures import ProcessPoolExecutor
+            from repro.utils.rng import make_rng
+
+            def run_point(point, seed):
+                pass
+
+            def sweep(points, seed):
+                gen = make_rng(seed)
+                draws = gen.integers(100, size=len(points))
+                with ProcessPoolExecutor() as pool:
+                    for i, point in enumerate(points):
+                        pool.submit(run_point, point, seed + i)
+        """
+        files = {"repro/experiments/x.py": src}
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_thread_like_local_use_clean(self, tmp_path):
+        src = """
+            from repro.utils.rng import make_rng
+
+            def simulate(seed):
+                gen = make_rng(seed)
+                return gen.integers(10)
+        """
+        files = {"repro/sim/x.py": src}
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        src = "# lint: disable=RNG006\n" + textwrap.dedent(RNG006_BAD)
+        files = {"repro/experiments/x.py": src}
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_baseline_suppression(self, tmp_path):
+        report = lint_with_baseline(
+            tmp_path, {"repro/experiments/x.py": RNG006_BAD}, [self.RULE()]
+        )
+        assert report.findings == []
+        assert report.baselined == 1
+
+
+# --------------------------------------------------------------------- #
+# Flow-aware order determinism
+# --------------------------------------------------------------------- #
+DET003_SINK = """
+    def schedule(decision):
+        pending = {3, 1, 2}
+        order = list(pending)
+        for i in order:
+            decision.add(i, (0,))
+"""
+
+
+class TestDET003OrderFlow:
+    RULE = OrderFlowRule
+
+    def test_flags_materialized_set_order_into_sink(self, tmp_path):
+        findings = lint_tree(
+            tmp_path, {"repro/schedulers/x.py": DET003_SINK}, [self.RULE()]
+        )
+        assert only_ids(findings) == ["DET003"]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_flags_dict_items_into_sink(self, tmp_path):
+        src = """
+            def schedule(decision, reqs):
+                grants = {}
+                for j, i in enumerate(reqs):
+                    grants.setdefault(i, []).append(j)
+                for i, outs in grants.items():
+                    decision.add(i, tuple(outs))
+        """
+        findings = lint_tree(
+            tmp_path, {"repro/schedulers/x.py": src}, [self.RULE()]
+        )
+        assert only_ids(findings) == ["DET003"]
+
+    def test_flags_tainted_return_from_schedule(self, tmp_path):
+        src = """
+            def schedule_pick(reqs):
+                chosen = list(set(reqs))
+                return chosen
+        """
+        findings = lint_tree(tmp_path, {"repro/core/x.py": src}, [self.RULE()])
+        assert only_ids(findings) == ["DET003"]
+
+    def test_sorted_launders(self, tmp_path):
+        src = """
+            def schedule(decision):
+                pending = {3, 1, 2}
+                for i in sorted(pending):
+                    decision.add(i, (0,))
+
+            def schedule_pick(reqs):
+                return sorted(set(reqs))
+        """
+        files = {"repro/schedulers/x.py": src}
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_adding_to_set_receiver_clean(self, tmp_path):
+        # set.add() of a tainted element is harmless — the container has
+        # no order to corrupt.
+        src = """
+            def schedule(reqs):
+                pending = {3, 1, 2}
+                acc = set()
+                for i in list(pending):
+                    acc.add(i)
+                return acc
+        """
+        files = {"repro/schedulers/x.py": src}
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_returning_raw_set_clean(self, tmp_path):
+        # A set return stays unordered at the caller; only materialized
+        # order commits the decision.
+        src = """
+            def schedule_free(reqs):
+                return {r for r in reqs}
+        """
+        files = {"repro/core/x.py": src}
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_non_decision_function_return_clean(self, tmp_path):
+        src = """
+            def summarize(reqs):
+                return list(set(reqs))
+        """
+        files = {"repro/stats/x.py": src}
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        src = "# lint: disable=DET003\n" + textwrap.dedent(DET003_SINK)
+        files = {"repro/schedulers/x.py": src}
+        assert lint_tree(tmp_path, files, [self.RULE()]) == []
+
+    def test_baseline_suppression(self, tmp_path):
+        report = lint_with_baseline(
+            tmp_path, {"repro/schedulers/x.py": DET003_SINK}, [self.RULE()]
+        )
+        assert report.findings == []
+        assert report.baselined == 1
+
+
+# --------------------------------------------------------------------- #
 # Framework: suppressions, discovery, reports
 # --------------------------------------------------------------------- #
 class TestSuppressionParsing:
@@ -572,10 +1122,34 @@ class TestEngine:
         found = [p.name for p in iter_python_files([tmp_path])]
         assert found == ["a.py"]
 
+    def test_discovery_skips_hidden_dirs(self, tmp_path):
+        (tmp_path / ".venv" / "lib").mkdir(parents=True)
+        (tmp_path / ".venv" / "lib" / "x.py").write_text("")
+        (tmp_path / ".lint-cache").mkdir()
+        (tmp_path / ".lint-cache" / "y.py").write_text("")
+        (tmp_path / "a.py").write_text("")
+        found = [p.name for p in iter_python_files([tmp_path])]
+        assert found == ["a.py"]
+
+    def test_explicit_hidden_dir_still_expands(self, tmp_path):
+        hidden = tmp_path / ".cfg"
+        hidden.mkdir()
+        (hidden / "x.py").write_text("")
+        assert [p.name for p in iter_python_files([hidden])] == ["x.py"]
+
+    def test_overlapping_paths_dedupe(self, tmp_path):
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "a.py").write_text("")
+        found = list(iter_python_files([tmp_path, sub, sub / "a.py"]))
+        assert len(found) == 1
+
     def test_default_rule_ids_unique(self):
         ids = [r.rule_id for r in default_rules()]
         assert len(ids) == len(set(ids))
         assert len(ids) >= 8
+        for new in ("KB001", "KB002", "KB003", "RNG005", "RNG006", "DET003"):
+            assert new in ids
 
     def test_exit_codes(self, tmp_path):
         (tmp_path / "warn.py").write_text("for j in {1, 2}:\n    pass\n")
@@ -601,6 +1175,270 @@ class TestReportFormats:
         assert data["errors"] == 1
         assert data["findings"][0]["rule"] == "RNG003"
         assert data["findings"][0]["line"] == 1
+
+
+# --------------------------------------------------------------------- #
+# Incremental analysis cache
+# --------------------------------------------------------------------- #
+CACHE_TREE = {
+    "repro/core/a.py": "import random\n__all__ = []\n",
+    "repro/core/b.py": "__all__ = []\n",
+    "repro/schedulers/registry.py": "__all__ = []\n",
+}
+
+
+class TestAnalysisCache:
+    def _write(self, root: Path, files: dict[str, str]) -> None:
+        for rel, source in files.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+
+    def test_warm_run_reanalyzes_zero_files(self, tmp_path):
+        tree, cache = tmp_path / "tree", tmp_path / "cache"
+        self._write(tree, CACHE_TREE)
+        cold = run_lint([tree], cache_dir=cache)
+        assert cold.files_reanalyzed == cold.files_scanned == 3
+        warm = run_lint([tree], cache_dir=cache)
+        assert warm.files_reanalyzed == 0
+        assert warm.files_scanned == 3
+        assert [f.to_dict() for f in warm.findings] == [
+            f.to_dict() for f in cold.findings
+        ]
+
+    def test_changed_file_alone_is_reanalyzed(self, tmp_path):
+        tree, cache = tmp_path / "tree", tmp_path / "cache"
+        self._write(tree, CACHE_TREE)
+        run_lint([tree], cache_dir=cache)
+        (tree / "repro/core/b.py").write_text("import random\n__all__ = []\n")
+        partial = run_lint([tree], cache_dir=cache)
+        assert partial.files_reanalyzed == 1
+        assert sorted(only_ids(partial.findings)).count("RNG003") == 2
+
+    def test_rule_set_change_invalidates(self, tmp_path):
+        tree, cache = tmp_path / "tree", tmp_path / "cache"
+        self._write(tree, CACHE_TREE)
+        run_lint([tree], cache_dir=cache, rules=[NoStdlibRandomRule()])
+        swapped = run_lint(
+            [tree], cache_dir=cache, rules=[NoStdlibRandomRule(), NoWallClockRule()]
+        )
+        assert swapped.files_reanalyzed == swapped.files_scanned
+
+    def test_corrupt_cache_is_treated_as_empty(self, tmp_path):
+        tree, cache = tmp_path / "tree", tmp_path / "cache"
+        self._write(tree, CACHE_TREE)
+        cache.mkdir()
+        (cache / "lint-cache.json").write_text("{ not json")
+        report = run_lint([tree], cache_dir=cache)
+        assert report.files_reanalyzed == report.files_scanned
+        warm = run_lint([tree], cache_dir=cache)
+        assert warm.files_reanalyzed == 0
+
+    def test_cache_and_baseline_compose(self, tmp_path):
+        tree, cache = tmp_path / "tree", tmp_path / "cache"
+        self._write(tree, CACHE_TREE)
+        cold = run_lint([tree], cache_dir=cache)
+        bpath = tmp_path / "baseline.json"
+        write_baseline(bpath, cold.findings)
+        warm = run_lint([tree], cache_dir=cache, baseline=Baseline.load(bpath))
+        assert warm.files_reanalyzed == 0
+        assert warm.findings == []
+        assert warm.baselined == len(cold.findings)
+
+
+# --------------------------------------------------------------------- #
+# Baseline files
+# --------------------------------------------------------------------- #
+class TestBaseline:
+    def test_round_trip_subtracts_and_counts(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"repro/core/x.py": "import random\n__all__ = []\n"},
+            [NoStdlibRandomRule()],
+        )
+        bpath = tmp_path / "baseline.json"
+        count = write_baseline(bpath, findings)
+        assert count == 1
+        doc = json.loads(bpath.read_text())
+        assert doc["version"] == 1
+        assert doc["entries"][0]["rule"] == "RNG003"
+        assert "reason" in doc["entries"][0]
+        report = run_lint(
+            [tmp_path], rules=[NoStdlibRandomRule()], baseline=Baseline.load(bpath)
+        )
+        assert report.findings == [] and report.baselined == 1
+
+    def test_matching_is_line_insensitive(self, tmp_path):
+        path = tmp_path / "repro" / "core" / "x.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("import random\n__all__ = []\n")
+        report = run_lint([tmp_path], rules=[NoStdlibRandomRule()])
+        bpath = tmp_path / "baseline.json"
+        write_baseline(bpath, report.findings)
+        # Shift the finding down a line; the baseline still matches.
+        path.write_text("'''doc'''\nimport random\n__all__ = []\n")
+        shifted = run_lint(
+            [tmp_path], rules=[NoStdlibRandomRule()], baseline=Baseline.load(bpath)
+        )
+        assert shifted.findings == [] and shifted.baselined == 1
+
+    def test_new_findings_pass_through(self, tmp_path):
+        files = {"repro/core/x.py": "import random\n__all__ = []\n"}
+        findings = lint_tree(tmp_path, files, [NoStdlibRandomRule()])
+        bpath = tmp_path / "baseline.json"
+        write_baseline(bpath, findings)
+        other = tmp_path / "repro" / "core" / "y.py"
+        other.write_text("import random\n__all__ = []\n")
+        report = run_lint(
+            [tmp_path], rules=[NoStdlibRandomRule()], baseline=Baseline.load(bpath)
+        )
+        assert len(report.findings) == 1
+        assert "y.py" in report.findings[0].path
+        assert report.baselined == 1
+
+    def test_invalid_baseline_raises_configuration_error(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("[]")
+        with pytest.raises(ConfigurationError):
+            Baseline.load(bad)
+        bad.write_text("{ nope")
+        with pytest.raises(ConfigurationError):
+            Baseline.load(bad)
+        with pytest.raises(ConfigurationError):
+            Baseline.load(tmp_path / "missing.json")
+
+
+# --------------------------------------------------------------------- #
+# SARIF output
+# --------------------------------------------------------------------- #
+
+#: The slice of the SARIF 2.1.0 schema the GitHub code-scanning ingester
+#: actually requires; jsonschema-validated so a shape regression fails
+#: here, not at upload time.
+SARIF_SCHEMA_SUBSET = {
+    "type": "object",
+    "required": ["$schema", "version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name", "rules"],
+                                "properties": {
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id", "shortDescription"],
+                                        },
+                                    }
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "level", "message", "locations"],
+                            "properties": {
+                                "level": {"enum": ["error", "warning", "note"]},
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "minItems": 1,
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["physicalLocation"],
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": ["artifactLocation"],
+                                                "properties": {
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            }
+                                                        },
+                                                    }
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+class TestSarif:
+    def _report(self, tmp_path, source="import random\n__all__ = []\n"):
+        path = tmp_path / "repro" / "core" / "x.py"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        rules = [NoStdlibRandomRule(), NoUnsortedSetIterationRule()]
+        return run_lint([tmp_path], rules=rules), rules
+
+    def test_document_validates_against_schema(self, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        report, rules = self._report(tmp_path)
+        doc = json.loads(format_sarif(report, rules))
+        jsonschema.validate(doc, SARIF_SCHEMA_SUBSET)
+
+    def test_result_contents(self, tmp_path):
+        report, rules = self._report(tmp_path)
+        doc = sarif_document(report, rules)
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+        run = doc["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        ids = [r["id"] for r in driver["rules"]]
+        assert "RNG003" in ids and "DET002" in ids and PARSE_RULE_ID in ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "RNG003"
+        assert result["level"] == "error"
+        assert "random" in result["message"]["text"]
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("repro/core/x.py")
+        assert loc["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+        assert loc["region"]["startLine"] == 1
+        assert result["ruleIndex"] == ids.index("RNG003")
+
+    def test_warning_maps_to_warning_level(self, tmp_path):
+        report, rules = self._report(
+            tmp_path, "for j in {1, 2}:\n    pass\n__all__ = []\n"
+        )
+        doc = sarif_document(report, rules)
+        (result,) = doc["runs"][0]["results"]
+        assert result["ruleId"] == "DET002"
+        assert result["level"] == "warning"
+
+    def test_clean_report_has_empty_results(self, tmp_path):
+        report, rules = self._report(tmp_path, "__all__ = []\n")
+        doc = sarif_document(report, rules)
+        assert doc["runs"][0]["results"] == []
 
 
 # --------------------------------------------------------------------- #
