@@ -88,14 +88,14 @@ def test_fast_islip_slots_per_sec(benchmark):
 def test_fast_engine_beats_reference_at_scale(benchmark, report):
     """At N = 64 the vectorized rounds should clearly outrun the object
     model (at N = 16 they are roughly at parity — see the table)."""
-    import time
+    from repro.obs.profiler import clock_ns
 
     n = 64
 
     def timed(run) -> float:
-        t0 = time.perf_counter()
+        t0 = clock_ns()
         run()
-        return time.perf_counter() - t0
+        return (clock_ns() - t0) / 1e9
 
     fast = timed(lambda: FastFIFOMSEngine(_traffic(n), _cfg(), seed=1).run())
     ref = timed(

@@ -30,9 +30,9 @@ from __future__ import annotations
 
 import argparse
 import json
-import time
 from typing import Any
 
+from repro.obs.profiler import clock_ns
 from repro.schedulers.registry import make_switch
 from repro.sim.runner import build_traffic
 from repro.utils.rng import RngStreams
@@ -76,10 +76,10 @@ def _time_backend(
         switch = make_switch(
             algorithm, num_ports, rng=streams.get("scheduler"), backend=backend
         )
-        t0 = time.perf_counter()
+        t0 = clock_ns()
         for slot, lanes in enumerate(arrivals):
             switch.step(lanes, slot)
-        elapsed = time.perf_counter() - t0
+        elapsed = (clock_ns() - t0) / 1e9
         if elapsed < best:
             best = elapsed
     return best
@@ -152,6 +152,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--slots", type=int, default=3000)
     parser.add_argument("--rounds", type=int, default=3)
     parser.add_argument("--seed", type=int, default=2004)
+    parser.add_argument(
+        "--history", metavar="PATH", default="BENCH_history.jsonl",
+        help="perf-trajectory JSONL to append a provenance-stamped record "
+        "to (checked by 'repro-sim bench-check')",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="skip the perf-trajectory append",
+    )
     args = parser.parse_args(argv)
     report = run_kernel_benchmark(
         num_ports=args.ports,
@@ -165,6 +174,11 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.json}")
+    if not args.no_history:
+        from repro.obs.bench import append_record, build_record
+
+        append_record(args.history, build_record(report))
+        print(f"appended perf-trajectory record to {args.history}")
     speedup = report["results"]["fifoms"]["speedup"]
     if args.ports == 16 and speedup < FIFOMS_MIN_SPEEDUP:
         print(

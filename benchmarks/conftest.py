@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import os
 import sys
-import time
 from collections.abc import Sequence
 
 import pytest
@@ -36,6 +35,7 @@ import pytest
 from repro.experiments import check_expectations, get_figure, run_figure
 from repro.experiments.sweep import FigureResult
 from repro.obs import ProgressReporter
+from repro.obs.profiler import clock_ns
 
 FULL = bool(os.environ.get("REPRO_FULL"))
 BENCH_SLOTS = int(
@@ -113,12 +113,12 @@ def sweep_and_report(
     result_box: list[FigureResult] = []
 
     def _run() -> None:
-        t0 = time.perf_counter()
+        t0 = clock_ns()
         result_box.append(
             run_figure(spec, num_slots=BENCH_SLOTS, seed=BENCH_SEED, loads=sweep_loads)
         )
         if PROGRESS:
-            elapsed = time.perf_counter() - t0
+            elapsed = (clock_ns() - t0) / 1e9
             rate = points * BENCH_SLOTS / elapsed if elapsed > 0 else 0.0
             with capsys.disabled():
                 _reporter(figure_id).line(

@@ -77,9 +77,13 @@ from repro.stats import (
     StatsCollector,
 )
 from repro.obs import (
+    CallbackSink,
     Counter,
     Gauge,
     Histogram,
+    InMemorySink,
+    JsonlSink,
+    MetricSink,
     MetricsRegistry,
     NoopTracer,
     PhaseProfiler,
@@ -184,6 +188,10 @@ __all__ = [
     "PhaseProfiler",
     "ProgressReporter",
     "aggregate_telemetry",
+    "MetricSink",
+    "InMemorySink",
+    "CallbackSink",
+    "JsonlSink",
     # kernel backends
     "KernelBackend",
     "SwitchState",

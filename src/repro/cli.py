@@ -5,6 +5,8 @@ Subcommands::
     repro-sim list                         # algorithms / figures / traffic
     repro-sim run --algorithm fifoms ...   # one simulation, print summary
     repro-sim profile --algorithm fifoms   # phase-level wall-clock profile
+    repro-sim report RUNDIR [--html F]     # dashboard from a run directory
+    repro-sim bench-check [--history F]    # perf-trajectory regression gate
     repro-sim figure --id fig4 ...         # regenerate a paper figure
     repro-sim campaign --out REPORT.md     # several figures -> one report
     repro-sim trace record|run ...         # persist / replay workloads
@@ -15,7 +17,8 @@ Subcommands::
 per slot), ``--metrics FILE.json`` (metrics-registry dump), ``--progress``
 (heartbeat with slots/sec and backlog) and ``--extended`` (delay
 percentiles + fanout-splitting stats in the output) — plus ``--faults
-SCENARIO`` for deterministic fault injection. ``figure`` grows the sweep
+SCENARIO`` for deterministic fault injection and ``--out-dir DIR`` to
+persist a full run directory that ``report`` renders. ``figure`` grows the sweep
 robustness knobs ``--point-timeout``, ``--point-retries``, ``--keep-going``
 and ``--faults``.
 
@@ -101,6 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel backend for the queue state / scheduling hot path "
         "(bit-identical results; 'vectorized' needs scheduler support)",
     )
+    run_p.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="write a full run directory (summary.json, metrics.json, "
+        "profile.json, trace.jsonl.gz) for 'repro-sim report'",
+    )
 
     prof_p = sub.add_parser(
         "profile", help="run once with phase profiling and print the breakdown"
@@ -168,6 +176,38 @@ def build_parser() -> argparse.ArgumentParser:
     camp_p.add_argument("--workers", type=int, default=None)
     camp_p.add_argument("--out", default="REPORT.md", help="report path")
     camp_p.add_argument("--csv-dir", default=None)
+
+    rep_p = sub.add_parser(
+        "report", help="render a run directory as an ASCII dashboard"
+    )
+    rep_p.add_argument(
+        "run_dir", help="directory written by 'repro-sim run --out-dir'"
+    )
+    rep_p.add_argument(
+        "--html", default=None, metavar="FILE",
+        help="also write a self-contained static HTML page",
+    )
+
+    bench_p = sub.add_parser(
+        "bench-check",
+        help="compare the latest BENCH_history.jsonl record to the "
+        "rolling baseline and flag perf regressions",
+    )
+    bench_p.add_argument(
+        "--history", default="BENCH_history.jsonl", metavar="FILE",
+        help="perf-trajectory file appended by the kernel benchmark",
+    )
+    bench_p.add_argument(
+        "--tolerance", type=float, default=0.10, metavar="FRACTION",
+        help="allowed relative speedup drop vs baseline (default 0.10)",
+    )
+    bench_p.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="baseline = median of up to N records before the latest",
+    )
+    bench_p.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
 
     ver_p = sub.add_parser(
         "verify", help="exhaustively verify an algorithm on a tiny domain"
@@ -260,10 +300,22 @@ def _print_summary(summary: SimulationSummary) -> None:
 
 
 def _run_command(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.obs import ProgressReporter, SlotTracer, Telemetry
 
-    tracer = SlotTracer(args.trace) if args.trace else None
-    wants_telemetry = bool(args.trace or args.metrics or args.progress)
+    out_dir = Path(args.out_dir) if args.out_dir else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    if args.trace:
+        tracer = SlotTracer(args.trace)
+    elif out_dir is not None:
+        tracer = SlotTracer(out_dir / "trace.jsonl.gz")
+    else:
+        tracer = None
+    wants_telemetry = bool(
+        args.trace or args.metrics or args.progress or out_dir
+    )
     telemetry = None
     if wants_telemetry:
         progress = None
@@ -272,7 +324,9 @@ def _run_command(args: argparse.Namespace) -> int:
             progress = ProgressReporter(
                 every=every, total=args.slots, label=args.algorithm
             )
-        telemetry = Telemetry(tracer=tracer, progress=progress)
+        telemetry = Telemetry(
+            tracer=tracer, progress=progress, profile=out_dir is not None
+        )
     try:
         summary = run_simulation(
             args.algorithm,
@@ -294,6 +348,15 @@ def _run_command(args: argparse.Namespace) -> int:
     if args.trace:
         print(
             f"wrote {args.trace}: {tracer.records_written} slot records",
+            file=sys.stderr,
+        )
+    if out_dir is not None:
+        from repro.report.dashboard import write_run_artifacts
+
+        write_run_artifacts(out_dir, summary, telemetry)
+        print(
+            f"wrote run directory {out_dir} "
+            f"({tracer.records_written} trace records)",
             file=sys.stderr,
         )
     if args.json:
@@ -324,6 +387,46 @@ def _profile_command(args: argparse.Namespace) -> int:
     )
     print(format_phase_table(report))
     return 0
+
+
+def _report_command(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.report.dashboard import (
+        load_run_dir,
+        render_ascii_report,
+        render_html_report,
+    )
+
+    try:
+        arts = load_run_dir(args.run_dir)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_ascii_report(arts), end="")
+    if args.html:
+        Path(args.html).write_text(render_html_report(arts))
+        print(f"wrote {args.html}", file=sys.stderr)
+    return 0
+
+
+def _bench_check_command(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.bench import check_history
+
+    try:
+        verdict = check_history(
+            args.history, tolerance=args.tolerance, window=args.window
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(verdict.to_dict(), indent=2))
+    else:
+        print(verdict.describe())
+    return 1 if verdict.regressed else 0
 
 
 def _lint_command(args: argparse.Namespace) -> int:
@@ -392,6 +495,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_command(args)
         if args.command == "profile":
             return _profile_command(args)
+        if args.command == "report":
+            return _report_command(args)
+        if args.command == "bench-check":
+            return _bench_check_command(args)
         if args.command == "trace":
             return _trace_command(args)
         if args.command == "lint":

@@ -264,6 +264,7 @@ def run_figure(
     point_timeout: float | None = None,
     point_retries: int = 0,
     on_point_failure: str = "raise",
+    metric_sink: Any | None = None,
 ) -> FigureResult:
     """Run a figure sweep and collect the results.
 
@@ -283,6 +284,15 @@ def run_figure(
     ``"record"`` keeps going and files a :class:`FailedPoint` on the
     result. ``fault_scenario`` applies one fault-injection scenario to
     every point.
+
+    ``metric_sink`` (a :class:`~repro.obs.sinks.MetricSink`) streams the
+    sweep's merged telemetry mid-flight: after every completed retry
+    round the summaries so far are folded with
+    :func:`~repro.obs.telemetry.aggregate_telemetry` and emitted as one
+    ``kind="round"`` snapshot (plus progress counts). The sink lives
+    parent-side only — workers never see it, so it need not be picklable.
+    Implies ``collect_telemetry`` (without per-point registries there
+    would be nothing to stream).
     """
     if on_point_failure not in ("raise", "record"):
         raise ConfigurationError(
@@ -302,7 +312,7 @@ def run_figure(
     )
     if not points:
         raise ConfigurationError("empty sweep grid")
-    if collect_telemetry:
+    if collect_telemetry or metric_sink is not None:
         points = [replace(p, collect_telemetry=True) for p in points]
     if workers is None:
         workers = min(os.cpu_count() or 1, len(points)) if len(points) > 4 else 1
@@ -322,6 +332,17 @@ def run_figure(
         summaries.update(results)
         last_error.update(failed)
         pending = [(key, by_key[key]) for key in sorted(failed)]
+        if metric_sink is not None:
+            from repro.obs.telemetry import aggregate_telemetry
+
+            metric_sink.emit({
+                "kind": "round",
+                "round": _round + 1,
+                "points_done": len(summaries),
+                "points_total": len(points),
+                "points_pending": len(pending),
+                "metrics": aggregate_telemetry(summaries.values()).to_dict(),
+            })
 
     failures: dict[tuple[str, float], FailedPoint] = {}
     for key, _point in pending:

@@ -92,6 +92,28 @@ class KernelBackend(ABC):
         use :meth:`~repro.fabric.crossbar.MulticastCrossbar.configure`."""
         return None
 
+    def harvest_slot_stats(self) -> dict[str, object]:
+        """Cheap per-slot counters derived from the backend's own state.
+
+        Called by the *instrumented* engine loop after each ``step()`` so
+        vectorized runs emit the same kernel-seam metric names and values
+        as object runs (``repro.kernel.equivalence`` compares the two
+        registries). Keys both built-in backends emit:
+
+        * ``live_cells``    — live data cells across all inputs;
+        * ``residue_cells`` — live data cells already partially served
+          (a fanout split left a residue behind);
+        * ``voq_peak``      — largest single-VOQ occupancy right now;
+        * ``oldest_hol_ts`` — smallest HOL timestamp over all VOQs, or
+          ``None`` when every VOQ is empty (the engine turns this into
+          an HOL-age gauge).
+
+        The default returns an empty dict, which the engine reads as
+        "this backend has no kernel seam stats" — third-party backends
+        opt in by overriding.
+        """
+        return {}
+
     @abstractmethod
     def queue_sizes(self) -> list[int]:
         """Live data cells per input (the paper's queue-size metric)."""

@@ -14,7 +14,11 @@ as the slots stream by, and requires
    on both sides); and
 3. for the multicast VOQ switch, the final ``state_arrays()`` snapshots —
    HOL timestamp matrix, occupancy, liveness, fanout counters — to match
-   exactly.
+   exactly; and
+4. the telemetry registries of the two (telemetry-enabled) runs to be
+   identical — the ``sim.*`` series *and* the kernel-seam ``kernel.*``
+   counters harvested via
+   :meth:`~repro.kernel.base.KernelBackend.harvest_slot_stats`.
 
 Cross-run packet identity is ``(input_port, arrival_slot)``: packet ids
 come from a process-global counter, so the second run's ids are offset
@@ -147,21 +151,31 @@ class EquivalenceReport:
     summaries_match: bool
     digests_match: bool
     state_match: bool
+    telemetry_match: bool
 
     @property
     def ok(self) -> bool:
         """True when every comparison level matched."""
-        return self.summaries_match and self.digests_match and self.state_match
+        return (
+            self.summaries_match
+            and self.digests_match
+            and self.state_match
+            and self.telemetry_match
+        )
 
 
 def _run_one_backend(
     case: EquivalenceCase, num_ports: int, num_slots: int, backend: str
-) -> tuple[list[tuple], dict[str, Any], Any]:
-    """Run one backend of a case; return (digests, summary dict, state).
+) -> tuple[list[tuple], dict[str, Any], Any, dict[str, Any]]:
+    """Run one backend of a case; return (digests, summary dict, state,
+    metrics registry dict).
 
     Mirrors :func:`repro.sim.runner.run_simulation` wiring, but wraps the
     switch in a :class:`RecordingSwitch` so per-slot digests are captured
-    — the runner offers no seam for that.
+    — the runner offers no seam for that. The run is telemetry-enabled
+    (registry only — no profiling, which records wall-clock and could
+    never match across runs) so the kernel-seam counters are part of the
+    equivalence claim, not just the schedules.
     """
     streams = RngStreams(case.seed)
     traffic = build_traffic(dict(case.traffic), num_ports, rng=streams.get("traffic"))
@@ -181,13 +195,21 @@ def _run_one_backend(
         warmup_fraction=0.5,
         stability_window=max(100, num_slots // 100),
     )
+    from repro.obs.telemetry import Telemetry
+
+    telemetry = Telemetry()
     engine = SimulationEngine(
         recorder, traffic, cfg, seed=case.seed,
         algorithm_name=case.algorithm, faults=injector,
+        telemetry=telemetry,
     )
     summary = engine.run().to_dict()
+    # The summary's telemetry section is part of the run output but not
+    # of the equivalence claim proper (it's compared separately below),
+    # so strip it before the summaries-match comparison.
+    summary.pop("telemetry", None)
     state = switch.state_arrays() if hasattr(switch, "state_arrays") else None
-    return recorder.digests, summary, state
+    return recorder.digests, summary, state, telemetry.registry.to_dict()
 
 
 def _state_equal(a: Any, b: Any) -> bool:
@@ -223,10 +245,10 @@ def run_case(
     Raises :class:`~repro.errors.EquivalenceError` on the first mismatch,
     with the slot index of the first digest divergence when there is one.
     """
-    obj_digests, obj_summary, obj_state = _run_one_backend(
+    obj_digests, obj_summary, obj_state, obj_metrics = _run_one_backend(
         case, num_ports, num_slots, "object"
     )
-    vec_digests, vec_summary, vec_state = _run_one_backend(
+    vec_digests, vec_summary, vec_state, vec_metrics = _run_one_backend(
         case, num_ports, num_slots, "vectorized"
     )
     # json round-trip makes NaN compare equal (both serialize to "NaN").
@@ -235,12 +257,16 @@ def run_case(
     )
     divergence = _first_digest_divergence(obj_digests, vec_digests)
     state_match = _state_equal(obj_state, vec_state)
+    telemetry_match = json.dumps(obj_metrics, sort_keys=True) == json.dumps(
+        vec_metrics, sort_keys=True
+    )
     report = EquivalenceReport(
         case=case,
         slots_compared=len(obj_digests),
         summaries_match=summaries_match,
         digests_match=divergence is None,
         state_match=state_match,
+        telemetry_match=telemetry_match,
     )
     if not report.ok:
         detail = []
@@ -250,6 +276,8 @@ def run_case(
             detail.append("summary dicts differ")
         if not state_match:
             detail.append("final state_arrays differ")
+        if not telemetry_match:
+            detail.append("metrics registries differ")
         raise EquivalenceError(
             f"backends diverge for {case.label}: " + "; ".join(detail)
         )
@@ -293,7 +321,7 @@ def run_grid(
         if verbose:
             print(
                 f"  ok  {case.label:34s} {report.slots_compared} slots, "
-                f"digests+summary+state identical"
+                f"digests+summary+state+telemetry identical"
             )
         reports.append(report)
     return reports

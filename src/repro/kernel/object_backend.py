@@ -110,6 +110,37 @@ class ObjectBackend(KernelBackend):
             else:
                 result.splits += 1
 
+    def harvest_slot_stats(self) -> dict[str, object]:
+        """Kernel-seam counters from the cell structures (O(live cells)).
+
+        Residue means a data cell whose ``fanout_counter`` has been
+        decremented below the packet's full fanout but not to zero — the
+        leftover of a fanout split. The vectorized backend maintains the
+        same count incrementally; the equivalence harness checks they
+        agree on every case of the grid.
+        """
+        live = 0
+        residue = 0
+        voq_peak = 0
+        oldest: int | None = None
+        for port in self.ports:
+            live += port.queue_size
+            for cell in port.buffer.live_cells():
+                if cell.fanout_counter < cell.packet.fanout:
+                    residue += 1
+            peak = int(port.occupancy_row().max(initial=0))
+            if peak > voq_peak:
+                voq_peak = peak
+            hol = port.min_hol_timestamp()
+            if hol is not None and (oldest is None or hol < oldest):
+                oldest = hol
+        return {
+            "live_cells": live,
+            "residue_cells": residue,
+            "voq_peak": voq_peak,
+            "oldest_hol_ts": oldest,
+        }
+
     def queue_sizes(self) -> list[int]:
         """Live data cells (unsent packets) per input port."""
         return [p.queue_size for p in self.ports]

@@ -101,6 +101,7 @@ class SwitchState:
         "released_total",
         "dropped_total",
         "backlog",
+        "residue",
         "packets",
         "p_fanout",
         "p_ts",
@@ -149,6 +150,10 @@ class SwitchState:
         self.dropped_total: list[int] = [0] * n
         #: Total queued placeholders (pending deliveries), kept O(1).
         self.backlog = 0
+        #: Live data cells already partially served (fanout residue),
+        #: kept O(1) across serve() — the kernel-seam telemetry reads it
+        #: every slot, so a recount would dominate instrumented runs.
+        self.residue = 0
         # Packet table: parallel lists indexed by pid (allocation order).
         self.packets: list[Packet | None] = []
         self.p_fanout: list[int] = []
@@ -244,18 +249,24 @@ class SwitchState:
             occ[j] -= 1
             hol[j] = p_ts[dq[0]] if dq else EMPTY_TS
         served = len(output_ports)
-        remaining = self.p_fanout[pid] - served
+        before = self.p_fanout[pid]
+        remaining = before - served
         if remaining < 0:
             raise BufferError_(f"fanout_counter underflow for pid {pid} at input {i}")
         self.p_fanout[pid] = remaining
         self.backlog -= served
         packet = self.packets[pid]
         assert packet is not None
+        was_residue = before < packet.fanout
         released = remaining == 0
         if released:
+            if was_residue:
+                self.residue -= 1
             self.live[i] -= 1
             self.released_total[i] += 1
             self.packets[pid] = None  # the pool slot is reclaimed
+        elif not was_residue:
+            self.residue += 1
         return packet, released
 
     # ------------------------------------------------------------------ #
@@ -264,6 +275,26 @@ class SwitchState:
     def queue_sizes(self) -> list[int]:
         """Live data cells per input (the paper's queue-size metric)."""
         return list(self.live)
+
+    def slot_stats(self) -> dict[str, object]:
+        """Kernel-seam counters straight off the SoA arrays.
+
+        Same keys (and, by the equivalence contract, same values) as the
+        object model derives from its cell structures — see
+        :meth:`repro.kernel.base.KernelBackend.harvest_slot_stats`.
+        """
+        peak = 0
+        for row in self.occupancy:
+            m = max(row)
+            if m > peak:
+                peak = m
+        oldest = self.hol_ts.min()
+        return {
+            "live_cells": sum(self.live),
+            "residue_cells": self.residue,
+            "voq_peak": peak,
+            "oldest_hol_ts": None if oldest == EMPTY_TS else int(oldest),
+        }
 
     def total_backlog(self) -> int:
         """Pending (packet, destination) pairs = queued placeholders."""
@@ -317,6 +348,18 @@ class SwitchState:
             raise SchedulingError(
                 f"backlog counter {self.backlog} != {total_queued} queued "
                 f"placeholders"
+            )
+        residue = 0
+        for pid, count in enumerate(queued):
+            if count:
+                packet = self.packets[pid]
+                assert packet is not None
+                if self.p_fanout[pid] < packet.fanout:
+                    residue += 1
+        if residue != self.residue:
+            raise SchedulingError(
+                f"residue counter {self.residue} != {residue} partially "
+                f"served live cells"
             )
 
     def state_arrays(self) -> dict[str, object]:

@@ -105,6 +105,10 @@ class VectorizedBackend(KernelBackend):
         driver[:] = row
         return driver
 
+    def harvest_slot_stats(self) -> dict[str, object]:
+        """Kernel-seam counters off the SoA arrays (O(N²) matrix scans)."""
+        return self.state.slot_stats()
+
     def queue_sizes(self) -> list[int]:
         """Live data cells per input, straight off the ``live`` vector."""
         return self.state.queue_sizes()

@@ -42,6 +42,7 @@ from repro.lint.rules_kernel import (
     RegistryBackendPairingRule,
     VectorizedEntryPointRule,
 )
+from repro.lint.rules_observability import KernelBenchClockRule
 from repro.lint.rules_rng import (
     NoGlobalNumpySeedRule,
     NoLegacyNumpyRandomRule,
@@ -82,6 +83,7 @@ def default_rules() -> tuple[Rule, ...]:
         GeneratorIntoWorkerRule(),
         NoWallClockRule(),
         NoUnsortedSetIterationRule(),
+        KernelBenchClockRule(),
         OrderFlowRule(),
         SwitchInvariantsRule(),
         SchedulerRegistryRule(),

@@ -1,0 +1,74 @@
+"""Observability rules: the kernel-seam timing contract.
+
+DET001 already bans wall-clock reads from simulation code, but it
+deliberately exempts test and benchmark files — and says nothing about
+*how* the exempted code should time things. That gap matters in exactly
+two places. ``src/repro/kernel/`` is the hot path whose object/vectorized
+timings feed the perf-trajectory history, and ``benchmarks/`` is the code
+producing those numbers: if each file picks its own clock
+(``time.time``, ``perf_counter``, ``perf_counter_ns``) the recorded
+trends silently mix resolutions and monotonicity guarantees. OBS001
+pins both trees to the one sanctioned clock,
+:data:`repro.obs.profiler.clock_ns`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.base import Finding, ModuleInfo, Rule, dotted_name
+from repro.lint.rules_determinism import (
+    _WALL_CLOCK_CALLS,
+    _WALL_CLOCK_TIME_NAMES,
+)
+
+__all__ = ["KernelBenchClockRule"]
+
+
+def _in_scope(module: ModuleInfo) -> bool:
+    """Kernel hot-path sources and everything under ``benchmarks/``."""
+    if "repro/kernel/" in module.abspath:
+        return True
+    return "benchmarks" in module.abspath.split("/")
+
+
+class KernelBenchClockRule(Rule):
+    """OBS001 — kernel and benchmark timing goes through ``clock_ns``."""
+
+    rule_id = "OBS001"
+    title = "ad-hoc wall-clock in kernel/benchmark code"
+    rationale = (
+        "Timings from src/repro/kernel/ and benchmarks/ feed the "
+        "perf-trajectory history (BENCH_history.jsonl) and the regression "
+        "gate; mixing clocks (time.time vs perf_counter vs monotonic) "
+        "mixes resolutions and monotonicity guarantees across records. "
+        "Both trees must import repro.obs.profiler.clock_ns — the single "
+        "sanctioned, greppable clock."
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not _in_scope(module):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _WALL_CLOCK_TIME_NAMES:
+                            yield self.finding(
+                                module,
+                                node,
+                                f"from time import {alias.name}: kernel/"
+                                "benchmark timing must route through "
+                                "repro.obs.profiler.clock_ns",
+                            )
+            elif isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted in _WALL_CLOCK_CALLS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{dotted}() in kernel/benchmark code; route timing "
+                        "through repro.obs.profiler.clock_ns so every "
+                        "perf-trajectory record uses the same clock",
+                    )

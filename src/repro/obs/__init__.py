@@ -8,6 +8,11 @@ Three independent concerns behind one :class:`Telemetry` bundle:
   zero-cost :class:`NoopTracer` disabled path.
 * :mod:`repro.obs.profiler` — phase-level wall-clock attribution
   (traffic_gen / schedule / stats / invariants).
+* :mod:`repro.obs.sinks` — streaming :class:`MetricSink` receivers
+  (in-memory, JSONL-with-rotation, callback) for observing runs
+  mid-flight via periodic registry snapshots.
+* :mod:`repro.obs.bench` — the perf-trajectory recorder behind
+  ``BENCH_history.jsonl`` and ``repro-sim bench-check``.
 
 Plus :class:`ProgressReporter`, the heartbeat printer shared by the CLI's
 ``--progress`` flag and the benchmarks.
@@ -29,8 +34,15 @@ from repro.obs.profiler import (
     clock_ns,
 )
 from repro.obs.progress import ProgressReporter
+from repro.obs.sinks import CallbackSink, InMemorySink, JsonlSink, MetricSink
 from repro.obs.telemetry import Telemetry, aggregate_telemetry
-from repro.obs.tracer import NOOP_TRACER, NoopTracer, SlotTracer, build_slot_record
+from repro.obs.tracer import (
+    NOOP_TRACER,
+    NoopTracer,
+    SlotTracer,
+    build_slot_record,
+    read_trace_records,
+)
 
 __all__ = [
     "Counter",
@@ -45,10 +57,15 @@ __all__ = [
     "NOOP_PROFILER",
     "clock_ns",
     "ProgressReporter",
+    "MetricSink",
+    "InMemorySink",
+    "CallbackSink",
+    "JsonlSink",
     "SlotTracer",
     "NoopTracer",
     "NOOP_TRACER",
     "build_slot_record",
+    "read_trace_records",
     "Telemetry",
     "aggregate_telemetry",
 ]

@@ -1,0 +1,290 @@
+"""Perf-trajectory recorder: provenance-stamped benchmark history.
+
+``BENCH_kernel.json`` is an overwrite-in-place snapshot — useful as "the
+current number", useless for answering *when did TATRA drop below 1x*.
+This module turns every benchmark run into one appended line of
+``BENCH_history.jsonl`` and gives ``repro-sim bench-check`` a rolling
+baseline to gate against.
+
+Record schema (version 1), one JSON object per line::
+
+    {
+      "schema": 1,
+      "benchmark": "kernel_backends",
+      "timestamp": "2026-08-08T12:34:56+00:00",   # UTC, ISO-8601
+      "provenance": {
+        "git_sha": "5ebf419...",     # or "unknown" outside a checkout
+        "python": "3.12.3",
+        "numpy": "1.26.4",
+        "platform": "Linux-6.18.5-...",
+        "host": "runner-xyz"
+      },
+      "num_ports": 16,
+      "num_slots": 3000,
+      "results": {
+        "fifoms": {"object_slots_per_sec": 1543.2,
+                   "vectorized_slots_per_sec": 5454.9,
+                   "speedup": 3.534},
+        ...
+      }
+    }
+
+The regression gate compares *speedups*, not raw slots/sec: absolute
+throughput varies wildly across hosts, while the vectorized/object ratio
+is measured on the same host in the same run and is therefore portable.
+Raw rates are kept in the record for human trend-reading only.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import subprocess
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "build_record",
+    "validate_record",
+    "append_record",
+    "load_history",
+    "BenchVerdict",
+    "check_history",
+]
+
+SCHEMA_VERSION = 1
+
+_REQUIRED_KEYS = ("schema", "benchmark", "timestamp", "provenance", "results")
+_REQUIRED_RESULT_KEYS = (
+    "object_slots_per_sec", "vectorized_slots_per_sec", "speedup",
+)
+
+
+def _git_sha() -> str:
+    """Current commit SHA, or "unknown" outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def _provenance() -> dict[str, str]:
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dep today
+        numpy_version = "absent"
+    return {
+        "git_sha": _git_sha(),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "platform": platform.platform(),
+        "host": platform.node() or "unknown",
+    }
+
+
+def build_record(report: dict[str, Any]) -> dict[str, Any]:
+    """Distill one ``run_kernel_benchmark`` report into a history record.
+
+    The report's per-pairing ``{object, vectorized, speedup}`` entries
+    become flat per-algorithm result rows; provenance and the UTC
+    timestamp are stamped here so every appender agrees on the format.
+    """
+    results = {}
+    for algorithm, entry in report.get("results", {}).items():
+        results[algorithm] = {
+            "object_slots_per_sec": entry["object"]["slots_per_sec"],
+            "vectorized_slots_per_sec": entry["vectorized"]["slots_per_sec"],
+            "speedup": entry["speedup"],
+        }
+    return {
+        "schema": SCHEMA_VERSION,
+        "benchmark": report.get("benchmark", "kernel_backends"),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "provenance": _provenance(),
+        "num_ports": report.get("num_ports"),
+        "num_slots": report.get("num_slots"),
+        "results": results,
+    }
+
+
+def validate_record(record: dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``record`` is a valid v1 history entry."""
+    if not isinstance(record, dict):
+        raise ValueError(f"history record must be an object, got {type(record).__name__}")
+    missing = [k for k in _REQUIRED_KEYS if k not in record]
+    if missing:
+        raise ValueError(f"history record missing keys: {', '.join(missing)}")
+    if record["schema"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported history schema {record['schema']!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    if not isinstance(record["results"], dict) or not record["results"]:
+        raise ValueError("history record has no results")
+    for algorithm, entry in record["results"].items():
+        for key in _REQUIRED_RESULT_KEYS:
+            value = entry.get(key) if isinstance(entry, dict) else None
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise ValueError(
+                    f"result {algorithm!r} needs positive numeric {key!r}, "
+                    f"got {value!r}"
+                )
+
+
+def append_record(path: str | Path, record: dict[str, Any]) -> Path:
+    """Validate ``record`` and append it as one JSONL line."""
+    validate_record(record)
+    path = Path(path)
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def load_history(path: str | Path) -> list[dict[str, Any]]:
+    """Read every valid record from a history file, oldest first.
+
+    Unparseable or schema-invalid lines are skipped (a half-written line
+    from a crashed run must not brick the gate forever); the file itself
+    missing raises ``FileNotFoundError``.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(f"bench history not found: {path}")
+    records = []
+    with path.open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                validate_record(record)
+            except (json.JSONDecodeError, ValueError):
+                continue
+            records.append(record)
+    return records
+
+
+@dataclass(slots=True)
+class BenchVerdict:
+    """Outcome of one latest-vs-baseline comparison."""
+
+    history_path: str
+    records: int
+    latest: dict[str, Any]
+    tolerance: float
+    window: int
+    #: Per-algorithm rows: latest speedup, baseline (median) speedup,
+    #: samples behind the baseline, and status
+    #: ("ok" | "regressed" | "no-baseline").
+    checks: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def regressed(self) -> bool:
+        """True when any pairing fell beyond tolerance below baseline."""
+        return any(c["status"] == "regressed" for c in self.checks.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form for ``repro-sim bench-check --json``."""
+        return {
+            "history": self.history_path,
+            "records": self.records,
+            "latest_timestamp": self.latest.get("timestamp"),
+            "latest_git_sha": self.latest.get("provenance", {}).get("git_sha"),
+            "tolerance": self.tolerance,
+            "window": self.window,
+            "regressed": self.regressed,
+            "checks": self.checks,
+        }
+
+    def describe(self) -> str:
+        """Human-readable multi-line report."""
+        head = (
+            f"bench-check: {self.history_path} ({self.records} records, "
+            f"baseline = median of <= {self.window} prior, "
+            f"tolerance {self.tolerance:.0%})"
+        )
+        lines = [head]
+        for algorithm in sorted(self.checks):
+            c = self.checks[algorithm]
+            if c["status"] == "no-baseline":
+                lines.append(
+                    f"  {algorithm:<10} {c['latest_speedup']:.3f}x "
+                    f"(no baseline yet)"
+                )
+                continue
+            verdict = "OK" if c["status"] == "ok" else "REGRESSED"
+            lines.append(
+                f"  {algorithm:<10} {c['latest_speedup']:.3f}x vs baseline "
+                f"{c['baseline_speedup']:.3f}x "
+                f"({c['samples']} sample(s)) {verdict}"
+            )
+        lines.append(
+            "RESULT: regression detected" if self.regressed else "RESULT: ok"
+        )
+        return "\n".join(lines)
+
+
+def check_history(
+    path: str | Path, *, tolerance: float = 0.10, window: int = 5
+) -> BenchVerdict:
+    """Gate the newest history record against the rolling baseline.
+
+    For every pairing in the latest record, the baseline is the *median*
+    speedup over up to ``window`` immediately preceding records that
+    measured the same pairing (median, so one outlier run cannot poison
+    the gate). A pairing regresses when its latest speedup drops below
+    ``baseline * (1 - tolerance)``; pairings with no prior measurements
+    pass with status "no-baseline".
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    records = load_history(path)
+    if not records:
+        raise FileNotFoundError(f"bench history has no valid records: {path}")
+    latest = records[-1]
+    previous = records[:-1]
+    verdict = BenchVerdict(
+        history_path=str(path),
+        records=len(records),
+        latest=latest,
+        tolerance=tolerance,
+        window=window,
+    )
+    for algorithm, entry in sorted(latest["results"].items()):
+        speedup = float(entry["speedup"])
+        samples = [
+            float(r["results"][algorithm]["speedup"])
+            for r in previous[-window:]
+            if algorithm in r["results"]
+        ]
+        if not samples:
+            verdict.checks[algorithm] = {
+                "latest_speedup": speedup,
+                "baseline_speedup": None,
+                "samples": 0,
+                "status": "no-baseline",
+            }
+            continue
+        baseline = statistics.median(samples)
+        floor = baseline * (1 - tolerance)
+        verdict.checks[algorithm] = {
+            "latest_speedup": speedup,
+            "baseline_speedup": baseline,
+            "samples": len(samples),
+            "status": "ok" if speedup >= floor else "regressed",
+        }
+    return verdict

@@ -48,7 +48,11 @@ class PhaseProfiler:
 
         ``slots`` (the number of simulated slots) enables the per-slot
         column; share is each phase's fraction of the profiled total.
+        A non-positive ``slots`` (0-slot run) is treated as unknown so
+        the breakdown never divides by zero.
         """
+        if slots is not None and slots <= 0:
+            slots = None
         total = self.total_ns()
         phases: dict[str, dict[str, float]] = {}
         ordered = [p for p in PHASES if p in self._ns]

@@ -8,10 +8,23 @@ replacing ad-hoc ``print`` calls with a single quiet-able sink.
 from __future__ import annotations
 
 import sys
-import time
 from typing import IO
 
-__all__ = ["ProgressReporter"]
+from repro.obs.profiler import clock_ns
+
+__all__ = ["ProgressReporter", "format_eta"]
+
+
+def format_eta(seconds: float) -> str:
+    """Compact duration for the heartbeat's ETA column (``90`` → "1m30s")."""
+    seconds = max(0, int(round(seconds)))
+    if seconds < 60:
+        return f"{seconds}s"
+    minutes, secs = divmod(seconds, 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
 
 
 class ProgressReporter:
@@ -44,17 +57,18 @@ class ProgressReporter:
         label: str = "",
     ) -> None:
         self.every = max(1, every)
-        self.total = total
+        # total <= 0 means "unknown" — a 0-slot run must not divide by it.
+        self.total = total if total and total > 0 else None
         self.stream = stream if stream is not None else sys.stderr
         self.quiet = quiet
         self.label = label
-        self._t0: float | None = None
+        self._t0: int | None = None
         self._last_emit = 0
 
     # ------------------------------------------------------------------ #
     def start(self) -> None:
         """Start (or restart) the rate clock; called at loop entry."""
-        self._t0 = time.perf_counter()
+        self._t0 = clock_ns()
 
     def line(self, text: str) -> None:
         """Print one raw narration line (benchmarks, phase notes)."""
@@ -62,14 +76,18 @@ class ProgressReporter:
             print(text, file=self.stream)
 
     def emit(self, slots_done: int, backlog: int | None = None) -> None:
-        """Print one heartbeat: slot position, slots/sec and backlog."""
+        """Print one heartbeat: slot position, slots/sec, ETA and backlog.
+
+        Degenerate runs stay readable: with no slots done yet or a
+        sub-clock-resolution elapsed time the rate and ETA columns are
+        simply omitted rather than printing ``inf`` or dividing by zero.
+        """
         if self.quiet:
             return
-        now = time.perf_counter()
+        now = clock_ns()
         if self._t0 is None:
             self._t0 = now
-        elapsed = now - self._t0
-        rate = slots_done / elapsed if elapsed > 0 else float("inf")
+        elapsed = (now - self._t0) / 1e9
         parts = [f"[progress]{' ' + self.label if self.label else ''}"]
         if self.total:
             parts.append(
@@ -78,7 +96,11 @@ class ProgressReporter:
             )
         else:
             parts.append(f"slot {slots_done}")
-        parts.append(f"{rate:,.0f} slots/s")
+        if slots_done > 0 and elapsed > 0:
+            rate = slots_done / elapsed
+            parts.append(f"{rate:,.0f} slots/s")
+            if self.total is not None and slots_done < self.total:
+                parts.append(f"eta {format_eta((self.total - slots_done) / rate)}")
         if backlog is not None:
             parts.append(f"backlog={backlog}")
         print(" ".join(parts), file=self.stream)

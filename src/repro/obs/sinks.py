@@ -1,0 +1,146 @@
+"""Streaming metric sinks: observe a run mid-flight, not only at exit.
+
+A :class:`MetricSink` receives *registry snapshots* — plain-data dicts
+built by :meth:`repro.obs.telemetry.Telemetry.emit_snapshot` — while a
+simulation or sweep is still running. The engine emits one every
+``snapshot_every`` slots plus a final one; :func:`repro.experiments.sweep.
+run_figure` emits one per completed retry round. Long sweeps and the
+ROADMAP's campaign service read these instead of waiting for the summary.
+
+Snapshot schema (one dict per emission)::
+
+    {
+      "kind": "periodic" | "final" | "round",
+      "slot": <int or None>,          # slots completed at emission time
+      "metrics": <MetricsRegistry.to_dict()>,
+      "faults": <FaultInjector.report() dict, when a fault run>,
+      ...                             # emitters may add context keys
+    }
+
+Three implementations cover the expected consumers: in-memory (tests,
+notebooks), JSONL-with-rotation (services, tail -f), and callback
+(embedding code that wants a Python hook). Sinks are deliberately *not*
+picklable contracts — in multi-process sweeps the sink lives parent-side
+and sees merged snapshots, never inside the workers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable
+
+__all__ = [
+    "MetricSink",
+    "InMemorySink",
+    "CallbackSink",
+    "JsonlSink",
+]
+
+
+class MetricSink:
+    """Receiver of registry snapshots. Subclass and override :meth:`emit`.
+
+    ``close()`` is optional; the default does nothing. Sinks must accept
+    snapshots in any order of ``kind`` and must not mutate them.
+    """
+
+    def emit(self, snapshot: dict) -> None:
+        """Receive one snapshot dict (see the module docstring schema)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources the sink holds (files, sockets)."""
+
+    def __enter__(self) -> "MetricSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class InMemorySink(MetricSink):
+    """Keep every snapshot in a list — tests and notebook inspection."""
+
+    def __init__(self) -> None:
+        self.snapshots: list[dict] = []
+
+    def emit(self, snapshot: dict) -> None:
+        """Append the snapshot (snapshots are fresh dicts; no copy)."""
+        self.snapshots.append(snapshot)
+
+    @property
+    def latest(self) -> dict | None:
+        """The most recent snapshot, or None before the first emission."""
+        return self.snapshots[-1] if self.snapshots else None
+
+
+class CallbackSink(MetricSink):
+    """Invoke a Python callable per snapshot — the embedding hook."""
+
+    def __init__(self, fn: Callable[[dict], None]) -> None:
+        self.fn = fn
+
+    def emit(self, snapshot: dict) -> None:
+        """Hand the snapshot to the callback."""
+        self.fn(snapshot)
+
+
+class JsonlSink(MetricSink):
+    """Append snapshots as JSON lines, with size-based rotation.
+
+    Parameters
+    ----------
+    path:
+        Output file; parent directories are created. Each emit appends
+        one line and flushes, so ``tail -f`` sees snapshots live.
+    max_bytes:
+        Rotate when the file would exceed this size (0 = never rotate).
+        Rotation renames ``metrics.jsonl`` → ``metrics.jsonl.1`` (older
+        generations shift to ``.2``, ``.3``, ...) and starts fresh.
+    max_files:
+        Rotated generations to keep; older ones are deleted.
+    """
+
+    def __init__(
+        self, path: str | Path, *, max_bytes: int = 0, max_files: int = 3
+    ) -> None:
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.max_files = max_files
+        self.emitted = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w", encoding="utf-8")
+        self._size = 0
+
+    def emit(self, snapshot: dict) -> None:
+        """Write one JSON line, rotating first if it would overflow."""
+        line = json.dumps(snapshot, sort_keys=True) + "\n"
+        if self.max_bytes and self._size and self._size + len(line) > self.max_bytes:
+            self._rotate()
+        self._fh.write(line)
+        self._fh.flush()
+        self._size += len(line)
+        self.emitted += 1
+
+    def _rotate(self) -> None:
+        """Shift generations up and reopen a fresh current file."""
+        self._fh.close()
+        oldest = self.path.with_name(f"{self.path.name}.{self.max_files}")
+        if oldest.exists():
+            oldest.unlink()
+        for gen in range(self.max_files - 1, 0, -1):
+            src = self.path.with_name(f"{self.path.name}.{gen}")
+            if src.exists():
+                src.rename(self.path.with_name(f"{self.path.name}.{gen + 1}"))
+        if self.max_files > 0:
+            self.path.rename(self.path.with_name(f"{self.path.name}.1"))
+        else:
+            self.path.unlink()
+        self._fh = self.path.open("w", encoding="utf-8")
+        self._size = 0
+
+    def close(self) -> None:
+        """Flush and close the current file."""
+        if not self._fh.closed:
+            self._fh.close()

@@ -10,10 +10,15 @@ so ``Telemetry(profile=True)`` profiles without tracing and vice versa.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import NOOP_PROFILER, NoopProfiler, PhaseProfiler
 from repro.obs.progress import ProgressReporter
 from repro.obs.tracer import NOOP_TRACER, NoopTracer, SlotTracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.sinks import MetricSink
 
 __all__ = ["Telemetry", "aggregate_telemetry"]
 
@@ -33,9 +38,18 @@ class Telemetry:
     progress:
         A :class:`~repro.obs.progress.ProgressReporter` for heartbeat
         lines (default: none).
+    sinks:
+        :class:`~repro.obs.sinks.MetricSink` receivers of streaming
+        registry snapshots (default: none).
+    snapshot_every:
+        Emit a periodic snapshot to the sinks every N slots (0 = only
+        the final snapshot). Ignored when there are no sinks.
     """
 
-    __slots__ = ("registry", "tracer", "profiler", "progress")
+    __slots__ = (
+        "registry", "tracer", "profiler", "progress", "sinks",
+        "snapshot_every",
+    )
 
     def __init__(
         self,
@@ -44,6 +58,8 @@ class Telemetry:
         tracer: SlotTracer | NoopTracer | None = None,
         profile: bool = False,
         progress: ProgressReporter | None = None,
+        sinks: Sequence["MetricSink"] = (),
+        snapshot_every: int = 0,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NOOP_TRACER
@@ -51,6 +67,8 @@ class Telemetry:
             PhaseProfiler() if profile else NOOP_PROFILER
         )
         self.progress = progress
+        self.sinks = tuple(sinks)
+        self.snapshot_every = snapshot_every
 
     # ------------------------------------------------------------------ #
     def to_dict(self, *, slots: int | None = None) -> dict[str, object]:
@@ -62,14 +80,44 @@ class Telemetry:
             out["profile"] = self.profiler.report(slots)
         return out
 
+    def emit_snapshot(
+        self,
+        *,
+        slot: int | None = None,
+        kind: str = "periodic",
+        faults: dict | None = None,
+        **context: object,
+    ) -> None:
+        """Push one registry snapshot to every sink.
+
+        No-op without sinks, so callers can emit unconditionally. Extra
+        keyword arguments land as top-level context keys in the snapshot
+        (e.g. ``algorithm=...``, ``round=...``).
+        """
+        if not self.sinks:
+            return
+        snapshot: dict[str, object] = {
+            "kind": kind,
+            "slot": slot,
+            "metrics": self.registry.to_dict(),
+        }
+        if faults is not None:
+            snapshot["faults"] = faults
+        snapshot.update(context)
+        for sink in self.sinks:
+            sink.emit(snapshot)
+
     def flush(self) -> None:
         """Flush the tracer's stream (end-of-run hook; close stays with
         whoever opened the sink)."""
         self.tracer.flush()
 
     def close(self) -> None:
-        """Close the tracer (for bundles that own their trace file)."""
+        """Close the tracer and the metric sinks (for bundles that own
+        their output files)."""
         self.tracer.close()
+        for sink in self.sinks:
+            sink.close()
 
 
 def aggregate_telemetry(summaries) -> MetricsRegistry:

@@ -36,8 +36,15 @@ from typing import IO
 
 from repro.packet import Packet
 from repro.switch.base import SlotResult
+from repro.utils.fileio import open_text
 
-__all__ = ["NoopTracer", "SlotTracer", "NOOP_TRACER", "build_slot_record"]
+__all__ = [
+    "NoopTracer",
+    "SlotTracer",
+    "NOOP_TRACER",
+    "build_slot_record",
+    "read_trace_records",
+]
 
 
 def build_slot_record(
@@ -97,8 +104,10 @@ class SlotTracer:
     Parameters
     ----------
     sink:
-        File path (opened/truncated immediately) or any object with a
-        ``write(str)`` method (kept open; caller owns its lifetime).
+        File path (opened/truncated immediately; a ``.gz`` suffix —
+        ``trace.jsonl.gz`` — writes gzip-compressed JSONL) or any object
+        with a ``write(str)`` method (kept open; caller owns its
+        lifetime).
     """
 
     __slots__ = ("_stream", "_owns_stream", "path", "records_written")
@@ -112,7 +121,7 @@ class SlotTracer:
             self.path: Path | None = None
         else:
             self.path = Path(sink)  # type: ignore[arg-type]
-            self._stream = self.path.open("w")
+            self._stream = open_text(self.path, "w")
             self._owns_stream = True
         self.records_written = 0
 
@@ -140,3 +149,9 @@ class SlotTracer:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         where = str(self.path) if self.path else "<stream>"
         return f"SlotTracer({where}, records={self.records_written})"
+
+
+def read_trace_records(path: str | Path) -> list[dict[str, object]]:
+    """Load every slot record from a trace file (plain or ``.gz``)."""
+    with open_text(path) as fh:
+        return [json.loads(line) for line in fh if line.strip()]

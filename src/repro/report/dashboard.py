@@ -1,0 +1,429 @@
+"""Run-directory dashboard: one run's artifacts → ASCII and static HTML.
+
+A *run directory* is what ``repro-sim run --out-dir DIR`` leaves behind::
+
+    DIR/
+      summary.json     # SimulationSummary.to_dict()
+      metrics.json     # MetricsRegistry.to_dict() dump
+      profile.json     # PhaseProfiler.report() breakdown
+      trace.jsonl.gz   # optional per-slot trace (plain .jsonl accepted)
+
+``repro-sim report DIR`` renders whatever subset is present — every
+section degrades to a "(not collected)" note rather than failing, so a
+report over a minimal run (summary only) still works. The HTML page is
+fully self-contained (inline CSS, inline SVG charts, no script, no
+external assets): it can be attached to CI artifacts or mailed around
+and will render identically anywhere.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.report.ascii import format_phase_table, format_table
+
+__all__ = [
+    "RunArtifacts",
+    "load_run_dir",
+    "write_run_artifacts",
+    "render_ascii_report",
+    "render_html_report",
+]
+
+#: Histogram series charted by the dashboard, in display order.
+_CHARTED_HISTOGRAMS = (
+    ("sim.rounds_per_slot", "Scheduler rounds per slot"),
+    ("kernel.grants_per_round", "Grants per round"),
+    ("kernel.residue_occupancy", "Residue cells per slot"),
+)
+
+#: Summary rows shown in the overview table: (dict key, display label).
+_OVERVIEW_ROWS = (
+    ("algorithm", "algorithm"),
+    ("num_ports", "ports"),
+    ("slots_run", "slots run"),
+    ("seed", "seed"),
+    ("offered_load", "offered load"),
+    ("carried_load", "carried load"),
+    ("delivery_ratio", "delivery ratio"),
+    ("average_input_delay", "avg input delay"),
+    ("average_output_delay", "avg output delay"),
+    ("average_queue_size", "avg queue size"),
+    ("max_queue_size", "max queue size"),
+    ("average_rounds", "avg rounds"),
+    ("final_backlog", "final backlog"),
+    ("unstable", "unstable"),
+)
+
+
+@dataclass(slots=True)
+class RunArtifacts:
+    """Everything :func:`load_run_dir` could find, None where absent."""
+
+    run_dir: Path
+    summary: dict | None = None
+    metrics: dict | None = None
+    profile: dict | None = None
+    trace_path: Path | None = None
+    #: Artifact files that existed but did not parse: name -> error.
+    errors: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def faults(self) -> dict | None:
+        """The fault-injection ledger, when the run injected faults."""
+        return (self.summary or {}).get("faults")
+
+
+def _read_json(arts: RunArtifacts, name: str) -> dict | None:
+    path = arts.run_dir / name
+    if not path.is_file():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError) as exc:
+        arts.errors[name] = str(exc)
+        return None
+
+
+def load_run_dir(run_dir: str | Path) -> RunArtifacts:
+    """Collect a run directory's artifacts, tolerating missing files."""
+    run_dir = Path(run_dir)
+    if not run_dir.is_dir():
+        raise FileNotFoundError(f"run directory not found: {run_dir}")
+    arts = RunArtifacts(run_dir=run_dir)
+    arts.summary = _read_json(arts, "summary.json")
+    arts.metrics = _read_json(arts, "metrics.json")
+    arts.profile = _read_json(arts, "profile.json")
+    for name in ("trace.jsonl.gz", "trace.jsonl"):
+        if (run_dir / name).is_file():
+            arts.trace_path = run_dir / name
+            break
+    return arts
+
+
+def write_run_artifacts(run_dir: str | Path, summary, telemetry) -> Path:
+    """Persist one run's artifacts into ``run_dir`` (created if needed).
+
+    ``summary`` is a :class:`~repro.stats.summary.SimulationSummary`;
+    ``telemetry`` the run's :class:`~repro.obs.telemetry.Telemetry`. The
+    trace file is the tracer's own business — when the tracer was pointed
+    into the run directory it is already there.
+    """
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    (run_dir / "summary.json").write_text(summary.to_json() + "\n")
+    telemetry.registry.write_json(run_dir / "metrics.json")
+    if telemetry.profiler.enabled:
+        report = telemetry.profiler.report(summary.slots_run)
+        (run_dir / "profile.json").write_text(json.dumps(report, indent=2) + "\n")
+    return run_dir
+
+
+# --------------------------------------------------------------------- #
+# Shared extraction
+# --------------------------------------------------------------------- #
+def _overview_rows(summary: dict) -> list[tuple[str, object]]:
+    rows = []
+    for key, label in _OVERVIEW_ROWS:
+        value = summary.get(key)
+        if isinstance(value, float):
+            value = round(value, 4)
+        rows.append((label, value))
+    return rows
+
+
+def _delay_rows(summary: dict) -> list[tuple[str, object]]:
+    """Delay percentiles from the extended-stats section, if collected."""
+    extra = summary.get("extra") or {}
+    return [
+        (label, round(extra[key], 3))
+        for key, label in (
+            ("delay_p50", "input delay p50"),
+            ("delay_p99", "input delay p99"),
+            ("delay_max", "input delay max"),
+            ("split_ratio", "fanout split ratio"),
+            ("avg_service_slots", "avg service slots"),
+        )
+        if key in extra
+    ]
+
+
+def _histogram_records(metrics: dict, name: str) -> list[dict]:
+    return [
+        rec
+        for rec in metrics.get("metrics", [])
+        if rec.get("name") == name and rec.get("type") == "histogram"
+    ]
+
+
+def _label_suffix(rec: dict) -> str:
+    labels = rec.get("labels") or {}
+    return ", ".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def _fault_rows(faults: dict) -> list[tuple[str, object]]:
+    return [(k.replace("_", " "), faults[k]) for k in sorted(faults)]
+
+
+def _chart_pairs(rec: dict, *, max_bars: int = 20) -> list[tuple[object, int]]:
+    """(label, count) pairs for one histogram record, coalesced when wide.
+
+    Exact buckets chart as-is up to ``max_bars`` bars; wider histograms
+    (e.g. residue occupancy under faults) are folded into equal-width
+    value ranges so the chart stays readable.
+    """
+    buckets = rec.get("buckets") or []
+    pairs = [
+        (int(v) if float(v).is_integer() else v, int(c)) for v, c in buckets
+    ]
+    if len(pairs) <= max_bars:
+        return pairs
+    lo = min(v for v, _c in pairs)
+    hi = max(v for v, _c in pairs)
+    span = (hi - lo) / max_bars
+    binned = [0] * max_bars
+    for v, c in pairs:
+        idx = min(int((v - lo) / span), max_bars - 1)
+        binned[idx] += c
+    out: list[tuple[object, int]] = []
+    for i, count in enumerate(binned):
+        a = lo + i * span
+        b = lo + (i + 1) * span
+        label = f"{a:.0f}-{b:.0f}"
+        out.append((label, count))
+    return out
+
+
+# --------------------------------------------------------------------- #
+# ASCII rendering
+# --------------------------------------------------------------------- #
+def _ascii_histogram(rec: dict, *, width: int = 40) -> str:
+    """Horizontal bar chart of one histogram record's buckets."""
+    pairs = _chart_pairs(rec)
+    if not pairs:
+        return "(empty histogram)"
+    peak = max(count for _label, count in pairs)
+    lines = []
+    for label, count in pairs:
+        bar = "#" * max(1, round(count / peak * width)) if count else ""
+        lines.append(f"  {label!s:>9}  {bar} {count}")
+    return "\n".join(lines)
+
+
+def render_ascii_report(arts: RunArtifacts) -> str:
+    """Render the run directory as a terminal dashboard."""
+    blocks: list[str] = []
+    summary = arts.summary
+    title = f"run report: {arts.run_dir}"
+    if summary:
+        title = (
+            f"run report: {summary.get('algorithm')} N={summary.get('num_ports')} "
+            f"({summary.get('slots_run')} slots) — {arts.run_dir}"
+        )
+    blocks.append(title)
+    blocks.append("=" * len(title))
+    blocks.append("")
+
+    if summary:
+        blocks.append(format_table(
+            ("metric", "value"), _overview_rows(summary), title="Summary"
+        ))
+        delay = _delay_rows(summary)
+        if delay:
+            blocks.append("")
+            blocks.append(format_table(
+                ("percentile", "slots"), delay, title="Delay percentiles"
+            ))
+    else:
+        blocks.append("Summary: (summary.json not found)")
+
+    blocks.append("")
+    if arts.profile and arts.profile.get("phases"):
+        sps = arts.profile.get("slots_per_sec")
+        head = "Phase breakdown"
+        if sps:
+            head += f" ({sps:,.0f} slots/s)"
+        blocks.append(format_phase_table(arts.profile, title=head))
+    else:
+        blocks.append("Phase breakdown: (not profiled)")
+
+    blocks.append("")
+    if arts.metrics:
+        for name, label in _CHARTED_HISTOGRAMS:
+            for rec in _histogram_records(arts.metrics, name):
+                suffix = _label_suffix(rec)
+                blocks.append(f"{label}" + (f" [{suffix}]" if suffix else ""))
+                blocks.append(_ascii_histogram(rec))
+                blocks.append("")
+    else:
+        blocks.append("Metric histograms: (metrics.json not found)")
+        blocks.append("")
+
+    faults = arts.faults
+    if faults:
+        blocks.append(format_table(
+            ("counter", "value"), _fault_rows(faults), title="Fault ledger"
+        ))
+        blocks.append("")
+
+    if arts.trace_path is not None:
+        from repro.obs.tracer import read_trace_records
+
+        records = read_trace_records(arts.trace_path)
+        peak = max((r.get("backlog", 0) for r in records), default=0)
+        blocks.append(
+            f"Trace: {arts.trace_path.name}, {len(records)} slot records, "
+            f"peak backlog {peak}"
+        )
+    for name, err in sorted(arts.errors.items()):
+        blocks.append(f"warning: {name} unreadable ({err})")
+    return "\n".join(blocks).rstrip() + "\n"
+
+
+# --------------------------------------------------------------------- #
+# HTML rendering
+# --------------------------------------------------------------------- #
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em auto;
+       max-width: 60em; color: #1a2330; }
+h1 { font-size: 1.4em; border-bottom: 2px solid #2a6fb0; padding-bottom: .3em; }
+h2 { font-size: 1.1em; margin-top: 1.6em; color: #2a6fb0; }
+table { border-collapse: collapse; margin: .5em 0; }
+th, td { border: 1px solid #c7d2de; padding: .25em .7em; text-align: right; }
+th { background: #eef3f8; }
+td:first-child, th:first-child { text-align: left; }
+.note { color: #77808c; font-style: italic; }
+svg text { font-size: 11px; fill: #1a2330; }
+"""
+
+
+def _html_table(headers, rows, caption=None) -> str:
+    parts = ["<table>"]
+    if caption:
+        parts.append(f"<caption>{html.escape(caption)}</caption>")
+    parts.append(
+        "<tr>" + "".join(f"<th>{html.escape(str(h))}</th>" for h in headers) + "</tr>"
+    )
+    for row in rows:
+        cells = "".join(f"<td>{html.escape(str(v))}</td>" for v in row)
+        parts.append(f"<tr>{cells}</tr>")
+    parts.append("</table>")
+    return "\n".join(parts)
+
+
+def _svg_bars(pairs, *, width: int = 460, bar_h: int = 16, gap: int = 4,
+              color: str = "#2a6fb0") -> str:
+    """Horizontal SVG bar chart for (label, count) pairs — no script."""
+    if not pairs:
+        return '<p class="note">(empty histogram)</p>'
+    peak = max(count for _label, count in pairs) or 1
+    label_w, count_w = 60, 70
+    plot_w = width - label_w - count_w
+    height = len(pairs) * (bar_h + gap)
+    rows = []
+    for i, (label, count) in enumerate(pairs):
+        y = i * (bar_h + gap)
+        w = max(2, round(count / peak * plot_w))
+        rows.append(
+            f'<text x="{label_w - 6}" y="{y + bar_h - 4}" '
+            f'text-anchor="end">{html.escape(str(label))}</text>'
+            f'<rect x="{label_w}" y="{y}" width="{w}" height="{bar_h}" '
+            f'fill="{color}" rx="2"/>'
+            f'<text x="{label_w + w + 6}" y="{y + bar_h - 4}">{count}</text>'
+        )
+    return (
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'xmlns="http://www.w3.org/2000/svg">' + "".join(rows) + "</svg>"
+    )
+
+
+def render_html_report(arts: RunArtifacts) -> str:
+    """Render the run directory as one self-contained HTML page."""
+    summary = arts.summary or {}
+    title = "Run report"
+    if summary:
+        title = (
+            f"Run report: {summary.get('algorithm')} "
+            f"N={summary.get('num_ports')}, {summary.get('slots_run')} slots"
+        )
+    body: list[str] = [f"<h1>{html.escape(title)}</h1>"]
+    body.append(
+        f'<p class="note">source: {html.escape(str(arts.run_dir))}</p>'
+    )
+
+    body.append("<h2>Summary</h2>")
+    if summary:
+        body.append(_html_table(("metric", "value"), _overview_rows(summary)))
+        delay = _delay_rows(summary)
+        if delay:
+            body.append("<h2>Delay percentiles</h2>")
+            body.append(_html_table(("percentile", "slots"), delay))
+    else:
+        body.append('<p class="note">summary.json not found</p>')
+
+    body.append("<h2>Phase breakdown</h2>")
+    profile = arts.profile
+    if profile and profile.get("phases"):
+        rows = []
+        share_pairs = []
+        for phase, entry in profile["phases"].items():
+            rows.append((
+                phase,
+                round(float(entry["total_ms"]), 3),
+                f"{100 * float(entry['share']):.1f}%",
+                round(float(entry.get("per_slot_us", 0.0)), 3),
+            ))
+            share_pairs.append((phase, round(float(entry["total_ms"]), 1)))
+        body.append(_html_table(("phase", "total ms", "share", "us/slot"), rows))
+        body.append(_svg_bars(share_pairs, color="#4a8f5d"))
+        sps = profile.get("slots_per_sec")
+        if sps:
+            body.append(f'<p class="note">{sps:,.0f} slots/s profiled</p>')
+    else:
+        body.append('<p class="note">not profiled</p>')
+
+    body.append("<h2>Histograms</h2>")
+    if arts.metrics:
+        charted = False
+        for name, label in _CHARTED_HISTOGRAMS:
+            for rec in _histogram_records(arts.metrics, name):
+                suffix = _label_suffix(rec)
+                caption = label + (f" [{suffix}]" if suffix else "")
+                body.append(f"<h3>{html.escape(caption)}</h3>")
+                body.append(_svg_bars(_chart_pairs(rec)))
+                charted = True
+        if not charted:
+            body.append('<p class="note">no charted histogram series</p>')
+    else:
+        body.append('<p class="note">metrics.json not found</p>')
+
+    faults = arts.faults
+    if faults:
+        body.append("<h2>Fault ledger</h2>")
+        body.append(_html_table(("counter", "value"), _fault_rows(faults)))
+
+    if arts.trace_path is not None:
+        from repro.obs.tracer import read_trace_records
+
+        records = read_trace_records(arts.trace_path)
+        peak = max((r.get("backlog", 0) for r in records), default=0)
+        body.append("<h2>Trace</h2>")
+        body.append(
+            f"<p>{html.escape(arts.trace_path.name)}: {len(records)} slot "
+            f"records, peak backlog {peak}</p>"
+        )
+
+    for name, err in sorted(arts.errors.items()):
+        body.append(
+            f'<p class="note">warning: {html.escape(name)} unreadable '
+            f"({html.escape(err)})</p>"
+        )
+
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n"
+        f"<title>{html.escape(title)}</title>\n<style>{_CSS}</style>\n"
+        "</head><body>\n" + "\n".join(body) + "\n</body></html>\n"
+    )

@@ -176,6 +176,8 @@ class SimulationEngine:
         heartbeat_every = progress.every if progress is not None else 0
         if progress is not None:
             progress.start()
+        sinks_on = bool(tel.sinks)
+        snapshot_every = tel.snapshot_every if sinks_on else 0
 
         labels = {"algorithm": self.algorithm_name}
         registry = tel.registry
@@ -189,6 +191,27 @@ class SimulationEngine:
         c_lost_grants = registry.counter("sim.grants_lost", **labels)
         g_backlog = registry.gauge("sim.backlog", **labels)
         h_rounds = registry.histogram("sim.rounds_per_slot", **labels)
+
+        # Kernel-seam counters: backends that implement the
+        # harvest_slot_stats() contract (both built-ins do) expose the
+        # same keys regardless of representation, so object and
+        # vectorized runs emit identical kernel.* series — the
+        # equivalence harness compares the registries to prove it. An
+        # empty probe dict means "no kernel seam" (e.g. a third-party
+        # switch) and the block is skipped for the whole run.
+        harvest = getattr(switch, "harvest_slot_stats", None)
+        kernel_on = harvest is not None and bool(harvest())
+        if kernel_on:
+            g_live = registry.gauge("kernel.live_cells", **labels)
+            g_residue = registry.gauge("kernel.residue_cells", **labels)
+            g_voq_peak = registry.gauge("kernel.voq_peak", **labels)
+            g_hol_age = registry.gauge("kernel.hol_age", **labels)
+            h_residue = registry.histogram(
+                "kernel.residue_occupancy", **labels
+            )
+            h_grants = registry.histogram(
+                "kernel.grants_per_round", **labels
+            )
 
         perf = clock_ns
         ns_traffic = ns_schedule = ns_stats = ns_checks = 0
@@ -232,6 +255,18 @@ class SimulationEngine:
             g_backlog.set(backlog)
             if result.requests_made:
                 h_rounds.observe(result.rounds)
+            if kernel_on:
+                stats = harvest()
+                residue = stats["residue_cells"]
+                g_live.set(stats["live_cells"])
+                g_residue.set(residue)
+                g_voq_peak.set(stats["voq_peak"])
+                h_residue.observe(residue)
+                oldest = stats["oldest_hol_ts"]
+                if oldest is not None:
+                    g_hol_age.set(slot - oldest)
+                for grants in result.round_grants:
+                    h_grants.observe(grants)
             if trace_on:
                 tracer.emit(build_slot_record(slot, arrivals, result, backlog))
 
@@ -246,6 +281,15 @@ class SimulationEngine:
                 ns_checks += perf() - t4
             if heartbeat_every and (slot + 1) % heartbeat_every == 0:
                 progress.emit(slot + 1, backlog)
+            if snapshot_every and (slot + 1) % snapshot_every == 0:
+                tel.emit_snapshot(
+                    slot=slot + 1,
+                    kind="periodic",
+                    algorithm=self.algorithm_name,
+                    faults=(
+                        injector.report() if injector is not None else None
+                    ),
+                )
             if unstable:
                 break
 
@@ -256,6 +300,14 @@ class SimulationEngine:
             profiler.add("invariants", ns_checks)
         if progress is not None:
             progress.finish(self.slots_run, switch.total_backlog())
+        if sinks_on:
+            tel.emit_snapshot(
+                slot=self.slots_run,
+                kind="final",
+                algorithm=self.algorithm_name,
+                unstable=unstable,
+                faults=injector.report() if injector is not None else None,
+            )
         tel.flush()
         return unstable
 

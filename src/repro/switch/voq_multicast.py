@@ -114,6 +114,10 @@ class MulticastVOQSwitch(BaseSwitch):
         """Struct-of-arrays snapshot of the queue state (both backends)."""
         return self._backend.state_arrays()
 
+    def harvest_slot_stats(self) -> dict[str, object]:
+        """Kernel-seam per-slot counters (same keys on both backends)."""
+        return self._backend.harvest_slot_stats()
+
     # ------------------------------------------------------------------ #
     def _accept(self, packet: Packet, slot: int) -> bool:
         """Preprocess one arrival; ``False`` when it is dropped at ingress."""

@@ -8,7 +8,8 @@ input_port)::
 A one-line header object carries the port count for validation. The
 format round-trips every field the simulator cares about, diffable and
 greppable; :func:`load_trace` feeds straight into
-:class:`~repro.traffic.trace.TraceTraffic`.
+:class:`~repro.traffic.trace.TraceTraffic`. Paths ending in ``.gz``
+read/write gzip-compressed JSONL (large-N traces shrink ~10x).
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ from pathlib import Path
 from repro.errors import TrafficError
 from repro.packet import Packet
 from repro.traffic.trace import TraceTraffic
+from repro.utils.fileio import open_text
 
 __all__ = ["save_trace", "load_trace", "load_trace_traffic"]
 
@@ -30,7 +32,7 @@ def save_trace(path: str | Path, num_ports: int, packets: list[Packet]) -> Path:
     """Write packets to a JSONL trace file; returns the path."""
     path = Path(path)
     ordered = sorted(packets, key=lambda p: (p.arrival_slot, p.input_port))
-    with path.open("w") as fh:
+    with open_text(path, "w") as fh:
         fh.write(
             json.dumps(
                 {
@@ -57,7 +59,7 @@ def load_trace(path: str | Path) -> tuple[int, list[Packet]]:
     """Read a JSONL trace file; returns (num_ports, packets)."""
     path = Path(path)
     packets: list[Packet] = []
-    with path.open() as fh:
+    with open_text(path) as fh:
         header_line = fh.readline()
         try:
             header = json.loads(header_line)

@@ -1,0 +1,36 @@
+"""Text-file helpers shared by trace writers and readers.
+
+One rule, applied everywhere a JSONL artifact is opened: a path ending in
+``.gz`` is transparently gzip-compressed. Large-N slot traces shrink by
+an order of magnitude, and every reader in the project (the trace-replay
+loader, ``repro-sim report``, tests) accepts both forms without caring
+which one it got.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import IO
+
+__all__ = ["is_gzip_path", "open_text"]
+
+
+def is_gzip_path(path: str | Path) -> bool:
+    """True when ``path`` names a gzip-compressed file (``.gz`` suffix)."""
+    return Path(path).suffix == ".gz"
+
+
+def open_text(path: str | Path, mode: str = "r") -> IO[str]:
+    """Open ``path`` for text I/O, gzip-compressed iff it ends in ``.gz``.
+
+    ``mode`` is ``"r"``, ``"w"`` or ``"a"`` — text mode is implied and
+    UTF-8 is always used, so call sites read/write plain ``str`` lines
+    regardless of compression.
+    """
+    if mode not in ("r", "w", "a"):
+        raise ValueError(f"open_text mode must be 'r', 'w' or 'a', got {mode!r}")
+    p = Path(path)
+    if is_gzip_path(p):
+        return gzip.open(p, mode + "t", encoding="utf-8")
+    return p.open(mode, encoding="utf-8")

@@ -45,6 +45,7 @@ from repro.lint.rules_kernel import (
 )
 from repro.lint.rules_determinism import NoUnsortedSetIterationRule, NoWallClockRule
 from repro.lint.rules_errors import ExceptHygieneRule
+from repro.lint.rules_observability import KernelBenchClockRule
 from repro.lint.rules_rng import (
     NoGlobalNumpySeedRule,
     NoLegacyNumpyRandomRule,
@@ -297,6 +298,69 @@ class TestDET002UnsortedSetIteration:
     def test_suppression_comment(self, tmp_path):
         src = "# lint: disable=DET002\nfor j in {1, 2}:\n    pass\n"
         assert lint_tree(tmp_path, {"repro/core/x.py": src}, [self.RULE()]) == []
+
+
+class TestOBS001KernelBenchClock:
+    RULE = KernelBenchClockRule
+
+    def test_flags_perf_counter_in_benchmark(self, tmp_path):
+        src = """
+            import time
+            def timed(run):
+                t0 = time.perf_counter()
+                run()
+                return time.perf_counter() - t0
+        """
+        findings = lint_tree(
+            tmp_path, {"benchmarks/bench_x.py": src}, [self.RULE()]
+        )
+        assert only_ids(findings) == ["OBS001", "OBS001"]
+        assert "clock_ns" in findings[0].message
+
+    def test_flags_from_time_import_in_kernel(self, tmp_path):
+        src = "from time import perf_counter_ns\n"
+        findings = lint_tree(tmp_path, {"repro/kernel/x.py": src}, [self.RULE()])
+        assert only_ids(findings) == ["OBS001"]
+        assert "clock_ns" in findings[0].message
+
+    def test_flags_time_time_in_kernel(self, tmp_path):
+        src = "import time\nstamp = time.time()\n"
+        findings = lint_tree(tmp_path, {"repro/kernel/x.py": src}, [self.RULE()])
+        assert only_ids(findings) == ["OBS001"]
+
+    def test_clock_ns_routing_clean(self, tmp_path):
+        src = """
+            from repro.obs.profiler import clock_ns
+            def timed(run):
+                t0 = clock_ns()
+                run()
+                return (clock_ns() - t0) / 1e9
+        """
+        for rel in ("benchmarks/bench_x.py", "repro/kernel/x.py"):
+            assert lint_tree(tmp_path, {rel: src}, [self.RULE()]) == []
+
+    def test_out_of_scope_trees_ignored(self, tmp_path):
+        """DET001's territory (sim code) and exemptions (obs, tests) are
+        not OBS001's problem — no double reporting."""
+        src = "import time\nt = time.perf_counter()\n"
+        for rel in (
+            "repro/sim/x.py",
+            "repro/obs/x.py",
+            "tests/test_x.py",
+        ):
+            assert lint_tree(tmp_path, {rel: src}, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        src = "# lint: disable=OBS001\nimport time\nt = time.perf_counter()\n"
+        assert lint_tree(
+            tmp_path, {"benchmarks/bench_x.py": src}, [self.RULE()]
+        ) == []
+
+    def test_benchmarks_tree_lints_clean(self):
+        """Dogfood: the repo's own benchmarks obey the clock contract."""
+        report = run_lint([REPO / "benchmarks"], rules=[self.RULE()])
+        assert report.files_scanned >= 3
+        assert report.findings == [], format_text(report)
 
 
 # --------------------------------------------------------------------- #

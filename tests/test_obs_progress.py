@@ -1,0 +1,140 @@
+"""Degenerate-run hardening for ProgressReporter and PhaseProfiler.
+
+0-slot and sub-millisecond simulations must never divide by zero or
+print garbage (``inf slots/s``, negative ETAs); these are regression
+tests for exactly those edges.
+"""
+
+from __future__ import annotations
+
+import io
+
+import repro.obs.progress as progress_mod
+from repro.obs import ProgressReporter
+from repro.obs.profiler import PHASES, NoopProfiler, PhaseProfiler
+from repro.obs.progress import format_eta
+
+
+def reporter(**kwargs) -> tuple[ProgressReporter, io.StringIO]:
+    stream = io.StringIO()
+    return ProgressReporter(stream=stream, **kwargs), stream
+
+
+class TestProgressDegenerate:
+    def test_emit_before_any_time_elapses_omits_rate(self, monkeypatch):
+        """Frozen clock (sub-resolution run): no rate, no ETA, no inf."""
+        monkeypatch.setattr(progress_mod, "clock_ns", lambda: 1_000_000)
+        rep, stream = reporter(total=100)
+        rep.start()
+        rep.emit(50, backlog=3)
+        line = stream.getvalue()
+        assert "slot 50/100 (50.0%)" in line
+        assert "backlog=3" in line
+        assert "inf" not in line
+        assert "slots/s" not in line
+        assert "eta" not in line
+
+    def test_emit_with_zero_slots_done_omits_rate(self):
+        rep, stream = reporter(total=100)
+        rep.start()
+        rep.emit(0)
+        line = stream.getvalue()
+        assert "slot 0/100 (0.0%)" in line
+        assert "slots/s" not in line
+        assert "inf" not in line
+
+    def test_emit_without_start_is_safe(self):
+        """emit() before start() must not crash or print garbage."""
+        rep, stream = reporter()
+        rep.emit(10)
+        assert "slot 10" in stream.getvalue()
+        assert "inf" not in stream.getvalue()
+
+    def test_zero_total_means_unknown(self):
+        """total=0 (a 0-slot config) must not be used as a divisor."""
+        rep, stream = reporter(total=0)
+        assert rep.total is None
+        rep.start()
+        rep.emit(5)
+        line = stream.getvalue()
+        assert "slot 5" in line
+        assert "%" not in line
+
+    def test_finish_on_zero_slot_run_prints_nothing(self):
+        rep, stream = reporter(total=0)
+        rep.start()
+        rep.finish(0)
+        assert stream.getvalue() == ""
+
+    def test_healthy_run_gets_rate_and_eta(self, monkeypatch):
+        ticks = iter([0, 2_000_000_000])  # start, emit: 2s elapsed
+        monkeypatch.setattr(progress_mod, "clock_ns", lambda: next(ticks))
+        rep, stream = reporter(total=200)
+        rep.start()
+        rep.emit(100)
+        line = stream.getvalue()
+        assert "50 slots/s" in line
+        assert "eta 2s" in line  # 100 slots left at 50 slots/s
+
+    def test_no_eta_once_complete(self, monkeypatch):
+        ticks = iter([0, 1_000_000_000])
+        monkeypatch.setattr(progress_mod, "clock_ns", lambda: next(ticks))
+        rep, stream = reporter(total=100)
+        rep.start()
+        rep.emit(100)
+        line = stream.getvalue()
+        assert "slots/s" in line
+        assert "eta" not in line
+
+
+class TestFormatEta:
+    def test_bands(self):
+        assert format_eta(0) == "0s"
+        assert format_eta(59.4) == "59s"
+        assert format_eta(90) == "1m30s"
+        assert format_eta(3661) == "1h01m"
+
+    def test_negative_clamps_to_zero(self):
+        assert format_eta(-5) == "0s"
+
+
+class TestProfilerDegenerate:
+    def test_empty_profiler_report(self):
+        report = PhaseProfiler().report(slots=0)
+        assert report == {"total_ms": 0.0, "phases": {}}
+
+    def test_zero_slots_skips_per_slot_columns(self):
+        prof = PhaseProfiler()
+        prof.add("schedule", 5_000_000)
+        report = prof.report(slots=0)
+        assert "slots" not in report
+        assert "slots_per_sec" not in report
+        assert "per_slot_us" not in report["phases"]["schedule"]
+        assert report["phases"]["schedule"]["share"] == 1.0
+
+    def test_negative_slots_treated_as_unknown(self):
+        prof = PhaseProfiler()
+        prof.add("schedule", 5_000_000)
+        report = prof.report(slots=-3)
+        assert "slots" not in report
+        assert "per_slot_us" not in report["phases"]["schedule"]
+
+    def test_zero_ns_phase_has_zero_share(self):
+        """A phase that never crossed a clock tick must not divide by 0."""
+        prof = PhaseProfiler()
+        prof.add("stats", 0)
+        report = prof.report(slots=10)
+        assert report["phases"]["stats"]["share"] == 0.0
+        assert "slots_per_sec" not in report  # total is 0 ns
+
+    def test_healthy_report_shape(self):
+        prof = PhaseProfiler()
+        for i, phase in enumerate(PHASES):
+            prof.add(phase, (i + 1) * 1_000_000)
+        report = prof.report(slots=100)
+        assert report["slots"] == 100
+        assert report["slots_per_sec"] > 0
+        assert abs(sum(p["share"] for p in report["phases"].values()) - 1.0) < 1e-9
+
+    def test_noop_profiler_report(self):
+        assert NoopProfiler().report(slots=0) == {"total_ms": 0.0, "phases": {}}

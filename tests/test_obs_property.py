@@ -1,0 +1,148 @@
+"""Property tests for cross-process telemetry aggregation.
+
+``aggregate_telemetry`` folds worker registries associatively, so three
+properties must hold for *any* workload: merge order cannot matter,
+splitting one run's operations across workers cannot change the
+aggregate (counters/histograms exactly, gauges by peak), and fault loss
+counters must sum without losing a single dropped cell.
+"""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import aggregate_telemetry
+from repro.obs.metrics import MetricsRegistry
+
+#: A small closed vocabulary so different chunks hit the *same* series
+#: (the interesting merge case) as well as disjoint ones.
+SERIES = [
+    ("counter", "sim.cells_delivered", {}),
+    ("counter", "faults.cells_dropped", {"scenario": "output-outage"}),
+    ("counter", "faults.cells_dropped", {"scenario": "lossy-ingress"}),
+    ("gauge", "sim.backlog", {}),
+    ("gauge", "kernel.voq_peak", {}),
+    ("histogram", "sim.rounds_per_slot", {}),
+    ("histogram", "kernel.grants_per_round", {}),
+]
+
+#: One telemetry operation: (series index, integer value). Integer-valued
+#: observations keep float addition exact, so equality can be exact too.
+ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(SERIES) - 1),
+        st.integers(min_value=0, max_value=1_000),
+    ),
+    max_size=80,
+)
+
+
+def apply_ops(registry: MetricsRegistry, operations) -> None:
+    for index, value in operations:
+        kind, name, labels = SERIES[index]
+        if kind == "counter":
+            registry.counter(name, **labels).inc(value)
+        elif kind == "gauge":
+            registry.gauge(name, **labels).set(value)
+        else:
+            registry.histogram(name, **labels).observe(value)
+
+
+def summary_for(operations) -> SimpleNamespace:
+    """A SimulationSummary stand-in carrying a worker registry snapshot."""
+    registry = MetricsRegistry()
+    apply_ops(registry, operations)
+    return SimpleNamespace(telemetry={"metrics": registry.to_dict()})
+
+
+def canonical(registry: MetricsRegistry) -> str:
+    return json.dumps(registry.to_dict(), sort_keys=True)
+
+
+class TestAggregateProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(ops, max_size=6), st.randoms(use_true_random=False))
+    def test_merge_order_independence(self, chunks, rng):
+        """Shuffling the worker summaries never changes the aggregate."""
+        summaries = [summary_for(chunk) for chunk in chunks]
+        baseline = canonical(aggregate_telemetry(summaries))
+        shuffled = list(summaries)
+        rng.shuffle(shuffled)
+        assert canonical(aggregate_telemetry(shuffled)) == baseline
+
+    @settings(max_examples=50, deadline=None)
+    @given(ops, st.integers(min_value=1, max_value=5))
+    def test_single_process_parity(self, operations, num_workers):
+        """One registry fed every op == the ops split across workers.
+
+        Counters and histograms must match exactly. A gauge's merged
+        ``value`` keeps the max of the chunks' last-set values (per-chunk
+        "last" is arbitrary across processes), so parity for gauges is
+        asserted on the peak.
+        """
+        single = MetricsRegistry()
+        apply_ops(single, operations)
+
+        # Round-robin the same ops across workers, preserving per-series
+        # operation order inside each chunk.
+        chunks = [operations[i::num_workers] for i in range(num_workers)]
+        merged = aggregate_telemetry(summary_for(chunk) for chunk in chunks)
+
+        want = {
+            (r["name"], tuple(sorted(r["labels"].items()))): r
+            for r in single.to_dict()["metrics"]
+        }
+        got = {
+            (r["name"], tuple(sorted(r["labels"].items()))): r
+            for r in merged.to_dict()["metrics"]
+        }
+        assert set(want) == set(got)
+        for key, w in want.items():
+            g = got[key]
+            assert g["type"] == w["type"]
+            if w["type"] in ("counter", "histogram"):
+                assert g == w
+            else:  # gauge: peak survives any split
+                assert g["max"] == w["max"]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["output-outage", "lossy-ingress", "chaos"]),
+                st.integers(min_value=0, max_value=500),
+            ),
+            max_size=12,
+        )
+    )
+    def test_fault_loss_counters_sum_exactly(self, per_worker_losses):
+        """Every worker's dropped-cell count lands in the aggregate."""
+        summaries = []
+        for scenario, dropped in per_worker_losses:
+            registry = MetricsRegistry()
+            registry.counter("faults.cells_dropped", scenario=scenario).inc(dropped)
+            summaries.append(
+                SimpleNamespace(telemetry={"metrics": registry.to_dict()})
+            )
+        merged = aggregate_telemetry(summaries)
+        for scenario in {s for s, _ in per_worker_losses}:
+            want = sum(d for s, d in per_worker_losses if s == scenario)
+            assert (
+                merged.counter("faults.cells_dropped", scenario=scenario).value
+                == want
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(ops, max_size=4))
+    def test_summaries_without_telemetry_are_skipped(self, chunks):
+        """Interleaving bare summaries (telemetry=None) changes nothing."""
+        summaries = [summary_for(chunk) for chunk in chunks]
+        baseline = canonical(aggregate_telemetry(summaries))
+        padded = []
+        for s in summaries:
+            padded += [SimpleNamespace(telemetry=None), s, SimpleNamespace()]
+        assert canonical(aggregate_telemetry(padded)) == baseline

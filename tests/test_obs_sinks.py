@@ -1,0 +1,146 @@
+"""Streaming metric sinks: snapshot flow from the engine, JSONL
+rotation, and mid-flight sweep aggregation."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments import get_figure, run_figure
+from repro.obs import CallbackSink, InMemorySink, JsonlSink, Telemetry
+from repro.sim.runner import run_simulation
+
+TRAFFIC = {"model": "bernoulli", "p": 0.3, "b": 0.3}
+
+
+def _run(tel, **kwargs):
+    return run_simulation(
+        "fifoms", 4, TRAFFIC, num_slots=100, seed=9, telemetry=tel, **kwargs
+    )
+
+
+class TestEngineSnapshots:
+    def test_periodic_plus_final(self):
+        sink = InMemorySink()
+        _run(Telemetry(sinks=[sink], snapshot_every=25))
+        kinds = [s["kind"] for s in sink.snapshots]
+        # slots 25/50/75/100 then the final snapshot
+        assert kinds == ["periodic"] * 4 + ["final"]
+        assert [s["slot"] for s in sink.snapshots] == [25, 50, 75, 100, 100]
+        assert all(s["algorithm"] == "fifoms" for s in sink.snapshots)
+        assert sink.latest["unstable"] is False
+        # counters grow monotonically across snapshots
+        def slots_counter(snap):
+            return next(
+                rec["value"]
+                for rec in snap["metrics"]["metrics"]
+                if rec["name"] == "sim.slots"
+            )
+        values = [slots_counter(s) for s in sink.snapshots]
+        assert values == [25, 50, 75, 100, 100]
+
+    def test_final_only_without_snapshot_every(self):
+        sink = InMemorySink()
+        _run(Telemetry(sinks=[sink]))
+        assert [s["kind"] for s in sink.snapshots] == ["final"]
+
+    def test_no_sinks_means_no_emissions(self):
+        tel = Telemetry(snapshot_every=10)
+        summary = _run(tel)
+        assert summary.telemetry is not None  # instrumented run, no sinks
+
+    def test_fault_ledger_rides_along(self):
+        sink = InMemorySink()
+        _run(
+            Telemetry(sinks=[sink], snapshot_every=50),
+            faults="output-outage",
+        )
+        for snap in sink.snapshots:
+            assert "faults" in snap
+            assert snap["faults"]["slots_advanced"] == snap["slot"]
+        assert sink.latest["faults"]["recovered"] in (True, False)
+
+    def test_callback_sink(self):
+        seen = []
+        _run(Telemetry(sinks=[CallbackSink(seen.append)]))
+        assert len(seen) == 1 and seen[0]["kind"] == "final"
+
+    def test_multiple_sinks_all_receive(self):
+        a, b = InMemorySink(), InMemorySink()
+        _run(Telemetry(sinks=[a, b], snapshot_every=50))
+        assert len(a.snapshots) == len(b.snapshots) == 3
+
+
+class TestJsonlSink:
+    def test_lines_parse_and_close(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        sink = JsonlSink(path)
+        tel = Telemetry(sinks=[sink], snapshot_every=40)
+        _run(tel)
+        tel.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3  # 40, 80, final
+        snaps = [json.loads(line) for line in lines]
+        assert snaps[-1]["kind"] == "final"
+        assert sink.emitted == 3
+
+    def test_rotation_keeps_bounded_generations(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        sink = JsonlSink(path, max_bytes=200, max_files=2)
+        for i in range(50):
+            sink.emit({"kind": "periodic", "slot": i, "metrics": {}})
+        sink.close()
+        rotated = sorted(p.name for p in tmp_path.iterdir())
+        assert rotated == ["m.jsonl", "m.jsonl.1", "m.jsonl.2"]
+        # every surviving file holds intact JSON lines under the cap
+        for p in tmp_path.iterdir():
+            assert p.stat().st_size <= 200
+            for line in p.read_text().splitlines():
+                json.loads(line)
+
+    def test_no_rotation_by_default(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        sink = JsonlSink(path)
+        for i in range(200):
+            sink.emit({"slot": i})
+        sink.close()
+        assert len(list(tmp_path.iterdir())) == 1
+        assert len(path.read_text().splitlines()) == 200
+
+
+class TestSweepSink:
+    def test_run_figure_streams_round_snapshots(self):
+        sink = InMemorySink()
+        result = run_figure(
+            get_figure("fig5"),
+            num_slots=200,
+            seed=3,
+            loads=[0.2, 0.3],
+            algorithms=["fifoms"],
+            workers=1,
+            metric_sink=sink,
+        )
+        assert len(result.all_summaries()) == 2
+        assert len(sink.snapshots) == 1
+        snap = sink.latest
+        assert snap["kind"] == "round"
+        assert snap["round"] == 1
+        assert snap["points_done"] == 2
+        assert snap["points_pending"] == 0
+        slots = next(
+            rec["value"]
+            for rec in snap["metrics"]["metrics"]
+            if rec["name"] == "sim.slots"
+        )
+        assert slots == 400  # merged across both points
+
+    def test_metric_sink_implies_collect_telemetry(self):
+        result = run_figure(
+            get_figure("fig5"),
+            num_slots=100,
+            seed=3,
+            loads=[0.2],
+            algorithms=["fifoms"],
+            workers=1,
+            metric_sink=InMemorySink(),
+        )
+        assert all(s.telemetry is not None for s in result.all_summaries())

@@ -129,6 +129,47 @@ class TestSlotTracer:
         assert rec["backlog"] == 3
 
 
+class TestGzipTrace:
+    def test_gz_path_round_trip(self, tmp_path):
+        """A ``.gz`` sink writes gzip that read_trace_records decodes."""
+        import gzip
+
+        from repro.obs.tracer import read_trace_records
+
+        path = tmp_path / "trace.jsonl.gz"
+        with SlotTracer(path) as tracer:
+            tracer.emit({"slot": 0, "backlog": 3})
+            tracer.emit({"slot": 1, "backlog": 1})
+        raw = path.read_bytes()
+        assert raw[:2] == b"\x1f\x8b"  # gzip magic — actually compressed
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            assert json.loads(fh.readline())["slot"] == 0
+        assert read_trace_records(path) == [
+            {"slot": 0, "backlog": 3},
+            {"slot": 1, "backlog": 1},
+        ]
+
+    def test_reader_accepts_plain_jsonl_too(self, tmp_path):
+        from repro.obs.tracer import read_trace_records
+
+        path = tmp_path / "trace.jsonl"
+        with SlotTracer(path) as tracer:
+            tracer.emit({"slot": 0})
+        assert path.read_bytes()[:1] == b"{"
+        assert read_trace_records(path) == [{"slot": 0}]
+
+    def test_engine_trace_identical_under_gzip(self, tmp_path):
+        """Compression must not change a single byte of the decoded trace."""
+        from repro.obs.tracer import read_trace_records
+
+        plain, gz = tmp_path / "t.jsonl", tmp_path / "t.jsonl.gz"
+        for path in (plain, gz):
+            with SlotTracer(path) as tracer:
+                _tiny_engine(tracer).run()
+        assert read_trace_records(gz) == read_trace_records(plain)
+        assert len(read_trace_records(gz)) == 6
+
+
 class TestNoopTracer:
     def test_stateless_null_object(self):
         assert NoopTracer.__slots__ == ()

@@ -1,0 +1,151 @@
+"""Run-directory dashboard: loading, ASCII and HTML rendering, CLI.
+
+The acceptance path is exercised for real: ``repro-sim run --out-dir``
+writes a run directory, then ``repro-sim report`` renders it both ways
+and the tests assert on the actual content.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.report import (
+    load_run_dir,
+    render_ascii_report,
+    render_html_report,
+)
+
+
+@pytest.fixture(scope="module")
+def run_dir(tmp_path_factory):
+    """A real run directory from the CLI, shared across this module."""
+    out = tmp_path_factory.mktemp("rundir")
+    rc = cli_main([
+        "run", "-a", "fifoms", "-n", "4", "--slots", "300", "--seed", "11",
+        "--extended", "--faults", "output-outage", "--out-dir", str(out),
+    ])
+    assert rc == 0
+    return out
+
+
+class TestLoadRunDir:
+    def test_full_directory(self, run_dir):
+        arts = load_run_dir(run_dir)
+        assert arts.summary["algorithm"] == "fifoms"
+        assert arts.summary["slots_run"] == 300
+        assert arts.metrics["metrics"]  # non-empty series list
+        assert arts.profile["phases"]
+        assert arts.trace_path.name == "trace.jsonl.gz"
+        assert arts.errors == {}
+        assert arts.faults  # output-outage ledger rode along
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_run_dir(tmp_path / "never-ran")
+
+    def test_partial_directory_tolerated(self, tmp_path):
+        (tmp_path / "summary.json").write_text(
+            json.dumps({"algorithm": "islip", "num_ports": 8, "slots_run": 10})
+        )
+        arts = load_run_dir(tmp_path)
+        assert arts.summary["algorithm"] == "islip"
+        assert arts.metrics is None and arts.profile is None
+        assert arts.trace_path is None
+
+    def test_corrupt_artifact_collected_as_error(self, tmp_path):
+        (tmp_path / "metrics.json").write_text("{ not json")
+        arts = load_run_dir(tmp_path)
+        assert arts.metrics is None
+        assert "metrics.json" in arts.errors
+
+
+class TestAsciiReport:
+    def test_full_report_sections(self, run_dir):
+        text = render_ascii_report(load_run_dir(run_dir))
+        assert "run report: fifoms N=4 (300 slots)" in text
+        assert "Summary" in text
+        assert "delivery ratio" in text
+        assert "input delay p99" in text  # --extended percentiles
+        assert "Phase breakdown" in text and "slots/s" in text
+        assert "Scheduler rounds per slot" in text
+        assert "Grants per round" in text
+        assert "Residue cells per slot" in text
+        assert "#" in text  # at least one drawn bar
+        assert "Fault ledger" in text
+        assert "trace.jsonl.gz, 300 slot records" in text
+
+    def test_empty_directory_degrades(self, tmp_path):
+        text = render_ascii_report(load_run_dir(tmp_path))
+        assert "summary.json not found" in text
+        assert "(not profiled)" in text
+        assert "metrics.json not found" in text
+
+    def test_unreadable_artifact_warns(self, tmp_path):
+        (tmp_path / "summary.json").write_text("{ nope")
+        text = render_ascii_report(load_run_dir(tmp_path))
+        assert "warning: summary.json unreadable" in text
+
+    def test_wide_histogram_binned(self, tmp_path):
+        """>20 distinct buckets must coalesce into ranged bars."""
+        buckets = [[v, 1] for v in range(116)]
+        (tmp_path / "metrics.json").write_text(json.dumps({
+            "metrics": [{
+                "name": "kernel.residue_occupancy", "type": "histogram",
+                "labels": {}, "count": 116, "sum": 6670.0,
+                "buckets": buckets,
+            }]
+        }))
+        text = render_ascii_report(load_run_dir(tmp_path))
+        chart = [l for l in text.splitlines() if "#" in l]
+        assert 0 < len(chart) <= 20
+        assert any("-" in l for l in chart)  # ranged "lo-hi" labels
+
+
+class TestHtmlReport:
+    def test_self_contained_page(self, run_dir):
+        page = render_html_report(load_run_dir(run_dir))
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<script" not in page  # static by construction
+        assert 'href="http' not in page and 'src="http' not in page
+        assert "Run report: fifoms N=4, 300 slots" in page
+        assert "<svg" in page  # inline charts
+        assert "Fault ledger" in page
+        assert "300 slot\nrecords" in page or "300 slot records" in page
+
+    def test_empty_directory_degrades(self, tmp_path):
+        page = render_html_report(load_run_dir(tmp_path))
+        assert "summary.json not found" in page
+        assert "not profiled" in page
+
+    def test_values_escaped(self, tmp_path):
+        (tmp_path / "summary.json").write_text(
+            json.dumps({"algorithm": "<script>alert(1)</script>"})
+        )
+        page = render_html_report(load_run_dir(tmp_path))
+        assert "<script>alert" not in page
+        assert "&lt;script&gt;" in page
+
+
+class TestReportCli:
+    def test_ascii_to_stdout(self, run_dir, capsys):
+        rc = cli_main(["report", str(run_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "run report: fifoms" in out
+        assert "Phase breakdown" in out
+
+    def test_html_flag_writes_file(self, run_dir, tmp_path, capsys):
+        html_path = tmp_path / "report.html"
+        rc = cli_main(["report", str(run_dir), "--html", str(html_path)])
+        assert rc == 0
+        page = html_path.read_text()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "Run report: fifoms" in page
+
+    def test_missing_run_dir_exits_two(self, tmp_path, capsys):
+        rc = cli_main(["report", str(tmp_path / "absent")])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err

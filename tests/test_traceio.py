@@ -64,6 +64,58 @@ class TestRoundTrip:
         assert a.cells_delivered == b.cells_delivered
 
 
+class TestGzipRoundTrip:
+    def test_save_load_identity_gz(self, tmp_path):
+        """A ``.gz`` trace file round-trips packet-for-packet."""
+        model = BernoulliMulticastTraffic(8, p=0.4, b=0.3, rng=3)
+        packets = record_trace(model, 50)
+        path = save_trace(tmp_path / "t.jsonl.gz", 8, packets)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # actually gzip on disk
+        num_ports, loaded = load_trace(path)
+        assert num_ports == 8
+        assert len(loaded) == len(packets)
+
+    def test_gz_and_plain_decode_identically(self, tmp_path):
+        model = BernoulliMulticastTraffic(4, p=0.5, b=0.5, rng=7)
+        packets = record_trace(model, 30)
+        plain = save_trace(tmp_path / "t.jsonl", 4, packets)
+        gz = save_trace(tmp_path / "t.jsonl.gz", 4, packets)
+
+        def key(trace):
+            num_ports, pkts = trace
+            return num_ports, [
+                (p.arrival_slot, p.input_port, p.destinations, p.priority)
+                for p in pkts
+            ]
+
+        assert key(load_trace(plain)) == key(load_trace(gz))
+
+    def test_gz_replay_as_traffic_model(self, tmp_path):
+        pkts = [Packet(0, (1, 2), 0), Packet(1, (0,), 1)]
+        path = save_trace(tmp_path / "m.jsonl.gz", 4, pkts)
+        traffic = load_trace_traffic(path)
+        assert traffic.next_slot()[0].destinations == (1, 2)
+
+
+class TestOpenText:
+    def test_mode_validation(self, tmp_path):
+        from repro.utils.fileio import open_text
+
+        with pytest.raises(ValueError, match="mode"):
+            open_text(tmp_path / "x.jsonl", "rb")
+
+    def test_append_mode_gz(self, tmp_path):
+        from repro.utils.fileio import is_gzip_path, open_text
+
+        path = tmp_path / "log.jsonl.gz"
+        assert is_gzip_path(path) and not is_gzip_path(tmp_path / "log.jsonl")
+        for chunk in ("one\n", "two\n"):
+            with open_text(path, "a") as fh:
+                fh.write(chunk)
+        with open_text(path) as fh:
+            assert fh.read() == "one\ntwo\n"
+
+
 class TestErrorHandling:
     def test_missing_header(self, tmp_path):
         p = tmp_path / "bad.jsonl"
