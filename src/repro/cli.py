@@ -17,8 +17,9 @@ Subcommands::
 per slot), ``--metrics FILE.json`` (metrics-registry dump), ``--progress``
 (heartbeat with slots/sec and backlog) and ``--extended`` (delay
 percentiles + fanout-splitting stats in the output) — plus ``--faults
-SCENARIO`` for deterministic fault injection and ``--out-dir DIR`` to
-persist a full run directory that ``report`` renders. ``figure`` grows the sweep
+SCENARIO`` for deterministic fault injection, ``--sanitize`` for the
+runtime invariant sanitizer (see docs/sanitizers.md) and ``--out-dir
+DIR`` to persist a full run directory that ``report`` renders. ``figure`` grows the sweep
 robustness knobs ``--point-timeout``, ``--point-retries``, ``--keep-going``
 and ``--faults``.
 
@@ -103,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", default="object", choices=sorted(available_backends()),
         help="kernel backend for the queue state / scheduling hot path "
         "(bit-identical results; 'vectorized' needs scheduler support)",
+    )
+    run_p.add_argument(
+        "--sanitize", action="store_true",
+        help="run the runtime sanitizer tier (conservation, matching "
+        "validity, FIFO order, kernel cross-checks; REPRO_SANITIZE=hard "
+        "fails fast); exit 2 on any violation",
     )
     run_p.add_argument(
         "--out-dir", default=None, metavar="DIR",
@@ -327,6 +334,11 @@ def _run_command(args: argparse.Namespace) -> int:
         telemetry = Telemetry(
             tracer=tracer, progress=progress, profile=out_dir is not None
         )
+    sanitizer = None
+    if args.sanitize:
+        from repro.sanitize import SanitizerSuite, sanitize_mode
+
+        sanitizer = SanitizerSuite(hard_fail=(sanitize_mode() == "hard"))
     try:
         summary = run_simulation(
             args.algorithm,
@@ -338,10 +350,25 @@ def _run_command(args: argparse.Namespace) -> int:
             telemetry=telemetry,
             faults=args.faults,
             backend=args.backend,
+            sanitize=sanitizer,
         )
     finally:
         if tracer is not None:
             tracer.close()
+        if sanitizer is not None and out_dir is not None:
+            import json as _json
+
+            report_path = out_dir / "sanitizer.json"
+            report_path.write_text(
+                _json.dumps(sanitizer.report(), indent=2) + "\n"
+            )
+    if sanitizer is not None:
+        print(
+            f"sanitizer: {sanitizer.slots_checked} slots checked, "
+            f"{sanitizer.deep_passes} deep passes, "
+            f"{len(sanitizer.violations)} violation(s)",
+            file=sys.stderr,
+        )
     if args.metrics:
         telemetry.registry.write_json(args.metrics)
         print(f"wrote {args.metrics}", file=sys.stderr)

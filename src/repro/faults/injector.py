@@ -298,6 +298,33 @@ class FaultInjector:
             ends.extend(e for e in xp_ends if e is not None)
         return max(ends) if ends else None
 
+    def ledger(self) -> dict[str, int]:
+        """The loss counters alone — the sanitizer's conservation anchor.
+
+        Every loss this injector caused is accounted here, so a sanitized
+        run can require the observed drop/grant-loss stream to cover the
+        ledger exactly (see
+        :class:`repro.sanitize.ConservationChecker`).
+        """
+        return {
+            "grants_lost": self.grants_lost,
+            "grants_blocked": self.grants_blocked,
+            "packets_dropped": self.packets_dropped,
+            "cells_dropped": self.cells_dropped,
+        }
+
+    def rng_streams(self) -> dict[str, object]:
+        """The injector's named fault streams, for RNG-isolation checks.
+
+        Keys mirror the ``RngStreams`` names the streams were derived
+        from; the sanitizer trips when any of them alias another
+        component's stream.
+        """
+        return {
+            "faults.grant_loss": self._grant_rng,
+            "faults.cell_drop": self._drop_rng,
+        }
+
     def report(self) -> dict[str, object]:
         """The plain-dict loss/outage/recovery ledger for the summary.
 
@@ -311,10 +338,7 @@ class FaultInjector:
             "outage_slots": self.outage_slots,
             "crosspoint_fault_slots": self.crosspoint_fault_slots,
             "degraded_slots": self.degraded_slots,
-            "grants_lost": self.grants_lost,
-            "grants_blocked": self.grants_blocked,
-            "packets_dropped": self.packets_dropped,
-            "cells_dropped": self.cells_dropped,
+            **self.ledger(),
             "recovery_slot": recovery,
             "recovered": recovery is not None and last_slot >= recovery,
         }

@@ -28,15 +28,16 @@ is the harness that proves it.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Callable
-
-import numpy as np
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.matching import ScheduleDecision
 from repro.errors import ConfigurationError
 from repro.packet import Packet
 
 if TYPE_CHECKING:  # avoid a runtime repro.switch <-> repro.kernel cycle
+    import numpy as np
+    import numpy.typing as npt
+
     from repro.switch.base import SlotResult
 
 __all__ = [
@@ -65,7 +66,7 @@ class KernelBackend(ABC):
     @abstractmethod
     def schedule(
         self,
-        scheduler,
+        scheduler: Any,
         *,
         input_free: list[bool] | None = None,
         output_free: list[bool] | None = None,
@@ -86,7 +87,9 @@ class KernelBackend(ABC):
         slot's :class:`~repro.packet.Delivery` records plus the
         ``splits`` / ``reclaimed`` counts to ``result``."""
 
-    def driver_row(self, decision: ScheduleDecision) -> "np.ndarray | None":
+    def driver_row(
+        self, decision: ScheduleDecision
+    ) -> npt.NDArray[np.int64] | None:
         """Optional fast path for crossbar setup: a per-output driver
         vector (int64, -1 = idle) equivalent to ``decision``, or None to
         use :meth:`~repro.fabric.crossbar.MulticastCrossbar.configure`."""

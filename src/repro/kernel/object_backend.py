@@ -15,7 +15,7 @@ match it bit for bit.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.core.matching import ScheduleDecision
 from repro.core.preprocess import preprocess_packet
@@ -63,17 +63,20 @@ class ObjectBackend(KernelBackend):
 
     def schedule(
         self,
-        scheduler,
+        scheduler: Any,
         *,
         input_free: list[bool] | None = None,
         output_free: list[bool] | None = None,
     ) -> ScheduleDecision:
         """Hand the port objects to the scheduler's object-model entry."""
+        decision: ScheduleDecision
         if input_free is None and output_free is None:
-            return scheduler.schedule(self.ports)
-        return scheduler.schedule(
-            self.ports, input_free=input_free, output_free=output_free
-        )
+            decision = scheduler.schedule(self.ports)
+        else:
+            decision = scheduler.schedule(
+                self.ports, input_free=input_free, output_free=output_free
+            )
+        return decision
 
     def commit(
         self, decision: ScheduleDecision, result: "SlotResult", slot: int

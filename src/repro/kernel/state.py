@@ -35,6 +35,7 @@ per-cell objects are ever allocated.
 from __future__ import annotations
 
 from collections import deque
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -49,7 +50,7 @@ __all__ = ["SwitchState", "soa_snapshot"]
 EMPTY_TS = np.inf
 
 
-def soa_snapshot(ports) -> dict[str, np.ndarray]:
+def soa_snapshot(ports: Sequence[Any]) -> dict[str, object]:
     """Struct-of-arrays view of an object-model port row.
 
     ``ports`` is a sequence of
@@ -64,7 +65,7 @@ def soa_snapshot(ports) -> dict[str, np.ndarray]:
     hol_ts = np.full((n, n), EMPTY_TS, dtype=np.float64)
     occupancy = np.zeros((n, n), dtype=np.int64)
     live = np.zeros(n, dtype=np.int64)
-    fanouts = []
+    fanouts: list[Any] = []
     for i, port in enumerate(ports):
         hol_ts[i] = port.hol_timestamp_row()
         occupancy[i] = port.occupancy_row()

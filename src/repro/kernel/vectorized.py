@@ -17,7 +17,7 @@ this across the scheduler × traffic × faults grid.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -28,6 +28,8 @@ from repro.kernel.state import SwitchState
 from repro.packet import Delivery, Packet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy.typing as npt
+
     from repro.switch.base import SlotResult
 
 __all__ = ["VectorizedBackend"]
@@ -59,7 +61,7 @@ class VectorizedBackend(KernelBackend):
 
     def schedule(
         self,
-        scheduler,
+        scheduler: Any,
         *,
         input_free: list[bool] | None = None,
         output_free: list[bool] | None = None,
@@ -72,9 +74,10 @@ class VectorizedBackend(KernelBackend):
                 f"has no schedule_state entry point; it cannot drive the "
                 f"'vectorized' kernel backend"
             )
-        return schedule_state(
+        decision: ScheduleDecision = schedule_state(
             self.state, input_free=input_free, output_free=output_free
         )
+        return decision
 
     def commit(
         self, decision: ScheduleDecision, result: "SlotResult", slot: int
@@ -94,7 +97,7 @@ class VectorizedBackend(KernelBackend):
             else:
                 result.splits += 1
 
-    def driver_row(self, decision: ScheduleDecision) -> np.ndarray:
+    def driver_row(self, decision: ScheduleDecision) -> npt.NDArray[np.int64]:
         """Per-output driver vector (int64, -1 = idle) for the crossbar's
         array configuration path."""
         row = [-1] * self.num_ports

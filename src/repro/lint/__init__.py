@@ -24,6 +24,7 @@ from repro.lint.base import (
     Rule,
     Severity,
     dotted_name,
+    finding_sort_key,
     parse_suppressions,
 )
 from repro.lint.baseline import Baseline, write_baseline
@@ -47,6 +48,7 @@ __all__ = [
     "Project",
     "Rule",
     "dotted_name",
+    "finding_sort_key",
     "parse_suppressions",
     "PARSE_RULE_ID",
     "LintReport",

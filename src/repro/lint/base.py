@@ -39,6 +39,7 @@ __all__ = [
     "Project",
     "Rule",
     "dotted_name",
+    "finding_sort_key",
     "parse_suppressions",
 ]
 
@@ -78,6 +79,18 @@ class Finding:
             f"{self.path}:{self.line}: {self.rule_id} "
             f"[{self.severity.value}] {self.message}"
         )
+
+
+def finding_sort_key(finding: Finding) -> tuple[str, int, str, str]:
+    """The canonical finding order: path, line, rule id, message.
+
+    Every consumer (text report, JSON, SARIF, baselines) sorts by this
+    one key, so lint output is byte-stable across runs regardless of
+    rule execution order, cache hits, or dict iteration — diffable in
+    CI and safe to snapshot. The message tiebreaker matters when one
+    rule fires twice on one line (e.g. two bad arguments in one call).
+    """
+    return (finding.path, finding.line, finding.rule_id, finding.message)
 
 
 def parse_suppressions(source: str) -> frozenset[str]:

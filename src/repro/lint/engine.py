@@ -28,7 +28,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from repro.lint.base import Finding, ModuleInfo, Project, Rule, Severity
+from repro.lint.base import (
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    Severity,
+    finding_sort_key,
+)
 from repro.lint.cache import AnalysisCache, file_digest, lint_package_signature
 from repro.lint.rules_determinism import NoUnsortedSetIterationRule, NoWallClockRule
 from repro.lint.rules_errors import ExceptHygieneRule
@@ -48,6 +55,11 @@ from repro.lint.rules_rng import (
     NoLegacyNumpyRandomRule,
     NoStdlibRandomRule,
     NoUnseededGeneratorRule,
+)
+from repro.lint.rules_sanitize import (
+    InvariantCoverageRule,
+    StateSeamOwnershipRule,
+    SubmitThenMutateRule,
 )
 from repro.lint.rules_structure import (
     KernelHotPathImportRule,
@@ -93,6 +105,9 @@ def default_rules() -> tuple[Rule, ...]:
         RegistryBackendPairingRule(),
         KernelClosurePurityRule(),
         ExceptHygieneRule(),
+        StateSeamOwnershipRule(),
+        InvariantCoverageRule(),
+        SubmitThenMutateRule(),
     )
 
 
@@ -318,7 +333,7 @@ def run_lint(
     if cache is not None:
         cache.save()
 
-    findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    findings.sort(key=finding_sort_key)
 
     baselined = 0
     if baseline is not None:

@@ -10,15 +10,20 @@ from __future__ import annotations
 import json
 from collections.abc import Iterable
 
-from repro.lint.base import Rule
+from repro.lint.base import Rule, finding_sort_key
 from repro.lint.engine import LintReport
 
 __all__ = ["format_text", "format_json", "format_rule_catalog"]
 
 
 def format_text(report: LintReport) -> str:
-    """One line per finding plus a summary tail line."""
-    lines = [str(f) for f in report.findings]
+    """One line per finding plus a summary tail line.
+
+    Findings are re-sorted by the canonical key on the way out, so the
+    listing stays byte-stable even for reports assembled by hand (the
+    engine already sorts its own).
+    """
+    lines = [str(f) for f in sorted(report.findings, key=finding_sort_key)]
     noun = "file" if report.files_scanned == 1 else "files"
     extras = []
     reused = report.files_scanned - report.files_reanalyzed

@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 from collections.abc import Iterable
 
-from repro.lint.base import Rule, Severity
+from repro.lint.base import Rule, Severity, finding_sort_key
 from repro.lint.engine import PARSE_RULE_ID, LintReport
 
 __all__ = ["sarif_document", "format_sarif"]
@@ -81,7 +81,9 @@ def sarif_document(
     descriptors.append(_parse_rule_descriptor())
     index = {d["id"]: i for i, d in enumerate(descriptors)}
     results: list[dict[str, object]] = []
-    for finding in report.findings:
+    # Canonical order on the way out: SARIF uploads diff cleanly between
+    # runs only when result order is byte-stable.
+    for finding in sorted(report.findings, key=finding_sort_key):
         result: dict[str, object] = {
             "ruleId": finding.rule_id,
             "level": _level(finding.severity),

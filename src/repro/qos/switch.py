@@ -38,6 +38,9 @@ class PriorityMulticastVOQSwitch(BaseSwitch):
     #: Strict priority serves a newer premium cell before an older
     #: best-effort cell: FIFO holds within a class, not across classes.
     fifo_per_pair = False
+    #: Each class runs its own matching over the leftover ports, so one
+    #: input may serve distinct cells from different classes in a slot.
+    matching_discipline = "output"
 
     def __init__(
         self,

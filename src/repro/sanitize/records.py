@@ -1,0 +1,59 @@
+"""Structured violation records and the sanitizer failure type.
+
+A :class:`Violation` is the unit of sanitizer output: one checker, one
+slot, one broken invariant, plus enough context to reproduce the check
+by hand. Records are frozen (safe to collect, hash and compare in
+tests) and serialize through :meth:`Violation.to_dict` into the same
+JSON-friendly shape the :mod:`repro.obs` sinks transport — a sanitizer
+record in a metric stream is distinguished by ``kind == "sanitizer"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+__all__ = ["SanitizerError", "Violation"]
+
+
+class SanitizerError(ReproError):
+    """A runtime sanitizer checker caught an invariant violation.
+
+    Raised immediately in hard-fail mode, or at end of run when any
+    violation was recorded — a sanitized run never "passes" with a
+    non-empty violation list.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One invariant violation caught by one checker at one slot."""
+
+    #: Catalog name of the checker that fired (``"conservation"``, ...).
+    checker: str
+    #: Slot index at which the violation was observed.
+    slot: int
+    #: Human-readable statement of the broken invariant.
+    message: str
+    #: Algorithm label of the run (mirrors the summary/telemetry labels).
+    algorithm: str = "unknown"
+    #: Key/value context pairs (counter values, port indices); stored as
+    #: a tuple of pairs so the record stays hashable.
+    context: tuple[tuple[str, object], ...] = ()
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly record as emitted through the obs sinks."""
+        return {
+            "kind": "sanitizer",
+            "checker": self.checker,
+            "slot": self.slot,
+            "algorithm": self.algorithm,
+            "message": self.message,
+            "context": dict(self.context),
+        }
+
+    def __str__(self) -> str:
+        ctx = ", ".join(f"{k}={v!r}" for k, v in self.context)
+        suffix = f" ({ctx})" if ctx else ""
+        return f"[{self.checker}] slot {self.slot}: {self.message}{suffix}"

@@ -14,6 +14,13 @@ twin of the loop updates the metrics registry every slot, emits one JSONL
 trace record per slot when tracing is enabled, attributes wall-clock to
 the four phases when profiling is enabled, and prints heartbeat lines
 through the progress reporter.
+
+Sanitizing: with ``sanitize=True`` / ``REPRO_SANITIZE=1`` a
+:class:`~repro.sanitize.SanitizerSuite` checks conservation, matching
+validity, FIFO order and the kernel seam on every slot. Like telemetry,
+the sanitizer gets a twin loop (:meth:`SimulationEngine._run_sanitized`)
+so the plain path stays byte-identical and call-free when it is off —
+the same guard test discipline pins both tiers.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from repro.errors import ConfigurationError, SimulationError, UnstableSimulation
 from repro.obs.profiler import clock_ns
 from repro.obs.telemetry import Telemetry
 from repro.obs.tracer import build_slot_record
+from repro.sanitize import SanitizerSuite, resolve_sanitizer
 from repro.sim.config import SimulationConfig
 from repro.sim.stability import StabilityMonitor
 from repro.stats.collector import StatsCollector
@@ -45,6 +53,7 @@ class SimulationEngine:
         algorithm_name: str | None = None,
         telemetry: Telemetry | None = None,
         faults: object | None = None,
+        sanitize: SanitizerSuite | bool | None = None,
     ) -> None:
         if switch.num_ports != traffic.num_ports:
             raise SimulationError(
@@ -76,6 +85,10 @@ class SimulationEngine:
         #: bit-identical.
         self.backend = getattr(switch, "backend", "object")
         self.telemetry = telemetry
+        #: Runtime sanitizer suite, or None. ``sanitize=None`` (default)
+        #: consults ``$REPRO_SANITIZE`` so an entire test suite can run
+        #: sanitized without touching call sites; False forces it off.
+        self.sanitizer = resolve_sanitizer(sanitize)
         self.collector = StatsCollector(
             switch.num_ports,
             self.config.warmup_slots,
@@ -90,10 +103,20 @@ class SimulationEngine:
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationSummary:
         """Execute the configured number of slots (or stop at instability)."""
-        if self.telemetry is None:
-            unstable = self._run_plain()
-        else:
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.attach(
+                self.switch,
+                traffic=self.traffic,
+                injector=self.faults,
+                algorithm=self.algorithm_name,
+            )
+        if self.telemetry is not None:
             unstable = self._run_instrumented()
+        elif sanitizer is not None:
+            unstable = self._run_sanitized()
+        else:
+            unstable = self._run_plain()
 
         # Final conservation audit: everything offered is either delivered
         # or still buffered; the stats and the switch must agree.
@@ -104,6 +127,11 @@ class SimulationEngine:
                 f"conservation violated: stats see {pending} pending cells, "
                 f"switch reports backlog {backlog}"
             )
+        # A sanitized run fails here (after the full violation list is
+        # recorded) rather than reporting success — hard-fail mode has
+        # already raised mid-loop at the first violation instead.
+        if sanitizer is not None:
+            sanitizer.finish()
         if unstable and self.config.raise_on_unstable:
             raise UnstableSimulationError(
                 f"{self.algorithm_name}: {self.monitor.reason} "
@@ -128,6 +156,41 @@ class SimulationEngine:
             arrivals = traffic.next_slot()
             result = switch.step(arrivals, slot)
             collector.on_slot(slot, arrivals, result, switch.queue_sizes())
+            self.slots_run = slot + 1
+            if check_every and (slot + 1) % check_every == 0:
+                switch.check_invariants()
+            if window and (slot + 1) % window == 0:
+                if self._observe_stability(injector, switch.total_backlog()):
+                    return True
+        return False
+
+    def _run_sanitized(self) -> bool:
+        """Sanitizer twin of :meth:`_run_plain` (telemetry off).
+
+        A separate loop for the same reason :meth:`_run_instrumented`
+        is one: the plain hot path must not pay even a per-slot ``if``
+        for a tier that is off by default. The suite runs its cheap
+        checkers after every stepped slot and its deep kernel
+        cross-checks on its own cadence; in hard-fail mode a violation
+        raises from inside :meth:`~repro.sanitize.SanitizerSuite.on_slot`.
+        """
+        cfg = self.config
+        switch = self.switch
+        traffic = self.traffic
+        collector = self.collector
+        window = cfg.stability_window
+        check_every = cfg.check_invariants_every
+        injector = self.faults
+        sanitizer = self.sanitizer
+        assert sanitizer is not None
+
+        for slot in range(cfg.num_slots):
+            if injector is not None:
+                injector.advance(slot)
+            arrivals = traffic.next_slot()
+            result = switch.step(arrivals, slot)
+            collector.on_slot(slot, arrivals, result, switch.queue_sizes())
+            sanitizer.on_slot(slot, arrivals, result)
             self.slots_run = slot + 1
             if check_every and (slot + 1) % check_every == 0:
                 switch.check_invariants()
@@ -164,6 +227,7 @@ class SimulationEngine:
         window = cfg.stability_window
         check_every = cfg.check_invariants_every
         injector = self.faults
+        sanitizer = self.sanitizer
         unstable = False
 
         tel = self.telemetry
@@ -234,6 +298,8 @@ class SimulationEngine:
                 arrivals = traffic.next_slot()
                 result = switch.step(arrivals, slot)
                 collector.on_slot(slot, arrivals, result, switch.queue_sizes())
+            if sanitizer is not None:
+                sanitizer.on_slot(slot, arrivals, result)
             self.slots_run = slot + 1
 
             packets = cells = 0

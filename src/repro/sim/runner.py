@@ -80,6 +80,7 @@ def run_simulation(
     collect_telemetry: bool = False,
     faults: object | None = None,
     backend: str | None = None,
+    sanitize: object | None = None,
     **switch_kwargs: Any,
 ) -> SimulationSummary:
     """Build switch + traffic + engine from plain values and run.
@@ -106,6 +107,11 @@ def run_simulation(
     default is the reference ``"object"`` model. Both backends produce
     bit-identical summaries for the schedulers that support both
     (``repro.kernel.equivalence`` enforces this).
+
+    Sanitizing: ``sanitize`` forwards to the engine — ``True`` / a
+    prebuilt :class:`~repro.sanitize.SanitizerSuite` enables the runtime
+    sanitizer tier, ``False`` forces it off, and the default ``None``
+    defers to ``$REPRO_SANITIZE`` (see :mod:`repro.sanitize`).
     """
     if telemetry is None and collect_telemetry:
         telemetry = Telemetry(profile=True)
@@ -147,6 +153,6 @@ def run_simulation(
             )
     engine = SimulationEngine(
         switch, traffic, cfg, seed=seed, algorithm_name=algorithm,
-        telemetry=telemetry, faults=injector,
+        telemetry=telemetry, faults=injector, sanitize=sanitize,
     )
     return engine.run()

@@ -73,6 +73,17 @@ class BaseSwitch(abc.ABC):
     #: suites skip the cross-class FIFO check for them.
     fifo_per_pair: bool = True
 
+    #: What the per-slot delivery set is allowed to look like, consumed by
+    #: the runtime sanitizer's matching-validity checker
+    #: (:mod:`repro.sanitize`). ``"crossbar"`` means the deliveries of one
+    #: slot form a multicast crossbar matching: at most one cell per
+    #: output AND all of one input's deliveries carry the same data cell.
+    #: Architectures with internal buffering between the matching and the
+    #: output line (CIOQ/CICQ/output-queued) or with several independent
+    #: per-slot matchings (ESLIP's multicast+unicast mix, per-class QoS)
+    #: declare ``"output"`` — only the one-cell-per-output-line half holds.
+    matching_discipline: str = "crossbar"
+
     #: Kernel backend driving the queue state. Architectures that accept a
     #: ``backend=`` kwarg overwrite this per instance; everything else is
     #: implicitly the per-cell object model.
@@ -198,7 +209,13 @@ class BaseSwitch(abc.ABC):
         """Total pending (packet, destination) pairs still to deliver."""
 
     def check_invariants(self) -> None:
-        """Optional deep consistency check; overridden where meaningful."""
+        """Optional deep consistency check; overridden where meaningful.
+
+        Called by the engine every ``check_invariants_every`` slots, by
+        the exhaustive verifier every slot, and by the runtime
+        sanitizer's deep passes (:mod:`repro.sanitize`), which convert a
+        raise into a structured violation record instead of a crash.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -34,6 +34,10 @@ class BufferedCrossbarSwitch(BaseSwitch):
     """N×N buffered crossbar with per-crosspoint FIFOs of depth ``xb``."""
 
     name = "cicq"
+    #: Deliveries are recorded when the output pulls from its crosspoint
+    #: buffers, decoupled from the input-side matching — only the
+    #: one-cell-per-output half of the crossbar discipline holds.
+    matching_discipline = "output"
 
     def __init__(self, num_ports: int, *, crosspoint_depth: int = 1) -> None:
         super().__init__(num_ports)

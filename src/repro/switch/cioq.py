@@ -35,6 +35,10 @@ class CIOQSwitch(BaseSwitch):
     """N×N CIOQ switch: VOQ inputs, FIFO outputs, speedup-S fabric."""
 
     name = "cioq"
+    #: Deliveries come off the output FIFOs, one per line per slot; the
+    #: speedup-S fabric phases behind them move up to S distinct cells
+    #: from one input, so the per-input single-cell half does not hold.
+    matching_discipline = "output"
 
     def __init__(
         self,

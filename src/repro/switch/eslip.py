@@ -58,6 +58,10 @@ class ESLIPSwitch(BaseSwitch):
     #: Multicast cells outrank older unicast cells at the same input:
     #: FIFO holds within each class, not across them.
     fifo_per_pair = False
+    #: One slot merges a multicast matching and a unicast matching on the
+    #: leftover ports, so an input may legitimately send its multicast
+    #: cell AND a unicast cell in the same slot.
+    matching_discipline = "output"
 
     def __init__(self, num_ports: int, *, max_iterations: int | None = None) -> None:
         super().__init__(num_ports)

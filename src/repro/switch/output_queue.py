@@ -26,6 +26,9 @@ class OutputQueuedSwitch(BaseSwitch):
     """N×N output-queued switch, FIFO per output, speedup N emulated."""
 
     name = "oqfifo"
+    #: No input-side matching at all (speedup-N emulation): each output
+    #: serves its own FIFO, so only the per-output-line bound applies.
+    matching_discipline = "output"
 
     def __init__(self, num_ports: int) -> None:
         super().__init__(num_ports)

@@ -95,3 +95,17 @@ class TestGrid:
         assert main(["--ports", "4", "--slots", "200"]) == 0
         out = capsys.readouterr().out
         assert "all 7 cases bit-identical" in out
+
+
+class TestSanitizedGrid:
+    def test_full_grid_under_hard_sanitizer(self, monkeypatch):
+        """The whole 7-case grid, both backends, with the runtime
+        sanitizer in fail-fast mode: the engine resolves the suite from
+        the environment, so any invariant violation on either backend
+        raises SanitizerError out of run_case. Bit-exactness AND
+        invariant-cleanliness in one sweep."""
+        monkeypatch.setenv("REPRO_SANITIZE", "hard")
+        for case in default_grid():
+            report = run_case(case, num_ports=4, num_slots=300)
+            assert report.ok, case.label
+            assert report.slots_compared == 300
