@@ -172,7 +172,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_t.add_argument("--seed", type=int, default=0)
 
     camp_p = sub.add_parser(
-        "campaign", help="regenerate several figures into one Markdown report"
+        "campaign",
+        help="regenerate several figures into one Markdown report "
+        "(add run/resume/status for the durable, checkpointed runner)",
     )
     camp_p.add_argument(
         "--figures", nargs="*", default=None,
@@ -183,6 +185,59 @@ def build_parser() -> argparse.ArgumentParser:
     camp_p.add_argument("--workers", type=int, default=None)
     camp_p.add_argument("--out", default="REPORT.md", help="report path")
     camp_p.add_argument("--csv-dir", default=None)
+
+    # Durable campaign runner (checkpointed store + resumable supervisor).
+    # The flat `campaign --figures ...` form above stays as the one-shot
+    # in-memory path; these sub-subcommands add the journal-backed one.
+    camp_sub = camp_p.add_subparsers(
+        dest="campaign_command", metavar="{run,resume,status}"
+    )
+
+    def _add_campaign_exec_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=None,
+                       help="process-pool size (default: serial heuristics)")
+        p.add_argument("--point-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-point wall-clock watchdog (pool mode)")
+        p.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                       help="attempts per point before journaling a failure")
+        p.add_argument("--backoff-base", type=float, default=0.5,
+                       metavar="SECONDS", help="retry backoff base delay")
+        p.add_argument("--backoff-cap", type=float, default=30.0,
+                       metavar="SECONDS", help="retry backoff ceiling")
+        p.add_argument("--max-points", type=int, default=None, metavar="N",
+                       help="stop (resumably, exit 3) after N newly "
+                       "executed points — chaos drills and smoke runs")
+        p.add_argument("--metrics", default=None, metavar="FILE.jsonl",
+                       help="stream campaign.* progress snapshots as JSONL")
+
+    crun_p = camp_sub.add_parser(
+        "run", help="run a durable campaign (idempotent: re-running a "
+        "matching store resumes it)",
+    )
+    crun_p.add_argument("store_dir", help="campaign store directory")
+    crun_p.add_argument(
+        "--figures", nargs="*", default=None,
+        help="figure ids (default: the five paper figures)",
+    )
+    crun_p.add_argument("--slots", type=int, default=30_000)
+    crun_p.add_argument("--seed", type=int, default=2004)
+    _add_campaign_exec_args(crun_p)
+
+    cres_p = camp_sub.add_parser(
+        "resume", help="resume an interrupted campaign from its journal "
+        "(figures/slots/seed come from the stored manifest)",
+    )
+    cres_p.add_argument("store_dir", help="campaign store directory")
+    _add_campaign_exec_args(cres_p)
+
+    cstat_p = camp_sub.add_parser(
+        "status", help="inspect a campaign store without executing anything"
+    )
+    cstat_p.add_argument("store_dir", help="campaign store directory")
+    cstat_p.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
 
     rep_p = sub.add_parser(
         "report", help="render a run directory as an ASCII dashboard"
@@ -358,9 +413,11 @@ def _run_command(args: argparse.Namespace) -> int:
         if sanitizer is not None and out_dir is not None:
             import json as _json
 
-            report_path = out_dir / "sanitizer.json"
-            report_path.write_text(
-                _json.dumps(sanitizer.report(), indent=2) + "\n"
+            from repro.utils.fileio import atomic_write_text
+
+            atomic_write_text(
+                out_dir / "sanitizer.json",
+                _json.dumps(sanitizer.report(), indent=2) + "\n",
             )
     if sanitizer is not None:
         print(
@@ -417,13 +474,12 @@ def _profile_command(args: argparse.Namespace) -> int:
 
 
 def _report_command(args: argparse.Namespace) -> int:
-    from pathlib import Path
-
     from repro.report.dashboard import (
         load_run_dir,
         render_ascii_report,
         render_html_report,
     )
+    from repro.utils.fileio import atomic_write_text
 
     try:
         arts = load_run_dir(args.run_dir)
@@ -432,7 +488,7 @@ def _report_command(args: argparse.Namespace) -> int:
         return 2
     print(render_ascii_report(arts), end="")
     if args.html:
-        Path(args.html).write_text(render_html_report(arts))
+        atomic_write_text(args.html, render_html_report(arts))
         print(f"wrote {args.html}", file=sys.stderr)
     return 0
 
@@ -457,8 +513,6 @@ def _bench_check_command(args: argparse.Namespace) -> int:
 
 
 def _lint_command(args: argparse.Namespace) -> int:
-    from pathlib import Path
-
     from repro.lint import (
         Baseline,
         default_rules,
@@ -496,10 +550,131 @@ def _lint_command(args: argparse.Namespace) -> int:
         if args.sarif == "-":
             print(sarif)
         else:
-            Path(args.sarif).write_text(sarif + "\n")
+            from repro.utils.fileio import atomic_write_text
+
+            atomic_write_text(args.sarif, sarif + "\n")
             print(f"wrote {args.sarif}", file=sys.stderr)
     print(format_json(report) if args.json else format_text(report))
     return report.exit_code(strict=args.strict)
+
+
+def _campaign_command(args: argparse.Namespace) -> int:
+    """All four campaign forms: legacy one-shot plus run/resume/status.
+
+    Exit codes: 0 complete, 1 complete-with-failed-points, 2 usage/store
+    errors (the generic ``ReproError`` path in :func:`main`), 3
+    interrupted-but-resumable (SIGINT/SIGTERM or ``--max-points``).
+    """
+    from repro.experiments.campaign import (
+        PAPER_FIGURES,
+        render_markdown_report,
+        run_campaign,
+    )
+
+    cmd = getattr(args, "campaign_command", None)
+    if cmd is None:
+        # Legacy one-shot path: in-memory sweep, no journal, no resume.
+        from repro.utils.fileio import atomic_write_text
+
+        campaign = run_campaign(
+            tuple(args.figures) if args.figures else PAPER_FIGURES,
+            num_slots=args.slots,
+            seed=args.seed,
+            workers=args.workers,
+            csv_dir=args.csv_dir,
+        )
+        atomic_write_text(args.out, render_markdown_report(campaign))
+        print(
+            f"wrote {args.out}: {campaign.claims_passed}/"
+            f"{campaign.claims_total} paper claims PASS"
+        )
+        return 0
+
+    import json as _json
+
+    from repro.campaign import (
+        campaign_status,
+        resume_campaign,
+        run_durable_campaign,
+    )
+    from repro.errors import CampaignInterrupted
+
+    if cmd == "status":
+        status = campaign_status(args.store_dir)
+        if args.json:
+            print(_json.dumps(status, indent=2))
+        else:
+            print(f"campaign {status['directory']}: {status['state']}")
+            print(
+                f"  figures: {', '.join(status['figure_ids'])} | "
+                f"slots {status['num_slots']} | seed {status['seed']}"
+            )
+            if not status["signature_current"]:
+                print(
+                    "  note: code changed since this store was written — "
+                    "every point recomputes on resume"
+                )
+            figs = status["figures"]
+            rows = [
+                (
+                    fid,
+                    figs[fid]["done"],
+                    figs[fid]["failed"],
+                    figs[fid]["total"],
+                    figs[fid]["pending"],
+                )
+                for fid in status["figure_ids"]
+            ]
+            print(format_table(
+                ("figure", "done", "failed", "total", "pending"), rows
+            ))
+        return 0
+
+    sink = None
+    if args.metrics:
+        from repro.obs.sinks import JsonlSink
+
+        sink = JsonlSink(args.metrics)
+    try:
+        if cmd == "run":
+            result, stats = run_durable_campaign(
+                args.store_dir,
+                tuple(args.figures) if args.figures else PAPER_FIGURES,
+                num_slots=args.slots,
+                seed=args.seed,
+                workers=args.workers,
+                point_timeout=args.point_timeout,
+                max_attempts=args.max_attempts,
+                backoff_base=args.backoff_base,
+                backoff_cap=args.backoff_cap,
+                metric_sink=sink,
+                max_points=args.max_points,
+            )
+        else:  # resume
+            result, stats = resume_campaign(
+                args.store_dir,
+                workers=args.workers,
+                point_timeout=args.point_timeout,
+                max_attempts=args.max_attempts,
+                backoff_base=args.backoff_base,
+                backoff_cap=args.backoff_cap,
+                metric_sink=sink,
+                max_points=args.max_points,
+            )
+    except CampaignInterrupted as exc:
+        print(f"campaign interrupted: {exc}", file=sys.stderr)
+        return 3
+    finally:
+        if sink is not None:
+            sink.close()
+    failed = stats.points_failed
+    print(
+        f"campaign {args.store_dir}: {result.claims_passed}/"
+        f"{result.claims_total} paper claims PASS "
+        f"({stats.points_executed} executed, {stats.points_skipped} "
+        f"replayed from journal, {failed} failed)"
+    )
+    return 1 if failed else 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -531,27 +706,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "lint":
             return _lint_command(args)
         if args.command == "campaign":
-            from pathlib import Path
-
-            from repro.experiments.campaign import (
-                PAPER_FIGURES,
-                render_markdown_report,
-                run_campaign,
-            )
-
-            campaign = run_campaign(
-                tuple(args.figures) if args.figures else PAPER_FIGURES,
-                num_slots=args.slots,
-                seed=args.seed,
-                workers=args.workers,
-                csv_dir=args.csv_dir,
-            )
-            Path(args.out).write_text(render_markdown_report(campaign))
-            print(
-                f"wrote {args.out}: {campaign.claims_passed}/"
-                f"{campaign.claims_total} paper claims PASS"
-            )
-            return 0
+            return _campaign_command(args)
         if args.command == "verify":
             from repro.verify.exhaustive import exhaustive_verify
 

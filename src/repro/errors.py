@@ -18,6 +18,8 @@ __all__ = [
     "UnstableSimulationError",
     "SweepPointError",
     "EquivalenceError",
+    "CampaignError",
+    "CampaignInterrupted",
 ]
 
 
@@ -68,6 +70,48 @@ class EquivalenceError(SimulationError):
     vectorized backends disagree on any per-slot digest, the final
     summary, or the final queue-state snapshot of a grid case.
     """
+
+
+class CampaignError(ReproError):
+    """A durable campaign store is unusable or inconsistent.
+
+    Raised by :mod:`repro.campaign` when a store directory cannot be
+    created, its manifest disagrees with the requested configuration, or
+    a resume targets a directory that was never a campaign store.
+    """
+
+
+class CampaignInterrupted(CampaignError):
+    """A durable campaign stopped early with a resumable checkpoint.
+
+    Raised by the campaign supervisor after a SIGINT/SIGTERM (or an
+    explicit point budget) once the journal has been flushed: every
+    completed point is on disk and ``repro-sim campaign resume`` will
+    pick up exactly where the run stopped. The CLI maps this to exit
+    code 3 so wrappers can distinguish "resume me" from hard failures.
+    """
+
+    def __init__(
+        self, message: str, *, points_done: int = 0, points_total: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.points_done = points_done
+        self.points_total = points_total
+
+    def __reduce__(self):
+        """Keep the class picklable despite the keyword-only constructor."""
+        return (
+            _rebuild_campaign_interrupted,
+            (self.args[0] if self.args else "", self.points_done, self.points_total),
+        )
+
+
+def _rebuild_campaign_interrupted(
+    message: str, points_done: int, points_total: int
+) -> "CampaignInterrupted":
+    return CampaignInterrupted(
+        message, points_done=points_done, points_total=points_total
+    )
 
 
 class SweepPointError(SimulationError):

@@ -74,13 +74,25 @@ class FailedPoint:
     message: str
     #: Total attempts made (1 + configured retries).
     attempts: int
+    #: Wall-clock seconds spent executing (or waiting on) this point
+    #: across every attempt. In pool mode this is measured from round
+    #: start to failure detection, so it bounds rather than isolates the
+    #: point's own cost.
+    elapsed_s: float = 0.0
+    #: Total seconds of retry backoff charged to this point (zero for
+    #: plain ``run_figure`` sweeps; the durable campaign supervisor
+    #: sleeps seeded exponential backoff between attempt rounds).
+    backoff_s: float = 0.0
 
     def describe(self) -> str:
         """One-line human description for logs and reports."""
+        timing = f", {self.elapsed_s:.1f}s elapsed" if self.elapsed_s else ""
+        if self.backoff_s:
+            timing += f", {self.backoff_s:.1f}s backoff"
         return (
             f"{self.point.algorithm} @ load {self.point.load} "
             f"(seed {self.point.seed}): {self.error_type}: {self.message} "
-            f"[{self.attempts} attempt(s)]"
+            f"[{self.attempts} attempt(s){timing}]"
         )
 
 
@@ -175,23 +187,56 @@ class FigureResult:
 # --------------------------------------------------------------------- #
 # Round execution
 # --------------------------------------------------------------------- #
-def _terminate_pool(pool: ProcessPoolExecutor) -> None:
-    """Best-effort teardown of a pool holding a hung worker.
+def _terminate_pool(pool: ProcessPoolExecutor, *, grace_s: float = 2.0) -> None:
+    """Teardown of a pool holding hung or killed workers — and *reap* them.
 
-    ``shutdown(wait=True)`` would block on the hung task forever, so the
-    workers are terminated directly; private-attribute access is guarded
-    because the interpreter may rearrange internals across versions.
+    ``shutdown(wait=True)`` would block on a hung task forever, so the
+    workers are terminated directly. Termination alone is not enough: a
+    SIGTERM-ignoring or uninterruptibly-wedged worker would linger as an
+    orphan, and a worker that already died leaves a zombie until joined.
+    Each process therefore gets up to ``grace_s`` seconds to exit, then a
+    SIGKILL fallback, then a final join — a resumed campaign never
+    inherits zombie workers from the run it replaced. Private-attribute
+    access is guarded because the interpreter may rearrange internals
+    across versions.
     """
+    from repro.obs.profiler import clock_ns
+
     pool.shutdown(wait=False, cancel_futures=True)
     processes = getattr(pool, "_processes", None)
     if not processes:
         return
-    for proc in list(processes.values()):
+    procs = list(processes.values())
+    for proc in procs:
         try:
             proc.terminate()
         except (OSError, AttributeError, ValueError):
             # Already dead, or not a real process object — nothing to do.
             continue
+    # Poll for exits within the grace window, then escalate to SIGKILL.
+    deadline = clock_ns() + int(grace_s * 1e9)
+    alive = [p for p in procs if _proc_is_alive(p)]
+    while alive and clock_ns() < deadline:
+        for proc in alive:
+            try:
+                proc.join(timeout=0.05)
+            except (OSError, AssertionError, ValueError):
+                continue
+        alive = [p for p in alive if _proc_is_alive(p)]
+    for proc in alive:
+        try:
+            proc.kill()
+            proc.join(timeout=1.0)
+        except (OSError, AttributeError, ValueError):
+            continue
+
+
+def _proc_is_alive(proc: object) -> bool:
+    """Whether a pool worker process still exists (guarded duck-typing)."""
+    try:
+        return bool(proc.is_alive())  # type: ignore[attr-defined]
+    except (OSError, AttributeError, ValueError):
+        return False
 
 
 def _run_round(
@@ -201,31 +246,41 @@ def _run_round(
     point_timeout: float | None,
 ) -> tuple[
     dict[tuple[str, float], SimulationSummary],
-    dict[tuple[str, float], tuple[str, str]],
+    dict[tuple[str, float], tuple[str, str, float]],
 ]:
     """Run one retry round; return (completed, failed) keyed by grid cell.
 
-    Failures are ``(error_type_name, message)`` pairs. With ``workers > 1``
-    each point's result is awaited for at most ``point_timeout`` seconds;
-    a timeout marks the point failed and tears the pool down (the hung
-    worker cannot be cancelled cooperatively). The serial path cannot
-    preempt a hung simulation, so ``point_timeout`` is a pool-only guard.
+    Failures are ``(error_type_name, message, elapsed_s)`` triples; the
+    elapsed seconds feed :class:`FailedPoint` provenance. With
+    ``workers > 1`` each point's result is awaited for at most
+    ``point_timeout`` seconds; a timeout marks the point failed and tears
+    the pool down (the hung worker cannot be cancelled cooperatively).
+    The serial path cannot preempt a hung simulation, so
+    ``point_timeout`` is a pool-only guard.
     """
+    from repro.obs.profiler import clock_ns
+
     results: dict[tuple[str, float], SimulationSummary] = {}
-    failed: dict[tuple[str, float], tuple[str, str]] = {}
+    failed: dict[tuple[str, float], tuple[str, str, float]] = {}
     if workers > 1:
         pool = ProcessPoolExecutor(max_workers=workers)
         hung = False
+        start = clock_ns()
         try:
             futures = [
                 (key, pool.submit(run_sweep_point, point)) for key, point in jobs
             ]
             for key, future in futures:
+                elapsed_s = (clock_ns() - start) / 1e9
                 if hung:
                     # The pool is compromised; fail fast on the rest so
                     # the retry round gets a fresh pool.
                     if not future.done():
-                        failed[key] = ("SweepPointError", "pool torn down after a timeout")
+                        failed[key] = (
+                            "SweepPointError",
+                            "pool torn down after a timeout",
+                            elapsed_s,
+                        )
                         continue
                 try:
                     results[key] = future.result(timeout=point_timeout)
@@ -234,9 +289,12 @@ def _run_round(
                     failed[key] = (
                         "TimeoutError",
                         f"no result within {point_timeout}s",
+                        (clock_ns() - start) / 1e9,
                     )
                 except Exception as exc:
-                    failed[key] = (type(exc).__name__, str(exc))
+                    failed[key] = (
+                        type(exc).__name__, str(exc), (clock_ns() - start) / 1e9
+                    )
         finally:
             if hung:
                 _terminate_pool(pool)
@@ -244,10 +302,13 @@ def _run_round(
                 pool.shutdown(wait=True)
     else:
         for key, point in jobs:
+            start = clock_ns()
             try:
                 results[key] = run_sweep_point(point)
             except Exception as exc:
-                failed[key] = (type(exc).__name__, str(exc))
+                failed[key] = (
+                    type(exc).__name__, str(exc), (clock_ns() - start) / 1e9
+                )
     return results, failed
 
 
@@ -321,6 +382,7 @@ def run_figure(
     pending = [((p.algorithm, p.load), p) for p in points]
     summaries: dict[tuple[str, float], SimulationSummary] = {}
     last_error: dict[tuple[str, float], tuple[str, str]] = {}
+    elapsed_by_key: dict[tuple[str, float], float] = {}
     attempts = 0
     for _round in range(point_retries + 1):
         if not pending:
@@ -330,7 +392,9 @@ def run_figure(
             pending, workers=workers, point_timeout=point_timeout
         )
         summaries.update(results)
-        last_error.update(failed)
+        for key, (error_type, message, elapsed_s) in failed.items():
+            last_error[key] = (error_type, message)
+            elapsed_by_key[key] = elapsed_by_key.get(key, 0.0) + elapsed_s
         pending = [(key, by_key[key]) for key in sorted(failed)]
         if metric_sink is not None:
             from repro.obs.telemetry import aggregate_telemetry
@@ -352,6 +416,7 @@ def run_figure(
             error_type=error_type,
             message=message,
             attempts=attempts,
+            elapsed_s=elapsed_by_key.get(key, 0.0),
         )
     if failures and on_point_failure == "raise":
         first = failures[min(failures)]

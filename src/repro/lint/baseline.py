@@ -102,5 +102,7 @@ def write_baseline(path: str | Path, findings: list[Finding]) -> int:
     doc = {"version": BASELINE_VERSION, "entries": sorted(
         unique.values(), key=lambda e: (e["path"], e["rule"], e["message"])
     )}
-    Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+    from repro.utils.fileio import atomic_write_text
+
+    atomic_write_text(path, json.dumps(doc, indent=2) + "\n")
     return len(unique)

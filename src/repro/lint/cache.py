@@ -30,6 +30,7 @@ import json
 from pathlib import Path
 
 from repro.lint.base import Finding, Severity
+from repro.utils.fileio import atomic_write_text
 
 __all__ = ["AnalysisCache", "file_digest", "lint_package_signature"]
 
@@ -172,4 +173,4 @@ class AnalysisCache:
         }
         if self._new_project is not None:
             doc["project"] = self._new_project
-        self.path.write_text(json.dumps(doc, indent=1, sort_keys=True))
+        atomic_write_text(self.path, json.dumps(doc, indent=1, sort_keys=True))

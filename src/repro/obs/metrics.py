@@ -220,10 +220,10 @@ class MetricsRegistry:
         return json.dumps(self.to_dict(), indent=indent)
 
     def write_json(self, path: str | Path) -> Path:
-        """Write the registry as JSON to ``path`` and return it."""
-        path = Path(path)
-        path.write_text(self.to_json() + "\n")
-        return path
+        """Atomically write the registry as JSON to ``path``; return it."""
+        from repro.utils.fileio import atomic_write_text
+
+        return atomic_write_text(path, self.to_json() + "\n")
 
     # ------------------------------------------------------------------ #
     # Aggregation

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.report.ascii import format_phase_table, format_table
+from repro.utils.fileio import atomic_write_text
 
 __all__ = [
     "RunArtifacts",
@@ -67,6 +68,9 @@ class RunArtifacts:
     summary: dict | None = None
     metrics: dict | None = None
     profile: dict | None = None
+    #: Structured failed-point table (``failures.json``, written by the
+    #: durable campaign runner when any point exhausted its retries).
+    failures: dict | None = None
     trace_path: Path | None = None
     #: Artifact files that existed but did not parse: name -> error.
     errors: dict[str, str] = field(default_factory=dict)
@@ -97,6 +101,7 @@ def load_run_dir(run_dir: str | Path) -> RunArtifacts:
     arts.summary = _read_json(arts, "summary.json")
     arts.metrics = _read_json(arts, "metrics.json")
     arts.profile = _read_json(arts, "profile.json")
+    arts.failures = _read_json(arts, "failures.json")
     for name in ("trace.jsonl.gz", "trace.jsonl"):
         if (run_dir / name).is_file():
             arts.trace_path = run_dir / name
@@ -114,11 +119,13 @@ def write_run_artifacts(run_dir: str | Path, summary, telemetry) -> Path:
     """
     run_dir = Path(run_dir)
     run_dir.mkdir(parents=True, exist_ok=True)
-    (run_dir / "summary.json").write_text(summary.to_json() + "\n")
+    atomic_write_text(run_dir / "summary.json", summary.to_json() + "\n")
     telemetry.registry.write_json(run_dir / "metrics.json")
     if telemetry.profiler.enabled:
         report = telemetry.profiler.report(summary.slots_run)
-        (run_dir / "profile.json").write_text(json.dumps(report, indent=2) + "\n")
+        atomic_write_text(
+            run_dir / "profile.json", json.dumps(report, indent=2) + "\n"
+        )
     return run_dir
 
 
@@ -166,6 +173,21 @@ def _label_suffix(rec: dict) -> str:
 
 def _fault_rows(faults: dict) -> list[tuple[str, object]]:
     return [(k.replace("_", " "), faults[k]) for k in sorted(faults)]
+
+
+def _failure_rows(failures: dict) -> list[tuple[object, ...]]:
+    """Rows for the failed-point table from a ``failures.json`` document."""
+    rows: list[tuple[object, ...]] = []
+    for rec in failures.get("failures", []):
+        rows.append((
+            f"{rec.get('figure_id', '?')}: {rec.get('algorithm', '?')} "
+            f"@ {rec.get('load', '?')}",
+            f"{rec.get('error_type', '?')}: {rec.get('message', '')}",
+            rec.get("attempts", 0),
+            rec.get("elapsed_s", 0.0),
+            rec.get("backoff_s", 0.0),
+        ))
+    return rows
 
 
 def _chart_pairs(rec: dict, *, max_bars: int = 20) -> list[tuple[object, int]]:
@@ -266,6 +288,15 @@ def render_ascii_report(arts: RunArtifacts) -> str:
     if faults:
         blocks.append(format_table(
             ("counter", "value"), _fault_rows(faults), title="Fault ledger"
+        ))
+        blocks.append("")
+
+    failure_rows = _failure_rows(arts.failures) if arts.failures else []
+    if failure_rows:
+        blocks.append(format_table(
+            ("point", "error", "attempts", "elapsed s", "backoff s"),
+            failure_rows,
+            title="Failed points",
         ))
         blocks.append("")
 
@@ -404,6 +435,14 @@ def render_html_report(arts: RunArtifacts) -> str:
     if faults:
         body.append("<h2>Fault ledger</h2>")
         body.append(_html_table(("counter", "value"), _fault_rows(faults)))
+
+    failure_rows = _failure_rows(arts.failures) if arts.failures else []
+    if failure_rows:
+        body.append("<h2>Failed points</h2>")
+        body.append(_html_table(
+            ("point", "error", "attempts", "elapsed s", "backoff s"),
+            failure_rows,
+        ))
 
     if arts.trace_path is not None:
         from repro.obs.tracer import read_trace_records

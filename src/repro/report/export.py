@@ -9,6 +9,7 @@ from collections.abc import Iterable, Sequence
 from pathlib import Path
 
 from repro.stats.summary import SimulationSummary
+from repro.utils.fileio import atomic_write_text
 
 __all__ = ["summaries_to_csv", "summaries_to_json", "write_csv", "write_json"]
 
@@ -79,14 +80,10 @@ def summaries_to_json(summaries: Sequence[SimulationSummary]) -> str:
 
 
 def write_csv(path: str | Path, summaries: Iterable[SimulationSummary]) -> Path:
-    """Write CSV to ``path`` and return it."""
-    path = Path(path)
-    path.write_text(summaries_to_csv(summaries))
-    return path
+    """Atomically write CSV to ``path`` and return it."""
+    return atomic_write_text(path, summaries_to_csv(summaries))
 
 
 def write_json(path: str | Path, summaries: Sequence[SimulationSummary]) -> Path:
-    """Write JSON to ``path`` and return it."""
-    path = Path(path)
-    path.write_text(summaries_to_json(summaries))
-    return path
+    """Atomically write JSON to ``path`` and return it."""
+    return atomic_write_text(path, summaries_to_json(summaries))

@@ -1,5 +1,7 @@
-"""Shared utilities: RNG stream management, validation, bitset helpers."""
+"""Shared utilities: RNG stream management, validation, bitset and
+atomic-file helpers."""
 
+from repro.utils.fileio import atomic_write, atomic_write_text, open_text
 from repro.utils.rng import RngStreams, make_rng, spawn_rngs
 from repro.utils.validation import (
     check_index,
@@ -16,6 +18,9 @@ from repro.utils.bitsets import (
 )
 
 __all__ = [
+    "atomic_write",
+    "atomic_write_text",
+    "open_text",
     "RngStreams",
     "make_rng",
     "spawn_rngs",

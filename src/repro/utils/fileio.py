@@ -1,19 +1,30 @@
-"""Text-file helpers shared by trace writers and readers.
+"""File helpers shared by every artifact writer and reader.
 
-One rule, applied everywhere a JSONL artifact is opened: a path ending in
-``.gz`` is transparently gzip-compressed. Large-N slot traces shrink by
-an order of magnitude, and every reader in the project (the trace-replay
-loader, ``repro-sim report``, tests) accepts both forms without caring
-which one it got.
+Two rules, applied everywhere:
+
+* A path ending in ``.gz`` is transparently gzip-compressed
+  (:func:`open_text`). Large-N slot traces shrink by an order of
+  magnitude, and every reader in the project accepts both forms.
+* Whole-file artifacts (``summary.json``, CSVs, reports, caches) are
+  written atomically (:func:`atomic_write` / :func:`atomic_write_text`):
+  the bytes land in a temp file in the destination directory, are
+  fsynced, and replace the target with ``os.replace``. A crash — full
+  disk, SIGKILL, power loss — leaves either the previous complete file
+  or the new complete file, never a truncated one. This is what makes
+  run directories and campaign checkpoints trustworthy after a crash.
 """
 
 from __future__ import annotations
 
 import gzip
+import os
+import tempfile
+from collections.abc import Iterator
+from contextlib import contextmanager
 from pathlib import Path
 from typing import IO
 
-__all__ = ["is_gzip_path", "open_text"]
+__all__ = ["is_gzip_path", "open_text", "atomic_write", "atomic_write_text"]
 
 
 def is_gzip_path(path: str | Path) -> bool:
@@ -34,3 +45,48 @@ def open_text(path: str | Path, mode: str = "r") -> IO[str]:
     if is_gzip_path(p):
         return gzip.open(p, mode + "t", encoding="utf-8")
     return p.open(mode, encoding="utf-8")
+
+
+@contextmanager
+def atomic_write(path: str | Path, *, mkdir: bool = False) -> Iterator[IO[str]]:
+    """Write a text file atomically: temp file + fsync + ``os.replace``.
+
+    Yields a UTF-8 text handle into a temporary file that lives next to
+    ``path`` (same directory, so the final rename cannot cross a
+    filesystem boundary). On clean exit the temp file is flushed, fsynced
+    and renamed over ``path`` in one atomic step; on any exception it is
+    removed and ``path`` is left untouched. ``mkdir=True`` creates the
+    parent directory first.
+
+    Readers concurrently observing ``path`` always see a complete file —
+    either the old content or the new, never a partial write. This is
+    the durability contract every run-dir artifact and campaign
+    checkpoint relies on (see docs/campaigns.md).
+    """
+    target = Path(path)
+    if mkdir:
+        target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=f".{target.name}.", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_text(path: str | Path, text: str, *, mkdir: bool = False) -> Path:
+    """Atomically replace ``path``'s content with ``text``; return the path.
+
+    The one-shot convenience form of :func:`atomic_write` for call sites
+    that already hold the full artifact string.
+    """
+    with atomic_write(path, mkdir=mkdir) as handle:
+        handle.write(text)
+    return Path(path)

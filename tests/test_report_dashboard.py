@@ -104,6 +104,42 @@ class TestAsciiReport:
         assert any("-" in l for l in chart)  # ranged "lo-hi" labels
 
 
+_FAILURES_DOC = {
+    "failures": [
+        {
+            "figure_id": "fig5", "algorithm": "fifoms", "load": 0.9,
+            "seed": 17, "error_type": "TimeoutError",
+            "message": "no result within 5.0s",
+            "attempts": 3, "elapsed_s": 15.1, "backoff_s": 1.25,
+        }
+    ]
+}
+
+
+class TestFailureTable:
+    def test_ascii_failure_table(self, tmp_path):
+        (tmp_path / "failures.json").write_text(json.dumps(_FAILURES_DOC))
+        text = render_ascii_report(load_run_dir(tmp_path))
+        assert "Failed points" in text
+        assert "fig5: fifoms @ 0.9" in text
+        assert "TimeoutError: no result within 5.0s" in text
+        for col in ("attempts", "elapsed s", "backoff s"):
+            assert col in text
+        assert "15.1" in text and "1.25" in text
+
+    def test_html_failure_table(self, tmp_path):
+        (tmp_path / "failures.json").write_text(json.dumps(_FAILURES_DOC))
+        page = render_html_report(load_run_dir(tmp_path))
+        assert "Failed points" in page
+        assert "fig5: fifoms @ 0.9" in page
+        assert "backoff s" in page
+
+    def test_empty_failure_list_renders_no_table(self, tmp_path):
+        (tmp_path / "failures.json").write_text(json.dumps({"failures": []}))
+        assert "Failed points" not in render_ascii_report(load_run_dir(tmp_path))
+        assert "Failed points" not in render_html_report(load_run_dir(tmp_path))
+
+
 class TestHtmlReport:
     def test_self_contained_page(self, run_dir):
         page = render_html_report(load_run_dir(run_dir))

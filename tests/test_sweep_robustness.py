@@ -77,6 +77,26 @@ class TestCrashingPoint:
         assert "Failed points:" in text
         assert "ConfigurationError" in text
 
+    def test_failed_point_carries_timing_provenance(self):
+        result = run_figure(
+            _spec(poison_load=0.4),
+            num_slots=400,
+            workers=1,
+            point_retries=1,
+            on_point_failure="record",
+        )
+        fp = result.failures[("fifoms", 0.4)]
+        # Elapsed accumulates across both attempt rounds; plain sweeps
+        # never back off (that's the durable campaign supervisor's knob).
+        assert fp.elapsed_s > 0.0
+        assert fp.backoff_s == 0.0
+        line = fp.describe()
+        assert "2 attempt(s)" in line
+        assert "s elapsed" in line
+        assert "backoff" not in line
+        rendered = result.to_text()
+        assert line in rendered
+
     def test_crash_crosses_process_pool(self):
         # The worker exception must survive the pickle round-trip home.
         result = run_figure(
