@@ -1,15 +1,13 @@
-"""Optimized whole-switch simulation engines.
+"""Deprecated package: the fast engines were folded into the kernel seam.
 
-The object model in :mod:`repro.switch` is written for clarity and
-auditability; these engines re-implement the two iterative schedulers the
-paper spends most of its simulation time on (FIFOMS and iSLIP) with flat
-NumPy state — an (N, N) HOL-timestamp/occupancy matrix updated in place,
-preallocated round buffers, no per-slot object allocation — following the
-optimization guides' make-it-right-then-fast workflow. Under the
-deterministic lowest-input tie-break the fast FIFOMS engine is
-slot-for-slot **identical** to the reference switch (see
-:mod:`repro.fast.parity` and the parity tests); under random tie-breaking
-it is statistically equivalent.
+The bespoke flat-NumPy whole-switch engines (FIFOMS/iSLIP/TATRA) that
+lived here through PR 8 are gone: ``backend="vectorized"`` on the
+reference switches runs the same struct-of-arrays hot path behind the
+kernel backend seam (:mod:`repro.kernel`), bit-identical to the object
+model for *every* registry pairing — see ``repro.kernel.equivalence``
+and ``docs/kernel.md``. The classes and helpers below are thin shims
+that keep old import paths working (with a :class:`DeprecationWarning`
+at use) and route through the seam.
 """
 
 from repro.fast.fifoms_engine import FastFIFOMSEngine

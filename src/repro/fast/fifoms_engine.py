@@ -1,51 +1,39 @@
-"""Array-state FIFOMS switch simulator.
+"""Deprecated shim: the fast FIFOMS engine is now the kernel seam.
 
-State layout (N = ports):
-
-* ``hol_ts`` — float64 (N, N): timestamp of each VOQ's HOL address cell,
-  +inf when empty. The scheduling rounds are pure array expressions over
-  this matrix.
-* per-VOQ FIFOs of packet ids (deques of ints — only touched on push/pop,
-  never scanned).
-* packet table — parallel Python lists (arrival, input, remaining fanout,
-  total fanout, last service slot) indexed by a dense packet id.
-* ``live`` — int64 (N,): live data cells per input (the queue-size metric),
-  updated in place.
-
-One scheduling round, vectorized::
-
-    eligible = hol_ts masked by free inputs (rows) and free outputs (cols)
-    row_min  = eligible.min(axis=1)            # per-input smallest HOL ts
-    requests = eligible == row_min[:, None]    # same-timestamp HOL cells
-    col_min  = where(requests, row_min, inf).min(axis=0)
-    winners  = requests & (row_min[:, None] == col_min[None, :])
-    pick one winner per column (lowest index or random), grant, repeat.
-
-Semantics (tie policy, round counting, warmup gating, stability cadence)
-replicate the reference stack exactly so the parity tests can require
-bit-identical summaries under the deterministic tie-break.
+The flat-NumPy whole-switch engine that used to live here was folded
+into the kernel backend seam: ``MulticastVOQSwitch(...,
+backend="vectorized")`` runs the identical struct-of-arrays hot path
+(``repro.kernel.state.SwitchState``) behind the reference switch's
+public surface, bit-identical to the object model under *every* tie
+policy — stronger than the old engine, which was only exact under
+deterministic ties. This module keeps the historical import path and
+constructor signature working, routed through the seam.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import warnings
 
-import numpy as np
-
-from repro.errors import ConfigurationError, SimulationError
+from repro.core.fifoms import FIFOMSScheduler, TieBreak
+from repro.errors import ConfigurationError
 from repro.sim.config import SimulationConfig
-from repro.sim.stability import StabilityMonitor
+from repro.sim.engine import SimulationEngine
 from repro.stats.summary import SimulationSummary
+from repro.switch.voq_multicast import MulticastVOQSwitch
 from repro.traffic.base import TrafficModel
-from repro.utils.rng import make_rng
 
 __all__ = ["FastFIFOMSEngine"]
 
-_INF = np.inf
+_DEPRECATION = (
+    "FastFIFOMSEngine is deprecated; use run_simulation(..., "
+    "backend='vectorized') or MulticastVOQSwitch(..., "
+    "backend='vectorized') — the kernel seam runs the same "
+    "struct-of-arrays hot path, bit-identical under every tie policy"
+)
 
 
 class FastFIFOMSEngine:
-    """Flat-state FIFOMS simulator with the SimulationEngine interface."""
+    """Legacy facade over the vectorized kernel backend (deprecated)."""
 
     def __init__(
         self,
@@ -54,189 +42,33 @@ class FastFIFOMSEngine:
         *,
         seed: int | None = None,
         tie_break: str = "random",
-        rng: np.random.Generator | None = None,
+        rng: object = None,
     ) -> None:
-        if tie_break not in ("random", "lowest_input"):
+        warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
+        try:
+            tie = TieBreak(tie_break)
+        except ValueError:
             raise ConfigurationError(
-                f"tie_break must be 'random' or 'lowest_input', got {tie_break!r}"
-            )
+                f"unknown tie_break {tie_break!r}; one of "
+                f"{[t.value for t in TieBreak]}"
+            ) from None
         self.traffic = traffic
         self.config = config or SimulationConfig()
         self.seed = seed
-        self.tie_break = tie_break
-        self._rng = rng if rng is not None else make_rng(seed)
         n = traffic.num_ports
-        self.n = n
-        # --- switch state ---
-        self.hol_ts = np.full((n, n), _INF, dtype=np.float64)
-        self.voqs: list[list[deque[int]]] = [
-            [deque() for _ in range(n)] for _ in range(n)
-        ]
-        self.live = np.zeros(n, dtype=np.int64)
-        # --- packet table (parallel lists, index = packet id) ---
-        self.p_arrival: list[int] = []
-        self.p_fanout: list[int] = []
-        self.p_remaining: list[int] = []
-        self.p_last_service: list[int] = []
-        # --- preallocated round buffers ---
-        self._row_min = np.empty(n, dtype=np.float64)
-        self._masked = np.empty((n, n), dtype=np.float64)
+        scheduler_rng = rng if rng is not None else seed
+        self.switch = MulticastVOQSwitch(
+            n,
+            FIFOMSScheduler(n, tie_break=tie, rng=scheduler_rng),
+            backend="vectorized",
+        )
 
-    # ------------------------------------------------------------------ #
     def run(self) -> SimulationSummary:
-        """Execute the configured slots and return the summary."""
-        cfg = self.config
-        n = self.n
-        warmup = cfg.warmup_slots
-        window = cfg.stability_window
-        monitor = StabilityMonitor(
-            max_backlog=cfg.max_backlog,
-            growth_windows=cfg.stability_growth_windows,
-        )
-        # statistics accumulators (mirror StatsCollector semantics)
-        delivery_count = delivery_sum = 0
-        packet_count = packet_sum = 0
-        occ_samples = occ_sum = 0
-        occ_max = 0
-        rounds_sum = active_slots = 0
-        rounds_max = 0
-        cells_offered = cells_delivered = packets_offered = 0
-        measured_slots = 0
-        backlog = 0
-        unstable = False
-        slots_run = 0
-
-        hol_ts = self.hol_ts
-        voqs = self.voqs
-        live = self.live
-        p_arrival, p_fanout = self.p_arrival, self.p_fanout
-        p_remaining, p_last = self.p_remaining, self.p_last_service
-
-        for slot in range(cfg.num_slots):
-            slots_run = slot + 1
-            measured = slot >= warmup
-            # ---------------- arrivals ---------------- #
-            arrived_cells = arrived_packets = 0
-            for pkt in self.traffic.next_slot():
-                if pkt is None:
-                    continue
-                pid = len(p_arrival)
-                p_arrival.append(pkt.arrival_slot)
-                p_fanout.append(pkt.fanout)
-                p_remaining.append(pkt.fanout)
-                p_last.append(-1)
-                i = pkt.input_port
-                live[i] += 1
-                for j in pkt.destinations:
-                    q = voqs[i][j]
-                    if not q:
-                        hol_ts[i, j] = pkt.arrival_slot
-                    q.append(pid)
-                arrived_cells += pkt.fanout
-                arrived_packets += 1
-                backlog += pkt.fanout
-            if measured:
-                measured_slots += 1
-                cells_offered += arrived_cells
-                packets_offered += arrived_packets
-
-            # ---------------- scheduling rounds ---------------- #
-            in_free = np.ones(n, dtype=bool)
-            out_free = np.ones(n, dtype=bool)
-            rounds = 0
-            requests_made = False
-            grants: list[tuple[int, int]] = []  # (input, output)
-            while True:
-                np.copyto(self._masked, hol_ts)
-                self._masked[~in_free, :] = _INF
-                self._masked[:, ~out_free] = _INF
-                row_min = self._masked.min(axis=1, out=self._row_min)
-                live_rows = row_min < _INF
-                if not live_rows.any():
-                    break
-                requests_made = True
-                requests = self._masked == row_min[:, None]
-                requests &= live_rows[:, None]
-                colw = np.where(requests, row_min[:, None], _INF)
-                col_min = colw.min(axis=0)
-                granted_cols = col_min < _INF
-                if not granted_cols.any():
-                    break
-                winners = requests & (colw == col_min[None, :])
-                if self.tie_break == "lowest_input":
-                    pick = winners.argmax(axis=0)
-                else:
-                    noise = self._rng.random((n, n))
-                    pick = np.where(winners, noise, 2.0).argmin(axis=0)
-                cols = np.nonzero(granted_cols)[0]
-                rows = pick[cols]
-                out_free[cols] = False
-                in_free[rows] = False
-                grants.extend(zip(rows.tolist(), cols.tolist()))
-                rounds += 1
-            if measured and requests_made:
-                active_slots += 1
-                rounds_sum += rounds
-                if rounds > rounds_max:
-                    rounds_max = rounds
-
-            # ---------------- transmission + post-processing -------- #
-            for i, j in grants:
-                q = voqs[i][j]
-                pid = q.popleft()
-                hol_ts[i, j] = p_arrival[q[0]] if q else _INF
-                backlog -= 1
-                counted = p_arrival[pid] >= warmup
-                if counted:
-                    delivery_count += 1
-                    delivery_sum += slot - p_arrival[pid] + 1
-                if slot > p_last[pid]:
-                    p_last[pid] = slot
-                p_remaining[pid] -= 1
-                if p_remaining[pid] == 0:
-                    live[i] -= 1
-                    if counted:
-                        packet_count += 1
-                        packet_sum += p_last[pid] - p_arrival[pid] + 1
-                elif p_remaining[pid] < 0:
-                    raise SimulationError(f"packet {pid} over-delivered")
-            if measured:
-                cells_delivered += len(grants)
-                occ_samples += n
-                occ_sum += int(live.sum())
-                m = int(live.max())
-                if m > occ_max:
-                    occ_max = m
-
-            # ---------------- stability ---------------- #
-            if window and (slot + 1) % window == 0:
-                if monitor.observe(backlog):
-                    unstable = True
-                    break
-
-        return SimulationSummary(
-            algorithm="fifoms-fast",
-            num_ports=n,
+        """Run the simulation through the kernel-seam engine."""
+        return SimulationEngine(
+            self.switch,
+            self.traffic,
+            self.config,
             seed=self.seed,
-            slots_run=slots_run,
-            warmup_slots=warmup,
-            average_input_delay=(packet_sum / packet_count) if packet_count else float("nan"),
-            average_output_delay=(delivery_sum / delivery_count) if delivery_count else float("nan"),
-            average_queue_size=(occ_sum / occ_samples) if occ_samples else float("nan"),
-            max_queue_size=occ_max,
-            average_rounds=(rounds_sum / active_slots) if active_slots else float("nan"),
-            max_rounds=rounds_max,
-            offered_load=(cells_offered / (measured_slots * n)) if measured_slots else float("nan"),
-            carried_load=(cells_delivered / (measured_slots * n)) if measured_slots else float("nan"),
-            delivery_ratio=(cells_delivered / cells_offered) if cells_offered else float("nan"),
-            packets_offered=packets_offered,
-            cells_offered=cells_offered,
-            cells_delivered=cells_delivered,
-            final_backlog=backlog,
-            unstable=unstable,
-            traffic={
-                "model": type(self.traffic).__name__,
-                "effective_load": self.traffic.effective_load,
-                "average_fanout": self.traffic.average_fanout,
-            },
-        )
+            algorithm_name="fifoms",
+        ).run()

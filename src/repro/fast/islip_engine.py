@@ -1,36 +1,37 @@
-"""Array-state iSLIP switch simulator (multicast split into copies).
+"""Deprecated shim: the fast iSLIP engine is now the kernel seam.
 
-Mirrors :class:`~repro.switch.voq_unicast.UnicastVOQSwitch` +
-:class:`~repro.schedulers.islip.ISLIPScheduler` with flat NumPy state:
-
-* ``occupancy`` — int64 (N, N) queued copies per VOQ;
-* per-VOQ deques of packet ids (for delay attribution only);
-* round-robin grant/accept pointers as int arrays, with the pointer
-  arithmetic ``(i - ptr) % N`` vectorized across ports per iteration.
-
-Pointer-update semantics (only on first-iteration accepts) and round
-counting replicate the reference exactly, so parity tests can require
-bit-identical summaries — iSLIP has no random tie-breaking, which makes
-it fully deterministic given the arrival trace.
+The flat-NumPy iSLIP engine that used to live here was folded into the
+kernel backend seam: ``UnicastVOQSwitch(..., backend="vectorized")``
+drives :meth:`~repro.schedulers.islip.ISLIPScheduler.schedule_vectorized`
+over the switch's occupancy arrays — the same arbiter math, bit-identical
+to the object path (iSLIP is deterministic). This module keeps the
+historical import path and constructor signature working, routed
+through the seam.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import warnings
 
-import numpy as np
-
-from repro.errors import SimulationError
+from repro.schedulers.islip import ISLIPScheduler
 from repro.sim.config import SimulationConfig
-from repro.sim.stability import StabilityMonitor
+from repro.sim.engine import SimulationEngine
 from repro.stats.summary import SimulationSummary
+from repro.switch.voq_unicast import UnicastVOQSwitch
 from repro.traffic.base import TrafficModel
 
 __all__ = ["FastISLIPEngine"]
 
+_DEPRECATION = (
+    "FastISLIPEngine is deprecated; use run_simulation(..., "
+    "backend='vectorized') or UnicastVOQSwitch(..., "
+    "backend='vectorized') — the kernel seam runs the same vectorized "
+    "arbiters, bit-identical to the reference switch"
+)
+
 
 class FastISLIPEngine:
-    """Flat-state iSLIP simulator with the SimulationEngine interface."""
+    """Legacy facade over the vectorized kernel backend (deprecated)."""
 
     def __init__(
         self,
@@ -40,181 +41,23 @@ class FastISLIPEngine:
         seed: int | None = None,
         max_iterations: int | None = None,
     ) -> None:
+        warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
         self.traffic = traffic
         self.config = config or SimulationConfig()
         self.seed = seed
-        self.max_iterations = max_iterations
         n = traffic.num_ports
-        self.n = n
-        self.occupancy = np.zeros((n, n), dtype=np.int64)
-        self.voqs: list[list[deque[int]]] = [
-            [deque() for _ in range(n)] for _ in range(n)
-        ]
-        self.grant_ptr = np.zeros(n, dtype=np.int64)
-        self.accept_ptr = np.zeros(n, dtype=np.int64)
-        # packet table: one entry per *packet*; copies share the entry.
-        self.p_arrival: list[int] = []
-        self.p_fanout: list[int] = []
-        self.p_remaining: list[int] = []
-        self.p_last_service: list[int] = []
+        self.switch = UnicastVOQSwitch(
+            n,
+            ISLIPScheduler(n, max_iterations=max_iterations),
+            backend="vectorized",
+        )
 
-    # ------------------------------------------------------------------ #
     def run(self) -> SimulationSummary:
-        """Execute the configured slots and return the summary."""
-        cfg = self.config
-        n = self.n
-        warmup = cfg.warmup_slots
-        window = cfg.stability_window
-        monitor = StabilityMonitor(
-            max_backlog=cfg.max_backlog,
-            growth_windows=cfg.stability_growth_windows,
-        )
-        delivery_count = delivery_sum = 0
-        packet_count = packet_sum = 0
-        occ_samples = occ_sum = 0
-        occ_max = 0
-        rounds_sum = active_slots = rounds_max = 0
-        cells_offered = cells_delivered = packets_offered = 0
-        measured_slots = 0
-        backlog = 0
-        unstable = False
-        slots_run = 0
-
-        occupancy = self.occupancy
-        voqs = self.voqs
-        p_arrival, p_fanout = self.p_arrival, self.p_fanout
-        p_remaining, p_last = self.p_remaining, self.p_last_service
-        lanes = np.arange(n)
-
-        for slot in range(cfg.num_slots):
-            slots_run = slot + 1
-            measured = slot >= warmup
-            # ---------------- arrivals (one copy per destination) ----- #
-            arrived_cells = arrived_packets = 0
-            for pkt in self.traffic.next_slot():
-                if pkt is None:
-                    continue
-                pid = len(p_arrival)
-                p_arrival.append(pkt.arrival_slot)
-                p_fanout.append(pkt.fanout)
-                p_remaining.append(pkt.fanout)
-                p_last.append(-1)
-                i = pkt.input_port
-                for j in pkt.destinations:
-                    voqs[i][j].append(pid)
-                    occupancy[i, j] += 1
-                arrived_cells += pkt.fanout
-                arrived_packets += 1
-                backlog += pkt.fanout
-            if measured:
-                measured_slots += 1
-                cells_offered += arrived_cells
-                packets_offered += arrived_packets
-
-            # ---------------- iSLIP iterations ---------------- #
-            wants = occupancy > 0
-            in_free = np.ones(n, dtype=bool)
-            out_free = np.ones(n, dtype=bool)
-            match_out_of_in = np.full(n, -1, dtype=np.int64)
-            rounds = 0
-            iteration = 0
-            requests_made = False
-            while self.max_iterations is None or iteration < self.max_iterations:
-                iteration += 1
-                # requests: unmatched inputs x unmatched outputs with cells
-                req = wants & in_free[:, None] & out_free[None, :]
-                if not req.any():
-                    break
-                requests_made = True
-                # grant: per output j, requester minimizing (i - gptr_j) % N
-                dist = (lanes[:, None] - self.grant_ptr[None, :]) % n
-                dist = np.where(req, dist, n + 1)
-                g_in = dist.argmin(axis=0)  # candidate input per output
-                g_valid = dist[g_in, lanes] <= n  # output actually granted
-                # accept: per input i, granting output minimizing
-                # (j - aptr_i) % N among the outputs that granted i.
-                grants = np.zeros((n, n), dtype=bool)
-                out_idx = np.nonzero(g_valid)[0]
-                grants[g_in[out_idx], out_idx] = True
-                adist = (lanes[None, :] - self.accept_ptr[:, None]) % n
-                adist = np.where(grants, adist, n + 1)
-                a_out = adist.argmin(axis=1)
-                a_valid = adist[lanes, a_out] <= n
-                new_in = np.nonzero(a_valid)[0]
-                if new_in.size == 0:
-                    break
-                new_out = a_out[new_in]
-                in_free[new_in] = False
-                out_free[new_out] = False
-                match_out_of_in[new_in] = new_out
-                if iteration == 1:
-                    self.grant_ptr[new_out] = (new_in + 1) % n
-                    self.accept_ptr[new_in] = (new_out + 1) % n
-                rounds += 1
-            if measured and requests_made:
-                active_slots += 1
-                rounds_sum += rounds
-                if rounds > rounds_max:
-                    rounds_max = rounds
-
-            # ---------------- transmission ---------------- #
-            matched = np.nonzero(match_out_of_in >= 0)[0]
-            for i in matched.tolist():
-                j = int(match_out_of_in[i])
-                q = voqs[i][j]
-                pid = q.popleft()
-                occupancy[i, j] -= 1
-                backlog -= 1
-                counted = p_arrival[pid] >= warmup
-                if counted:
-                    delivery_count += 1
-                    delivery_sum += slot - p_arrival[pid] + 1
-                if slot > p_last[pid]:
-                    p_last[pid] = slot
-                p_remaining[pid] -= 1
-                if p_remaining[pid] == 0:
-                    if counted:
-                        packet_count += 1
-                        packet_sum += p_last[pid] - p_arrival[pid] + 1
-                elif p_remaining[pid] < 0:
-                    raise SimulationError(f"packet {pid} over-delivered")
-            if measured:
-                cells_delivered += int(matched.size)
-                sizes = occupancy.sum(axis=1)
-                occ_samples += n
-                occ_sum += int(sizes.sum())
-                m = int(sizes.max())
-                if m > occ_max:
-                    occ_max = m
-
-            if window and (slot + 1) % window == 0:
-                if monitor.observe(backlog):
-                    unstable = True
-                    break
-
-        return SimulationSummary(
-            algorithm="islip-fast",
-            num_ports=n,
+        """Run the simulation through the kernel-seam engine."""
+        return SimulationEngine(
+            self.switch,
+            self.traffic,
+            self.config,
             seed=self.seed,
-            slots_run=slots_run,
-            warmup_slots=warmup,
-            average_input_delay=(packet_sum / packet_count) if packet_count else float("nan"),
-            average_output_delay=(delivery_sum / delivery_count) if delivery_count else float("nan"),
-            average_queue_size=(occ_sum / occ_samples) if occ_samples else float("nan"),
-            max_queue_size=occ_max,
-            average_rounds=(rounds_sum / active_slots) if active_slots else float("nan"),
-            max_rounds=rounds_max,
-            offered_load=(cells_offered / (measured_slots * n)) if measured_slots else float("nan"),
-            carried_load=(cells_delivered / (measured_slots * n)) if measured_slots else float("nan"),
-            delivery_ratio=(cells_delivered / cells_offered) if cells_offered else float("nan"),
-            packets_offered=packets_offered,
-            cells_offered=cells_offered,
-            cells_delivered=cells_delivered,
-            final_backlog=backlog,
-            unstable=unstable,
-            traffic={
-                "model": type(self.traffic).__name__,
-                "effective_load": self.traffic.effective_load,
-                "average_fanout": self.traffic.average_fanout,
-            },
-        )
+            algorithm_name="islip",
+        ).run()

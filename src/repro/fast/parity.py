@@ -1,31 +1,30 @@
-"""Reference-vs-fast equivalence helpers.
+"""Object-vs-vectorized backend parity helpers.
 
-:func:`run_pair` pins both implementations to the *identical* arrival
-sequence by recording a stochastic traffic model into a trace and
-replaying it twice. Under deterministic arbitration (FIFOMS with
-lowest-input ties; iSLIP always) the two stacks must then produce
-identical statistics — :func:`compare_summaries` checks every
+:func:`run_pair` pins both kernel backends of one registry pairing to
+the *identical* arrival sequence by recording a stochastic traffic model
+into a trace and replaying it twice. Both sides build their scheduler
+from the same tie-break seed, so even randomized arbiters (FIFOMS random
+ties, PIM, WBA) consume identical RNG streams and the two runs must
+produce identical statistics — :func:`compare_summaries` checks every
 load-bearing field and returns the list of mismatches (empty = parity).
+
+Historically this compared the reference stack against the bespoke
+``repro.fast`` engines; the fold onto the kernel seam generalized it
+from 3 algorithms to every vectorized registry pairing. TATRA is
+object-only (see ``TATRAScheduler.object_only_reason``), so its "fast"
+side is a second object run — kept so legacy callers still get a
+meaningful determinism check.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any
 
-from repro.core.fifoms import FIFOMSScheduler, TieBreak
 from repro.errors import ConfigurationError
-from repro.fast.fifoms_engine import FastFIFOMSEngine
-from repro.fast.islip_engine import FastISLIPEngine
-from repro.fast.tatra_engine import FastTATRAEngine
-from repro.schedulers.islip import ISLIPScheduler
-from repro.schedulers.tatra import TATRAScheduler
+from repro.schedulers.registry import make_switch
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import SimulationEngine
 from repro.stats.summary import SimulationSummary
-from repro.switch.single_queue import SingleInputQueueSwitch
-from repro.switch.voq_multicast import MulticastVOQSwitch
-from repro.switch.voq_unicast import UnicastVOQSwitch
 from repro.traffic.base import TrafficModel
 from repro.traffic.trace import TraceTraffic, record_trace
 
@@ -54,11 +53,16 @@ def run_pair(
     num_slots: int,
     *,
     warmup_fraction: float = 0.5,
+    seed: int = 0,
+    **switch_kwargs: object,
 ) -> tuple[SimulationSummary, SimulationSummary]:
-    """Run (reference, fast) on one recorded trace; return both summaries.
+    """Run (object, vectorized) backends on one recorded trace.
 
-    ``algorithm`` is "fifoms" (deterministic lowest-input ties are forced
-    on both sides), "islip" or "tatra" (both inherently deterministic).
+    ``algorithm`` is any registry pairing name; unknown names raise
+    :class:`~repro.errors.ConfigurationError` from the registry. Extra
+    keyword arguments forward to the switch factory (``tie_break``,
+    ``max_iterations``, ...). For object-only pairings (TATRA) the
+    second run is also object-backed.
     """
     packets = record_trace(traffic, num_slots)
     n = traffic.num_ports
@@ -67,27 +71,22 @@ def run_pair(
         warmup_fraction=warmup_fraction,
         stability_window=max(100, num_slots // 100),
     )
-    if algorithm == "fifoms":
-        switch = MulticastVOQSwitch(
-            n, FIFOMSScheduler(n, tie_break=TieBreak.LOWEST_INPUT)
+
+    def one(backend: str) -> SimulationSummary:
+        switch = make_switch(
+            algorithm, n, rng=seed, backend=backend, **dict(switch_kwargs)
         )
-        fast: Any = FastFIFOMSEngine(
-            TraceTraffic(n, packets), cfg, tie_break="lowest_input"
-        )
-    elif algorithm == "islip":
-        switch = UnicastVOQSwitch(n, ISLIPScheduler(n))
-        fast = FastISLIPEngine(TraceTraffic(n, packets), cfg)
-    elif algorithm == "tatra":
-        switch = SingleInputQueueSwitch(n, TATRAScheduler(n))
-        fast = FastTATRAEngine(TraceTraffic(n, packets), cfg)
-    else:
-        raise ConfigurationError(
-            f"parity supports 'fifoms', 'islip' and 'tatra', got {algorithm!r}"
-        )
-    ref = SimulationEngine(
-        switch, TraceTraffic(n, packets), cfg, algorithm_name=algorithm
-    ).run()
-    return ref, fast.run()
+        return SimulationEngine(
+            switch, TraceTraffic(n, packets), cfg, algorithm_name=algorithm
+        ).run()
+
+    ref = one("object")
+    try:
+        fast = one("vectorized")
+    except ConfigurationError:
+        # Object-only pairing (TATRA's declared demotion): rerun object.
+        fast = one("object")
+    return ref, fast
 
 
 def compare_summaries(

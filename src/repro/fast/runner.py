@@ -1,31 +1,33 @@
-"""One-call runner for the fast engines, mirroring ``run_simulation``.
+"""Deprecated shim: ``run_fast_simulation`` routes to the kernel seam.
 
-``run_fast_simulation("fifoms", ...)`` accepts the same plain values as
-:func:`repro.sim.runner.run_simulation` and returns the same
-:class:`~repro.stats.summary.SimulationSummary`, but executes on the
-flat-state engine — the drop-in accelerator for long single runs. The
-same named RNG streams are used, so a fast run and a reference run with
-one seed consume identical traffic (and, under deterministic
-arbitration, produce identical results; see :mod:`repro.fast.parity`).
+``run_fast_simulation("fifoms", ...)`` keeps its historical signature
+but now simply calls :func:`repro.sim.runner.run_simulation` with
+``backend="vectorized"`` (object for TATRA, whose vectorized twin was
+demoted) — same named RNG streams, same summary, same struct-of-arrays
+hot path the bespoke engines used to carry.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any
 
 from repro.errors import ConfigurationError
-from repro.fast.fifoms_engine import FastFIFOMSEngine
-from repro.fast.islip_engine import FastISLIPEngine
-from repro.fast.tatra_engine import FastTATRAEngine
 from repro.sim.config import SimulationConfig
-from repro.sim.runner import build_traffic
+from repro.sim.runner import run_simulation
 from repro.stats.summary import SimulationSummary
-from repro.utils.rng import RngStreams
 
 __all__ = ["run_fast_simulation", "FAST_ALGORITHMS"]
 
-#: Algorithms with a fast engine.
+#: Algorithms the legacy fast engines covered (the shim keeps the same
+#: gate; for everything else call ``run_simulation`` directly).
 FAST_ALGORITHMS = ("fifoms", "islip", "tatra")
+
+_DEPRECATION = (
+    "run_fast_simulation is deprecated; call run_simulation(..., "
+    "backend='vectorized') — every vectorized registry pairing now runs "
+    "on the kernel seam"
+)
 
 
 def run_fast_simulation(
@@ -40,31 +42,30 @@ def run_fast_simulation(
     tie_break: str = "random",
     max_iterations: int | None = None,
 ) -> SimulationSummary:
-    """Run one simulation on the fast engine for ``algorithm``.
+    """Run one simulation on the vectorized kernel backend (deprecated).
 
     ``tie_break`` applies to FIFOMS only ("random" per the paper, or
     "lowest_input" for determinism); ``max_iterations`` to iSLIP only.
     """
+    warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
     if algorithm not in FAST_ALGORITHMS:
         raise ConfigurationError(
             f"no fast engine for {algorithm!r}; one of {FAST_ALGORITHMS}"
         )
-    streams = RngStreams(seed)
-    traffic = build_traffic(traffic_spec, num_ports, rng=streams.get("traffic"))
-    cfg = config or SimulationConfig(
+    kwargs: dict[str, Any] = {}
+    if algorithm == "fifoms":
+        kwargs["tie_break"] = tie_break
+    elif algorithm == "islip":
+        kwargs["max_iterations"] = max_iterations
+    backend = "object" if algorithm == "tatra" else "vectorized"
+    return run_simulation(
+        algorithm,
+        num_ports,
+        traffic_spec,
         num_slots=num_slots,
         warmup_fraction=warmup_fraction,
-        stability_window=max(100, num_slots // 100),
+        seed=seed,
+        config=config,
+        backend=backend,
+        **kwargs,
     )
-    if algorithm == "fifoms":
-        engine = FastFIFOMSEngine(
-            traffic, cfg, seed=seed, tie_break=tie_break,
-            rng=streams.get("scheduler"),
-        )
-    elif algorithm == "islip":
-        engine = FastISLIPEngine(
-            traffic, cfg, seed=seed, max_iterations=max_iterations
-        )
-    else:
-        engine = FastTATRAEngine(traffic, cfg, seed=seed)
-    return engine.run()

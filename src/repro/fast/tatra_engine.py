@@ -1,36 +1,37 @@
-"""Flat-state TATRA switch simulator.
+"""Deprecated shim: the fast TATRA engine is gone; TATRA stays object.
 
-TATRA is fully deterministic (placement ordering and bottom-row service
-involve no randomness), so this engine can replicate
-:class:`~repro.switch.single_queue.SingleInputQueueSwitch` +
-:class:`~repro.schedulers.tatra.TATRAScheduler` bit-for-bit while
-skipping all the per-slot object traffic (HOL-cell snapshots, Delivery
-records, decision validation) that dominates the reference's profile.
-
-State:
-
-* per-input deque of (packet id, destination tuple) plus the HOL residue
-  set (fanout splitting);
-* the Tetris box as one list of input ids per output column;
-* the same packet table / statistics accumulators as the other fast
-  engines (see :mod:`repro.fast.fifoms_engine`).
+The flat-state TATRA engine that used to live here was retired with the
+``repro.fast`` fold: TATRA's Tetris box is inherently sequential (ragged
+per-column piece placement, bottom-row pops), its vectorized twin
+measured below 1x, and the scheduler is now declared object-only (see
+``TATRAScheduler.object_only_reason``). This module keeps the historical
+import path and constructor signature working, routed through the
+reference :class:`~repro.switch.single_queue.SingleInputQueueSwitch` —
+TATRA is deterministic, so results are identical by construction.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import warnings
 
-from repro.errors import SimulationError
+from repro.schedulers.tatra import TATRAScheduler
 from repro.sim.config import SimulationConfig
-from repro.sim.stability import StabilityMonitor
+from repro.sim.engine import SimulationEngine
 from repro.stats.summary import SimulationSummary
+from repro.switch.single_queue import SingleInputQueueSwitch
 from repro.traffic.base import TrafficModel
 
 __all__ = ["FastTATRAEngine"]
 
+_DEPRECATION = (
+    "FastTATRAEngine is deprecated; TATRA runs object-only on the "
+    "reference switch (the vectorized twin measured below 1x and was "
+    "demoted) — use run_simulation('tatra', ...)"
+)
+
 
 class FastTATRAEngine:
-    """Flat-state TATRA simulator with the SimulationEngine interface."""
+    """Legacy facade over the reference TATRA stack (deprecated)."""
 
     def __init__(
         self,
@@ -39,183 +40,21 @@ class FastTATRAEngine:
         *,
         seed: int | None = None,
     ) -> None:
+        warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
         self.traffic = traffic
         self.config = config or SimulationConfig()
         self.seed = seed
-        n = traffic.num_ports
-        self.n = n
-        # queues[i] holds (pid, destinations); residue[i] = HOL leftovers.
-        self.queues: list[deque[tuple[int, tuple[int, ...]]]] = [
-            deque() for _ in range(n)
-        ]
-        self.residue: list[set[int]] = [set() for _ in range(n)]
-        self.columns: list[list[int]] = [[] for _ in range(n)]
-        self.in_box: list[int] = [-1] * n  # pid currently in the box
-        # packet table
-        self.p_arrival: list[int] = []
-        self.p_fanout: list[int] = []
-        self.p_remaining: list[int] = []
-        self.p_last_service: list[int] = []
+        self.switch = SingleInputQueueSwitch(
+            traffic.num_ports, TATRAScheduler(traffic.num_ports)
+        )
 
-    # ------------------------------------------------------------------ #
     def run(self) -> SimulationSummary:
-        """Execute the configured slots and return the summary."""
-        cfg = self.config
-        n = self.n
-        warmup = cfg.warmup_slots
-        window = cfg.stability_window
-        monitor = StabilityMonitor(
-            max_backlog=cfg.max_backlog,
-            growth_windows=cfg.stability_growth_windows,
-        )
-        delivery_count = delivery_sum = 0
-        packet_count = packet_sum = 0
-        occ_samples = occ_sum = occ_max = 0
-        cells_offered = cells_delivered = packets_offered = 0
-        measured_slots = 0
-        backlog = 0
-        unstable = False
-        slots_run = 0
-        rounds_sum = 0
-        rounds_max = 0
-        active_slots = 0
-
-        queues, residue = self.queues, self.residue
-        columns, in_box = self.columns, self.in_box
-        p_arrival, p_remaining = self.p_arrival, self.p_remaining
-        p_last = self.p_last_service
-
-        for slot in range(cfg.num_slots):
-            slots_run = slot + 1
-            measured = slot >= warmup
-            # ---------------- arrivals ---------------- #
-            arrived_cells = arrived_packets = 0
-            for pkt in self.traffic.next_slot():
-                if pkt is None:
-                    continue
-                pid = len(p_arrival)
-                p_arrival.append(pkt.arrival_slot)
-                self.p_fanout.append(pkt.fanout)
-                p_remaining.append(pkt.fanout)
-                p_last.append(-1)
-                i = pkt.input_port
-                q = queues[i]
-                q.append((pid, pkt.destinations))
-                if len(q) == 1:
-                    residue[i] = set(pkt.destinations)
-                arrived_cells += pkt.fanout
-                arrived_packets += 1
-                backlog += pkt.fanout
-            if measured:
-                measured_slots += 1
-                cells_offered += arrived_cells
-                packets_offered += arrived_packets
-
-            # requests_made (reference semantics): any HOL cell visible
-            # to the scheduler this slot, sampled before serving.
-            any_hol = any(queues[i] for i in range(n))
-
-            # ---------------- place fresh pieces ---------------- #
-            fresh = []
-            for i in range(n):
-                q = queues[i]
-                if q and in_box[i] != q[0][0]:
-                    pid, _dests = q[0]
-                    rem = residue[i]
-                    date = max(len(columns[j]) + 1 for j in rem)
-                    fresh.append((date, p_arrival[pid], i, pid, rem))
-            if fresh:
-                fresh.sort(key=lambda t: (t[0], t[1], t[2]))
-                for _date, _arr, i, pid, rem in fresh:
-                    for j in sorted(rem):
-                        columns[j].append(i)
-                    in_box[i] = pid
-
-            # ---------------- serve the bottom row ---------------- #
-            served_any = False
-            # grants per input this slot (for the same-slot bookkeeping)
-            for j in range(n):
-                col = columns[j]
-                if not col:
-                    continue
-                i = col.pop(0)
-                served_any = True
-                q = queues[i]
-                if not q or j not in residue[i]:
-                    raise SimulationError(
-                        f"fast TATRA box out of sync at column {j}"
-                    )
-                pid = q[0][0]
-                residue[i].discard(j)
-                backlog -= 1
-                counted = p_arrival[pid] >= warmup
-                if counted:
-                    delivery_count += 1
-                    delivery_sum += slot - p_arrival[pid] + 1
-                if slot > p_last[pid]:
-                    p_last[pid] = slot
-                p_remaining[pid] -= 1
-                if p_remaining[pid] == 0:
-                    q.popleft()
-                    if q:
-                        residue[i] = set(q[0][1])
-                    if counted:
-                        packet_count += 1
-                        packet_sum += p_last[pid] - p_arrival[pid] + 1
-                if measured:
-                    cells_delivered += 1
-            # Packet ids are unique, so a completed piece's stale in_box
-            # marker can never collide with a successor packet; no sweep
-            # needed (the reference clears markers only cosmetically).
-            if measured and any_hol:
-                active_slots += 1
-                rounds = 1 if served_any else 0
-                rounds_sum += rounds
-                if rounds > rounds_max:
-                    rounds_max = rounds
-
-            # ---------------- occupancy ---------------- #
-            if measured:
-                occ_samples += n
-                total = 0
-                m = 0
-                for i in range(n):
-                    size = len(queues[i])
-                    total += size
-                    if size > m:
-                        m = size
-                occ_sum += total
-                if m > occ_max:
-                    occ_max = m
-
-            if window and (slot + 1) % window == 0:
-                if monitor.observe(backlog):
-                    unstable = True
-                    break
-
-        return SimulationSummary(
-            algorithm="tatra-fast",
-            num_ports=n,
+        """Run the simulation through the kernel-seam engine (TATRA is
+        object-only, so this always drives the object backend)."""
+        return SimulationEngine(
+            self.switch,
+            self.traffic,
+            self.config,
             seed=self.seed,
-            slots_run=slots_run,
-            warmup_slots=warmup,
-            average_input_delay=(packet_sum / packet_count) if packet_count else float("nan"),
-            average_output_delay=(delivery_sum / delivery_count) if delivery_count else float("nan"),
-            average_queue_size=(occ_sum / occ_samples) if occ_samples else float("nan"),
-            max_queue_size=occ_max,
-            average_rounds=(rounds_sum / active_slots) if active_slots else float("nan"),
-            max_rounds=rounds_max,
-            offered_load=(cells_offered / (measured_slots * n)) if measured_slots else float("nan"),
-            carried_load=(cells_delivered / (measured_slots * n)) if measured_slots else float("nan"),
-            delivery_ratio=(cells_delivered / cells_offered) if cells_offered else float("nan"),
-            packets_offered=packets_offered,
-            cells_offered=cells_offered,
-            cells_delivered=cells_delivered,
-            final_backlog=backlog,
-            unstable=unstable,
-            traffic={
-                "model": type(self.traffic).__name__,
-                "effective_load": self.traffic.effective_load,
-                "average_fanout": self.traffic.average_fanout,
-            },
-        )
+            algorithm_name="tatra",
+        ).run()

@@ -24,9 +24,11 @@ Cross-run packet identity is ``(input_port, arrival_slot)``: packet ids
 come from a process-global counter, so the second run's ids are offset
 from the first even though the traffic streams are identical.
 
-The default grid covers FIFOMS, iSLIP and TATRA under Bernoulli and
-bursty traffic plus one fault-injection scenario, all at 8 ports. Run it
-directly (CI does, on every push)::
+The default grid is generated from the registry: every pairing that can
+drive the vectorized backend runs under Bernoulli and bursty traffic,
+plus one fault-injection scenario, all at 8 ports. Object-only pairings
+(TATRA's declared demotion) are reported as skips with their declared
+reason. Run it directly (CI does, on every push)::
 
     PYTHONPATH=src python -m repro.kernel.equivalence --ports 8 --slots 4000
 
@@ -42,7 +44,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import EquivalenceError
-from repro.schedulers.registry import make_switch
+from repro.schedulers.registry import available_schedulers, make_switch
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import SimulationEngine
 from repro.sim.runner import build_traffic
@@ -56,6 +58,7 @@ __all__ = [
     "slot_digest",
     "run_case",
     "default_grid",
+    "object_only_pairings",
     "run_grid",
     "main",
 ]
@@ -284,27 +287,65 @@ def run_case(
     return report
 
 
-def default_grid() -> list[EquivalenceCase]:
-    """The CI grid: 3 schedulers × 2 traffic models + 1 fault case.
+def object_only_pairings() -> dict[str, str]:
+    """Registry pairings excluded from the grid, with the declared *why*.
 
-    Loads are chosen so every run is stable for the full slot count
-    (TATRA saturates well below the FIFOMS loads, hence its lighter
-    points) — an unstable early stop would silently shrink the number of
-    compared slots.
+    A pairing lands here only by declaring ``object_only_reason`` on its
+    scheduler (TATRA's demotion) — the grid generator consults the
+    declaration rather than keeping its own skip list, so a pairing
+    cannot silently drop out of the equivalence claim.
+    """
+    from repro.schedulers.base import object_only_reason, scheduler_backends
+
+    skipped: dict[str, str] = {}
+    for name in available_schedulers():
+        switch = make_switch(name, 4)
+        scheduler = getattr(switch, "scheduler", None)
+        if scheduler is None:
+            continue  # self-scheduled switches all drive both backends
+        if "vectorized" not in scheduler_backends(scheduler):
+            skipped[name] = (
+                object_only_reason(scheduler) or "no reason declared"
+            )
+    return skipped
+
+
+def default_grid() -> list[EquivalenceCase]:
+    """The CI grid, generated from the registry: every pairing that can
+    drive the vectorized backend × two traffic models, plus one
+    fault-injection case.
+
+    Loads are chosen so every run is stable for the full slot count at
+    N=4 and N=8 (the single-input-queue pairings saturate well below the
+    VOQ loads, hence their lighter points) — an unstable early stop
+    would silently shrink the number of compared slots. The strict-
+    priority pairing gets class-tagged traffic so both service classes
+    carry cells. Object-only pairings (see :func:`object_only_pairings`)
+    are excluded: they have no second backend to compare.
     """
     bernoulli = {"model": "bernoulli", "p": 0.3, "b": 0.25}
     burst = {"model": "burst", "e_on": 4.0, "e_off": 16.0, "b": 0.3}
     light_bernoulli = {"model": "bernoulli", "p": 0.25, "b": 0.25}
     light_burst = {"model": "burst", "e_on": 3.0, "e_off": 21.0, "b": 0.25}
-    return [
-        EquivalenceCase("fifoms", bernoulli),
-        EquivalenceCase("fifoms", burst),
-        EquivalenceCase("fifoms", bernoulli, fault="flaky-crosspoint"),
-        EquivalenceCase("islip", bernoulli),
-        EquivalenceCase("islip", burst),
-        EquivalenceCase("tatra", light_bernoulli),
-        EquivalenceCase("tatra", light_burst),
-    ]
+    #: Single-input-queue pairings whose HOL blocking saturates early.
+    light_pairings = {"wba", "siq-fifo"}
+    skipped = object_only_pairings()
+    cases = []
+    for name in available_schedulers():
+        if name in skipped:
+            continue
+        pair: tuple[dict[str, Any], dict[str, Any]] = (
+            (light_bernoulli, light_burst)
+            if name in light_pairings
+            else (bernoulli, burst)
+        )
+        if name == "fifoms-prio":
+            pair = tuple(
+                dict(spec, class_shares=[0.5, 0.5]) for spec in pair
+            )
+        cases.extend(EquivalenceCase(name, spec) for spec in pair)
+    cases.append(EquivalenceCase("fifoms", bernoulli, fault="flaky-crosspoint"))
+    return cases
 
 
 def run_grid(
@@ -342,6 +383,8 @@ def main(argv: list[str] | None = None) -> int:
         f"backend equivalence grid: N={args.ports}, "
         f"{args.slots} slots per case"
     )
+    for name, reason in sorted(object_only_pairings().items()):
+        print(f"  skip {name}: object-only — {reason}")
     try:
         reports = run_grid(
             num_ports=args.ports, num_slots=args.slots, verbose=True

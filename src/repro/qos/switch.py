@@ -21,11 +21,11 @@ from __future__ import annotations
 
 from repro.core.fifoms import FIFOMSScheduler, TieBreak
 from repro.core.matching import ScheduleDecision
-from repro.core.preprocess import preprocess_packet
-from repro.core.voq import MulticastVOQInputPort
-from repro.errors import ConfigurationError, SchedulingError, TrafficError
+from repro.errors import ConfigurationError, TrafficError
 from repro.fabric.crossbar import MulticastCrossbar
-from repro.packet import Delivery, Packet
+from repro.kernel.base import make_backend
+from repro.packet import Packet
+from repro.schedulers.base import resolve_backend
 from repro.switch.base import BaseSwitch, SlotResult
 
 __all__ = ["PriorityMulticastVOQSwitch"]
@@ -49,6 +49,7 @@ class PriorityMulticastVOQSwitch(BaseSwitch):
         *,
         tie_break: TieBreak = TieBreak.RANDOM,
         rng=None,
+        backend: str = "object",
     ) -> None:
         super().__init__(num_ports)
         if not 1 <= num_classes <= 8:
@@ -56,19 +57,30 @@ class PriorityMulticastVOQSwitch(BaseSwitch):
                 f"num_classes must be in [1, 8], got {num_classes}"
             )
         self.num_classes = num_classes
-        # class_ports[c][i] — class c's VOQ row.
-        self.class_ports: list[tuple[MulticastVOQInputPort, ...]] = [
-            tuple(MulticastVOQInputPort(i, num_ports) for i in range(num_ports))
-            for _ in range(num_classes)
-        ]
         self.schedulers = [
             FIFOMSScheduler(num_ports, tie_break=tie_break, rng=rng)
             for _ in range(num_classes)
+        ]
+        self.backend = resolve_backend(self.schedulers[0], backend)
+        # One kernel backend per class: class c's priority lane is a full
+        # VOQ state (object port row or SoA SwitchState) of its own.
+        self._backends = [
+            make_backend(self.backend, num_ports) for _ in range(num_classes)
         ]
         self.crossbar = MulticastCrossbar(num_ports)
         self.deliveries_per_class = [0] * num_classes
         # Per-class decisions staged by _decide() for _transfer().
         self._pending: list[ScheduleDecision] | None = None
+
+    @property
+    def class_ports(self):
+        """[class][input] port objects (reference semantics only).
+
+        The vectorized backend has no per-cell port objects; use
+        :meth:`queue_sizes_by_class` or the per-class backends'
+        ``state_arrays()`` for a backend-agnostic view.
+        """
+        return [b.ports for b in self._backends]
 
     # ------------------------------------------------------------------ #
     def _accept(self, packet: Packet, slot: int) -> None:
@@ -76,9 +88,7 @@ class PriorityMulticastVOQSwitch(BaseSwitch):
             raise TrafficError(
                 f"packet priority {packet.priority} >= {self.num_classes} classes"
             )
-        preprocess_packet(
-            self.class_ports[packet.priority][packet.input_port], packet, slot
-        )
+        self._backends[packet.priority].admit(packet, slot)
 
     def _decide(self, slot: int) -> tuple[ScheduleDecision, int]:
         """One FIFOMS pass per class, strictly high to low, carrying the
@@ -91,8 +101,8 @@ class PriorityMulticastVOQSwitch(BaseSwitch):
         per_class: list[ScheduleDecision] = []
         total_rounds = 0
         for cls in range(self.num_classes):
-            decision = self.schedulers[cls].schedule(
-                self.class_ports[cls],
+            decision = self._backends[cls].schedule(
+                self.schedulers[cls],
                 input_free=input_free,
                 output_free=output_free,
             )
@@ -111,48 +121,60 @@ class PriorityMulticastVOQSwitch(BaseSwitch):
     ) -> None:
         per_class = self._pending
         self._pending = None
-        for cls, decision in enumerate(per_class):
-            ports = self.class_ports[cls]
-            for i, grant in decision.grants.items():
-                port = ports[i]
-                cells = [port.voqs[j].pop_head() for j in grant.output_ports]
-                data_cell = cells[0].data_cell
-                for cell in cells[1:]:
-                    if cell.data_cell is not data_cell:
-                        raise SchedulingError(
-                            f"class {cls}, input {i}: two data cells in one slot"
-                        )
-                for cell in cells:
-                    result.deliveries.append(
-                        Delivery(
-                            packet=data_cell.packet,
-                            output_port=cell.output_port,
-                            service_slot=slot,
-                        )
-                    )
-                    port.buffer.record_service(data_cell)
-                    self.deliveries_per_class[cls] += 1
+        for cls, class_decision in enumerate(per_class):
+            before = len(result.deliveries)
+            self._backends[cls].commit(class_decision, result, slot)
+            self.deliveries_per_class[cls] += len(result.deliveries) - before
 
     # ------------------------------------------------------------------ #
     def queue_sizes(self) -> list[int]:
         """Live data cells per input, summed over classes."""
+        per_class = [b.queue_sizes() for b in self._backends]
         return [
-            sum(self.class_ports[c][i].queue_size for c in range(self.num_classes))
+            sum(sizes[i] for sizes in per_class)
             for i in range(self.num_ports)
         ]
 
     def queue_sizes_by_class(self) -> list[list[int]]:
         """[class][input] live data cells."""
-        return [
-            [p.queue_size for p in row] for row in self.class_ports
-        ]
+        return [b.queue_sizes() for b in self._backends]
+
+    def harvest_slot_stats(self) -> dict[str, object]:
+        """Kernel-seam counters, aggregated over the class lanes.
+
+        Sums live/residue cells, takes the worst per-class VOQ peak and
+        the oldest HOL timestamp across classes — the same keys both
+        kernel backends produce, so the ``kernel.*`` telemetry series and
+        the metrics-identical equivalence level cover this pairing too.
+        """
+        live = 0
+        residue = 0
+        voq_peak = 0
+        oldest: object = None
+        for b in self._backends:
+            stats = b.harvest_slot_stats()
+            live += stats["live_cells"]
+            residue += stats["residue_cells"]
+            voq_peak = max(voq_peak, stats["voq_peak"])
+            hol = stats["oldest_hol_ts"]
+            if hol is not None and (oldest is None or hol < oldest):
+                oldest = hol
+        return {
+            "live_cells": live,
+            "residue_cells": residue,
+            "voq_peak": voq_peak,
+            "oldest_hol_ts": oldest,
+        }
+
+    def state_arrays(self) -> dict[str, object]:
+        """Per-class struct-of-arrays snapshots (both backends)."""
+        return {
+            f"class{c}": b.state_arrays() for c, b in enumerate(self._backends)
+        }
 
     def total_backlog(self) -> int:
-        return sum(
-            p.total_address_cells for row in self.class_ports for p in row
-        )
+        return sum(b.total_backlog() for b in self._backends)
 
     def check_invariants(self) -> None:
-        for row in self.class_ports:
-            for p in row:
-                p.check_invariants()
+        for b in self._backends:
+            b.check_invariants()

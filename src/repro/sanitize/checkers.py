@@ -373,9 +373,19 @@ class StateCrossChecker(Checker):
         if state_arrays is None:
             return out
         arrays = state_arrays()
-        occupancy = np.asarray(arrays["occupancy"])
-        hol_ts = np.asarray(arrays["hol_ts"])
-        live = np.asarray(arrays["live"])
+        # The strict-priority switch snapshots one SoA state per service
+        # class ({"class0": {...}, ...}); flat switches return the keys
+        # directly. Aggregate lanes for the public-API comparisons, keep
+        # the HOL-liveness check per lane.
+        lanes: list[tuple[str | None, dict[str, Any]]] = (
+            [(None, arrays)]
+            if "occupancy" in arrays
+            else sorted(arrays.items())
+        )
+        occupancy = np.sum(
+            [np.asarray(sub["occupancy"]) for _, sub in lanes], axis=0
+        )
+        live = np.sum([np.asarray(sub["live"]) for _, sub in lanes], axis=0)
         backlog = int(ctx.switch.total_backlog())
         if int(occupancy.sum()) != backlog:
             out.append(
@@ -415,21 +425,25 @@ class StateCrossChecker(Checker):
                     queue_sizes=tuple(queue_sizes),
                 )
             )
-        mismatch = np.isfinite(hol_ts) != (occupancy > 0)
-        if bool(mismatch.any()):
-            where = np.argwhere(mismatch)
-            i, j = (int(where[0][0]), int(where[0][1]))
-            out.append(
-                self.violation(
-                    ctx,
-                    slot,
-                    "HOL timestamp liveness disagrees with occupancy "
-                    "(finite ts iff the VOQ is non-empty)",
-                    input=i,
-                    output=j,
-                    occupancy=int(occupancy[i, j]),
+        for lane, sub in lanes:
+            lane_hol = np.asarray(sub["hol_ts"])
+            lane_occ = np.asarray(sub["occupancy"])
+            mismatch = np.isfinite(lane_hol) != (lane_occ > 0)
+            if bool(mismatch.any()):
+                where = np.argwhere(mismatch)
+                i, j = (int(where[0][0]), int(where[0][1]))
+                out.append(
+                    self.violation(
+                        ctx,
+                        slot,
+                        "HOL timestamp liveness disagrees with occupancy "
+                        "(finite ts iff the VOQ is non-empty)",
+                        input=i,
+                        output=j,
+                        occupancy=int(lane_occ[i, j]),
+                        **({"lane": lane} if lane is not None else {}),
+                    )
                 )
-            )
         harvest = getattr(ctx.switch, "harvest_slot_stats", None)
         if harvest is not None:
             stats = harvest()

@@ -20,9 +20,11 @@ from repro.errors import ConfigurationError
 __all__ = [
     "UnicastVOQView",
     "SIQHolCell",
+    "SIQHolView",
     "note_round",
     "DEFAULT_BACKENDS",
     "scheduler_backends",
+    "object_only_reason",
     "resolve_backend",
 ]
 
@@ -41,20 +43,38 @@ def scheduler_backends(scheduler: object) -> tuple[str, ...]:
     return tuple(getattr(scheduler, "supported_backends", DEFAULT_BACKENDS))
 
 
+def object_only_reason(scheduler: object) -> str | None:
+    """The declared reason a scheduler (or switch) is object-only.
+
+    Components that deliberately stay off the vectorized kernel declare
+    ``object_only_reason`` — a human-readable sentence explaining *why*
+    (e.g. TATRA's box algorithm is inherently sequential and measured
+    slower vectorized). The registry surfaces it in rejection errors and
+    the equivalence grid generator uses it to skip the combination with
+    an explicit, auditable reason instead of silence.
+    """
+    reason = getattr(scheduler, "object_only_reason", None)
+    return str(reason) if reason else None
+
+
 def resolve_backend(scheduler: object, backend: str) -> str:
     """Validate ``backend`` against the scheduler's declared support.
 
     Returns the backend name unchanged, or raises
-    :class:`~repro.errors.ConfigurationError` naming the scheduler and
-    what it does support.
+    :class:`~repro.errors.ConfigurationError` naming the scheduler, what
+    it does support, and — when declared — why it is object-only.
     """
     supported = scheduler_backends(scheduler)
     if backend not in supported:
         name = getattr(scheduler, "name", type(scheduler).__name__)
-        raise ConfigurationError(
+        message = (
             f"scheduler {name!r} does not support the {backend!r} kernel "
             f"backend (supported: {', '.join(supported)})"
         )
+        reason = object_only_reason(scheduler)
+        if reason is not None:
+            message += f" — {reason}"
+        raise ConfigurationError(message)
     return backend
 
 
@@ -122,3 +142,51 @@ class SIQHolCell:
     remaining: frozenset[int]
     arrival_slot: int
     packet_id: int
+
+
+@dataclass(slots=True)
+class SIQHolView:
+    """SoA snapshot of every visible SIQ HOL cell for one slot.
+
+    The single-input-queue switch keeps its HOL residues as per-input
+    bitmasks (bit j set = output j still unserved) and hands the
+    vectorized kernel this parallel-list view of the non-empty inputs —
+    no per-cell objects, no set materialization. Entry k describes the
+    HOL cell of ``inputs[k]`` (ascending input order, exactly the order
+    :meth:`~repro.switch.single_queue.SingleInputQueueSwitch.hol_cells`
+    lists cells for the object path).
+    """
+
+    num_ports: int
+    current_slot: int
+    #: Non-empty input ports, ascending.
+    inputs: list[int]
+    #: Residue bitmask of each listed input's HOL cell.
+    residue_bits: list[int]
+    #: Arrival slot of each listed input's HOL cell.
+    arrivals: list[int]
+
+    def fanouts(self) -> list[int]:
+        """Residue size (|remaining|) per listed input."""
+        return [b.bit_count() for b in self.residue_bits]
+
+    def member_matrix(self) -> np.ndarray:
+        """Boolean (m, N): listed cell k's residue contains output j.
+
+        For N <= 64 the residue bitmasks unpack in three array ops (one
+        broadcast shift, one mask, one cast); wider switches fall back
+        to a per-set-bit fill, still touching only the set bits.
+        """
+        m = len(self.inputs)
+        n = self.num_ports
+        if n <= 64:
+            bits = np.array(self.residue_bits, dtype=np.uint64)
+            lanes = np.arange(n, dtype=np.uint64)
+            return ((bits[:, None] >> lanes) & np.uint64(1)).astype(bool)
+        member = np.zeros((m, n), dtype=bool)
+        for k, b in enumerate(self.residue_bits):
+            while b:
+                low = b & -b
+                member[k, low.bit_length() - 1] = True
+                b ^= low
+        return member

@@ -16,10 +16,16 @@ fanouts more than FIFOMS, but it is single-pass.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.core.matching import ScheduleDecision
 from repro.core.voq import MulticastVOQInputPort
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.state import SwitchState
 
 __all__ = ["GreedyMcastScheduler"]
 
@@ -34,6 +40,11 @@ class GreedyMcastScheduler:
             raise ConfigurationError(f"num_ports must be >= 1, got {num_ports}")
         self.num_ports = num_ports
         self._pointer = 0
+
+    #: The greedy pass is deterministic (pointer order, then smallest HOL
+    #: timestamp), so the SoA entry point below is bit-exact with
+    #: :meth:`schedule` and both kernel backends are supported.
+    supported_backends = ("object", "vectorized")
 
     def schedule(self, ports: Sequence[MulticastVOQInputPort]) -> ScheduleDecision:
         """One greedy pointer pass over the inputs; single iteration."""
@@ -62,6 +73,50 @@ class GreedyMcastScheduler:
             decision.add(i, outs)
             matched += 1
         # Rotate the starting pointer so no input is permanently favored.
+        self._pointer = (self._pointer + 1) % n
+        decision.rounds = 1 if matched else 0
+        return decision
+
+    def schedule_state(
+        self,
+        state: "SwitchState",
+        *,
+        input_free: list[bool] | None = None,
+        output_free: list[bool] | None = None,
+    ) -> ScheduleDecision:
+        """SoA twin of :meth:`schedule` for the vectorized kernel backend.
+
+        Each visited input's ``min_hol_timestamp`` comparator becomes one
+        masked row min over the HOL-timestamp matrix, and its grant set
+        one equality gather. The pointer walk itself stays sequential —
+        that *is* the algorithm (later inputs see earlier claims).
+        """
+        n = self.num_ports
+        if state.num_ports != n:
+            raise ConfigurationError(
+                f"scheduler built for {n} ports, got a {state.num_ports}-port state"
+            )
+        decision = ScheduleDecision()
+        hol = state.hol_ts
+        free = (
+            np.asarray(output_free, dtype=bool)
+            if output_free is not None
+            else np.ones(n, dtype=bool)
+        )
+        matched = 0
+        for k in range(n):
+            i = (self._pointer + k) % n
+            if input_free is not None and not input_free[i]:
+                continue
+            row = np.where(free, hol[i], np.inf)
+            ts = row.min()
+            if not np.isfinite(ts):
+                continue
+            decision.requests_made = True
+            outs = tuple(int(j) for j in np.flatnonzero(row == ts))
+            free[list(outs)] = False
+            decision.add(i, outs)
+            matched += 1
         self._pointer = (self._pointer + 1) % n
         decision.rounds = 1 if matched else 0
         return decision

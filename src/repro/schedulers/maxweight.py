@@ -44,6 +44,13 @@ class MaxWeightScheduler:
             )
         self.num_ports = num_ports
         self.weight = weight
+        # Weight-matrix scratch for the vectorized entry point.
+        self._w = np.empty((num_ports, num_ports), dtype=np.float64)
+
+    #: The object path is already matrix-shaped (the assignment solver is
+    #: the whole cost), so the array entry point below is the same
+    #: computation minus per-slot weight-matrix allocations.
+    supported_backends = ("object", "vectorized")
 
     def schedule(self, view: UnicastVOQView) -> ScheduleDecision:
         """Solve the maximum-weight matching for one slot."""
@@ -64,6 +71,40 @@ class MaxWeightScheduler:
         for i, j in zip(rows, cols):
             if w[i, j] > 0:
                 decision.add(int(i), (int(j),))
+        decision.rounds = 1
+        return decision
+
+    def schedule_vectorized(self, view: UnicastVOQView) -> ScheduleDecision:
+        """Array twin of :meth:`schedule` for the vectorized kernel backend.
+
+        Identical weights and the identical assignment solve — MaxWeight's
+        object path already is the array computation — but the weight
+        matrix is built in a preallocated scratch (no ``astype`` copies)
+        and the solution is read back through one gather + ``tolist()``
+        instead of N scalar ``w[i, j]`` fetches, which is all the
+        headroom an O(N³) solver leaves on the table.
+        """
+        n = self.num_ports
+        if view.num_ports != n:
+            raise ConfigurationError(
+                f"view has {view.num_ports} ports, scheduler built for {n}"
+            )
+        w = self._w
+        if self.weight == "lqf":
+            np.copyto(w, view.occupancy, casting="unsafe")
+        else:
+            hol = view.hol_arrival
+            np.subtract(view.current_slot + 1, hol, out=w, casting="unsafe")
+            w[hol < 0] = 0.0
+        decision = ScheduleDecision()
+        if not w.any():
+            return decision
+        decision.requests_made = True
+        rows, cols = linear_sum_assignment(w, maximize=True)
+        picked = w[rows, cols].tolist()
+        for i, j, wv in zip(rows.tolist(), cols.tolist(), picked):
+            if wv > 0:
+                decision.add(i, (j,))
         decision.rounds = 1
         return decision
 

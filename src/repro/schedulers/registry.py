@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.fifoms import FIFOMSScheduler, TieBreak
 from repro.errors import ConfigurationError
+from repro.schedulers.base import object_only_reason
 from repro.schedulers.greedy_mcast import GreedyMcastScheduler
 from repro.schedulers.islip import ISLIPScheduler
 from repro.schedulers.maxweight import MaxWeightScheduler
@@ -91,21 +92,26 @@ def _require_object_backend(
 ) -> None:
     """Reject a non-object ``backend`` kwarg for object-only architectures.
 
-    Factories whose switch has no kernel-backend seam call this first, so
+    No built-in pairing calls this anymore — every registry pairing now
+    has a kernel seam (TATRA's demotion is declared on the *scheduler*
+    and enforced by ``resolve_backend``) — but extension factories that
+    register deliberately object-only switches keep it as their guard, so
     ``make_switch(..., backend="vectorized")`` fails with a configuration
-    error naming the pairing *and* what it does support instead of an
-    opaque ``TypeError``. Pass the ``scheduler`` class when the scheduler
-    itself declares wider support — the message then explains that the
-    restriction comes from the switch architecture, not the algorithm
-    (e.g. iSLIP is vectorized-capable, but the CIOQ crossbar cannot
-    drive an array kernel).
+    error naming the pairing and *why* instead of an opaque ``TypeError``.
+    Pass the ``scheduler`` (class or instance) so the message reports its
+    declared ``object_only_reason``, or — when the scheduler declares
+    wider support — explains that the restriction comes from the switch
+    architecture, not the algorithm.
     """
     backend = kw.pop("backend", "object")
     if backend == "object":
         return
     declared = getattr(scheduler, "supported_backends", None)
     detail = ""
-    if isinstance(declared, (tuple, list)) and set(declared) != {"object"}:
+    reason = object_only_reason(scheduler) if scheduler is not None else None
+    if reason is not None:
+        detail = f"; {reason}"
+    elif isinstance(declared, (tuple, list)) and set(declared) != {"object"}:
         detail = (
             f"; the scheduler declares {', '.join(repr(b) for b in declared)}"
             f", but this switch architecture has no kernel seam to drive it"
@@ -193,15 +199,11 @@ def _greedy(num_ports: int, *, rng=None, **kw) -> "BaseSwitch":
 def _oqfifo(num_ports: int, *, rng=None, **kw) -> "BaseSwitch":
     from repro.switch.output_queue import OutputQueuedSwitch
 
-    _require_object_backend(kw, "oqfifo")
-
     return OutputQueuedSwitch(num_ports, **kw)
 
 
 def _fifoms_prio(num_ports: int, *, rng=None, **kw) -> "BaseSwitch":
     from repro.qos.switch import PriorityMulticastVOQSwitch
-
-    _require_object_backend(kw, "fifoms-prio")
 
     tie = kw.pop("tie_break", TieBreak.RANDOM)
     if isinstance(tie, str):
@@ -241,8 +243,6 @@ def _cioq(num_ports: int, *, rng=None, **kw) -> "BaseSwitch":
     from repro.schedulers.islip import ISLIPScheduler
     from repro.switch.cioq import CIOQSwitch
 
-    _require_object_backend(kw, "cioq-islip", ISLIPScheduler)
-
     speedup = kw.pop("speedup", 2)
     return CIOQSwitch(num_ports, speedup, ISLIPScheduler(num_ports), **kw)
 
@@ -252,8 +252,6 @@ register_switch_factory("cioq-islip", _cioq)
 def _cicq(num_ports: int, *, rng=None, **kw) -> "BaseSwitch":
     from repro.switch.cicq import BufferedCrossbarSwitch
 
-    _require_object_backend(kw, "cicq")
-
     return BufferedCrossbarSwitch(
         num_ports, crosspoint_depth=kw.pop("crosspoint_depth", 1), **kw
     )
@@ -261,8 +259,6 @@ def _cicq(num_ports: int, *, rng=None, **kw) -> "BaseSwitch":
 
 def _eslip(num_ports: int, *, rng=None, **kw) -> "BaseSwitch":
     from repro.switch.eslip import ESLIPSwitch
-
-    _require_object_backend(kw, "eslip")
 
     return ESLIPSwitch(
         num_ports, max_iterations=kw.pop("max_iterations", None), **kw

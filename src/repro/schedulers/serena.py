@@ -22,6 +22,8 @@ Weights are current VOQ occupancies (LQF weights), per the original.
 
 from __future__ import annotations
 
+from itertools import accumulate
+
 import numpy as np
 
 from repro.core.matching import ScheduleDecision
@@ -47,6 +49,13 @@ class SerenaScheduler:
         # previous matching: prev[i] = output matched to input i, or -1.
         self._prev = np.full(num_ports, -1, dtype=np.int64)
         self._last_occupancy: np.ndarray | None = None
+
+    #: The arrival proposals and the merge trace consume RNG draws and
+    #: resolve collisions in input order; the array entry point below
+    #: replays those draws exactly (bulk tie grouping preserves the
+    #: candidate order) and vectorizes the order-free pieces — the
+    #: heaviest-new-VOQ scan, edge invalidation, greedy completion.
+    supported_backends = ("object", "vectorized")
 
     # ------------------------------------------------------------------ #
     def _arrival_matching(self, view: UnicastVOQView) -> np.ndarray:
@@ -76,6 +85,55 @@ class SerenaScheduler:
                 owner_of_output[j] = i
                 proposal[i] = j
         return proposal
+
+    def _arrival_matching_vectorized(self, view: UnicastVOQView) -> np.ndarray:
+        """Array twin of :meth:`_arrival_matching` (same draw sequence).
+
+        The per-input "heaviest newly-fed VOQ" scan becomes one masked
+        row max plus one bulk tie grouping (``nonzero()`` flattens tied
+        columns grouped by row, ascending — exactly the candidate order
+        ``np.nonzero(arrivals[i] > 0)[0]`` gives the object path), so
+        the proposal loop consumes the identical RNG draws: one
+        ``integers(k)`` per input with k > 1 tied heaviest VOQs, in
+        ascending input order. Output-collision resolution stays the
+        object path's sequential input-order sweep.
+        """
+        n = self.num_ports
+        occ = view.occupancy
+        arrivals = (
+            occ - self._last_occupancy
+            if self._last_occupancy is not None
+            else occ
+        )
+        grew = arrivals > 0
+        masked = np.where(grew, occ, np.iinfo(occ.dtype).min)
+        row_best = masked.max(axis=1)
+        ties = grew & (masked == row_best[:, None])
+        tie_rows, tie_cols = ties.nonzero()
+        cnt_l = ties.sum(axis=1).tolist()
+        ends_l = list(accumulate(cnt_l))
+        cols_l = tie_cols.tolist()
+        del tie_rows  # grouping is implicit in cnt_l/ends_l
+        proposal_l = [-1] * n
+        owner_of_output = [-1] * n
+        occ_l = occ.tolist()
+        rng = self._rng
+        for i in range(n):
+            cnt = cnt_l[i]
+            if cnt == 0:
+                continue
+            if cnt == 1:
+                j = cols_l[ends_l[i] - 1]
+            else:
+                j = cols_l[ends_l[i] - cnt + int(rng.integers(cnt))]
+            # Output collision: heavier edge wins.
+            k = owner_of_output[j]
+            if k == -1 or occ_l[i][j] > occ_l[k][j]:
+                if k != -1:
+                    proposal_l[k] = -1
+                owner_of_output[j] = i
+                proposal_l[i] = j
+        return np.array(proposal_l, dtype=np.int64)
 
     def _merge(
         self, a: np.ndarray, p: np.ndarray, occ: np.ndarray
@@ -172,6 +230,73 @@ class SerenaScheduler:
         self._prev = merged
         self._last_occupancy = occ.copy()
         return decision
+
+    def schedule_vectorized(self, view: UnicastVOQView) -> ScheduleDecision:
+        """Array twin of :meth:`schedule` for the vectorized kernel backend.
+
+        The alternating-component merge is *shared* with the object path
+        (its trace is inherently sequential); what vectorizes is the
+        arrival matching (bulk row max + tie grouping, replaying the
+        object path's RNG draws exactly), the stale-edge invalidation
+        (one gather instead of a python scan) and the greedy
+        completion's candidate ordering (``np.lexsort`` over (weight,
+        input, output) instead of building and sorting N² tuples). The
+        key triples are distinct, so the descending lexsort order equals
+        the object path's ``sort(reverse=True)`` — same fill sequence,
+        same matching.
+        """
+        n = self.num_ports
+        if view.num_ports != n:
+            raise ConfigurationError(
+                f"view has {view.num_ports} ports, scheduler built for {n}"
+            )
+        occ = view.occupancy
+        decision = ScheduleDecision()
+        if not (occ > 0).any():
+            self._prev.fill(-1)
+            self._last_occupancy = occ.copy()
+            return decision
+        decision.requests_made = True
+        arrival = self._arrival_matching_vectorized(view)
+        # Previous matching edges are only valid while their VOQ has cells
+        # — one gather over the remembered edges instead of a port scan.
+        prev = self._prev.copy()
+        held = (prev >= 0).nonzero()[0]
+        if held.size:
+            stale = held[occ[held, prev[held]] == 0]
+            prev[stale] = -1
+        merged = self._merge(arrival, prev, occ)
+        self._complete_vectorized(merged, occ)
+        for i, j in enumerate(merged.tolist()):
+            if j >= 0:
+                decision.add(i, (j,))
+        decision.rounds = 1 if decision.grants else 0
+        self._prev = merged
+        self._last_occupancy = occ.copy()
+        return decision
+
+    def _complete_vectorized(self, match: np.ndarray, occ: np.ndarray) -> None:
+        """Vectorized twin of :meth:`_complete_greedily` (same fill order)."""
+        n = self.num_ports
+        out_taken = np.zeros(n, dtype=bool)
+        out_taken[match[match >= 0]] = True
+        free_in = match < 0
+        cand = free_in[:, None] & ~out_taken[None, :] & (occ > 0)
+        flat = cand.reshape(-1).nonzero()[0]
+        if flat.size == 0:
+            return
+        ci, cj = flat // n, flat % n
+        order = np.lexsort((cj, ci, occ[ci, cj]))[::-1]
+        ci_l, cj_l = ci.tolist(), cj.tolist()
+        match_l = match.tolist()
+        taken_l = out_taken.tolist()
+        for k in order.tolist():
+            i, j = ci_l[k], cj_l[k]
+            if match_l[i] >= 0 or taken_l[j]:
+                continue
+            match_l[i] = j
+            taken_l[j] = True
+        match[:] = match_l
 
     def reset(self) -> None:
         """Forget the remembered matching and occupancy snapshot."""

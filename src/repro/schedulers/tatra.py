@@ -31,8 +31,6 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-import numpy as np
-
 from repro.core.matching import ScheduleDecision
 from repro.errors import ConfigurationError, SchedulingError
 from repro.schedulers.base import SIQHolCell
@@ -53,12 +51,19 @@ class TATRAScheduler:
         self.columns: list[list[int]] = [[] for _ in range(num_ports)]
         # packet_id currently in the box, per input (-1 = none).
         self._in_box: list[int] = [-1] * num_ports
-        # Scratch column-height vector for the vectorized entry point.
-        self._heights = np.zeros(num_ports, dtype=np.int64)
 
-    #: TATRA is deterministic (placement order is a total order), so the
-    #: array entry point below is bit-exact with :meth:`schedule`.
-    supported_backends = ("object", "vectorized")
+    #: TATRA is deliberately object-only. A bit-exact ``np.lexsort`` twin
+    #: of the placement order existed through PR 8 but the box evolution
+    #: itself — piece drops into ragged python columns, bottom-row pops —
+    #: is inherently sequential, so the array path measured *slower* than
+    #: the object path (BENCH_kernel.json: 0.88× at 16×16) and was
+    #: demoted rather than shipped as a fake speedup.
+    supported_backends = ("object",)
+    object_only_reason = (
+        "TATRA's Tetris box is inherently sequential (ragged per-column "
+        "piece placement and bottom-row pops); the vectorized twin "
+        "measured 0.88x and was demoted to keep BENCH >= 1x everywhere"
+    )
 
     # ------------------------------------------------------------------ #
     def schedule(
@@ -104,65 +109,6 @@ class TATRAScheduler:
             decision.add(i, tuple(outs))
             # If this serves the piece's last squares, the input's box slot
             # frees up so the next HOL cell registers as fresh.
-            if not any(i in col for col in self.columns):
-                self._in_box[i] = -1
-        decision.rounds = 1 if grants else 0
-        return decision
-
-    def schedule_vectorized(
-        self, hol_cells: Sequence[SIQHolCell], slot: int
-    ) -> ScheduleDecision:
-        """Array twin of :meth:`schedule` for the vectorized kernel backend.
-
-        The placement order of fresh pieces — the only computation with
-        any width — becomes one ``np.lexsort`` over (tentative departure
-        date, arrival slot, input index) key vectors built from a
-        column-height array. ``lexsort`` is stable and the key triple is a
-        total order (input indices are distinct), so the placement
-        sequence, and with it the whole box evolution, is bit-identical to
-        the reference path.
-        """
-        decision = ScheduleDecision()
-        by_input = {c.input_port: c for c in hol_cells}
-
-        # 1. Drop fresh pieces, ordered by the lexsort of their key triple.
-        fresh = [c for c in hol_cells if self._in_box[c.input_port] != c.packet_id]
-        if fresh:
-            heights = self._heights
-            for j, col in enumerate(self.columns):
-                heights[j] = len(col)
-            dates = np.asarray(
-                [int(heights[list(c.remaining)].max()) + 1 for c in fresh],
-                dtype=np.int64,
-            )
-            arrivals = np.asarray([c.arrival_slot for c in fresh], dtype=np.int64)
-            inputs = np.asarray([c.input_port for c in fresh], dtype=np.int64)
-            order = np.lexsort((inputs, arrivals, dates))
-            for k in order.tolist():
-                cell = fresh[k]
-                for j in sorted(cell.remaining):
-                    self.columns[j].append(cell.input_port)
-                self._in_box[cell.input_port] = cell.packet_id
-
-        # 2. Serve the bottom row (identical to the reference path).
-        grants: dict[int, list[int]] = {}
-        for j in range(self.num_ports):
-            col = self.columns[j]
-            if not col:
-                continue
-            i = col.pop(0)
-            grants.setdefault(i, []).append(j)
-            cell = by_input.get(i)
-            if cell is None or j not in cell.remaining:
-                raise SchedulingError(
-                    f"TATRA box out of sync: column {j} bottom square points "
-                    f"at input {i} which has no pending cell for it"
-                )
-
-        if hol_cells:
-            decision.requests_made = True
-        for i, outs in sorted(grants.items()):
-            decision.add(i, tuple(outs))
             if not any(i in col for col in self.columns):
                 self._in_box[i] = -1
         decision.rounds = 1 if grants else 0

@@ -115,6 +115,8 @@ class SimulationEngine:
             unstable = self._run_instrumented()
         elif sanitizer is not None:
             unstable = self._run_sanitized()
+        elif self.config.slot_chunk > 1 and self.faults is None:
+            unstable = self._run_chunked()
         else:
             unstable = self._run_plain()
 
@@ -161,6 +163,51 @@ class SimulationEngine:
                 switch.check_invariants()
             if window and (slot + 1) % window == 0:
                 if self._observe_stability(injector, switch.total_backlog()):
+                    return True
+        return False
+
+    def _run_chunked(self) -> bool:
+        """Chunked twin of :meth:`_run_plain` (``slot_chunk`` > 1).
+
+        Prefetches K arrival vectors (same ``traffic.next_slot()`` call
+        order as the per-slot loop, so the RNG streams are untouched) and
+        hands them to :meth:`~repro.switch.base.BaseSwitch.step_chunk` in
+        one call. Chunks are clamped so no invariant-check or
+        stability-window boundary ever falls inside a chunk — the
+        observable slot stream is bit-identical to the per-slot loop for
+        every K, which ``tests/test_slot_chunking.py`` pins. Telemetry,
+        sanitizer and fault-injection runs need per-slot hooks and keep
+        their own loops.
+        """
+        cfg = self.config
+        switch = self.switch
+        traffic = self.traffic
+        collector = self.collector
+        window = cfg.stability_window
+        check_every = cfg.check_invariants_every
+        chunk = cfg.slot_chunk
+        next_slot = traffic.next_slot
+        on_slot = collector.on_slot
+
+        slot = 0
+        total = cfg.num_slots
+        while slot < total:
+            k = min(chunk, total - slot)
+            if check_every:
+                k = min(k, check_every - slot % check_every)
+            if window:
+                k = min(k, window - slot % window)
+            arrivals_chunk = [next_slot() for _ in range(k)]
+            for offset, (result, sizes) in enumerate(
+                switch.step_chunk(arrivals_chunk, slot)
+            ):
+                on_slot(slot + offset, arrivals_chunk[offset], result, sizes)
+            slot += k
+            self.slots_run = slot
+            if check_every and slot % check_every == 0:
+                switch.check_invariants()
+            if window and slot % window == 0:
+                if self._observe_stability(None, switch.total_backlog()):
                     return True
         return False
 

@@ -39,33 +39,63 @@ class BufferedCrossbarSwitch(BaseSwitch):
     #: one-cell-per-output half of the crossbar discipline holds.
     matching_discipline = "output"
 
-    def __init__(self, num_ports: int, *, crosspoint_depth: int = 1) -> None:
+    def __init__(
+        self,
+        num_ports: int,
+        *,
+        crosspoint_depth: int = 1,
+        backend: str = "object",
+    ) -> None:
         super().__init__(num_ports)
         if crosspoint_depth < 1:
             raise ConfigurationError(
                 f"crosspoint_depth must be >= 1, got {crosspoint_depth}"
             )
+        if backend not in ("object", "vectorized"):
+            raise ConfigurationError(
+                f"cicq supports the 'object' and 'vectorized' kernel "
+                f"backends, got {backend!r}"
+            )
+        self.backend = backend
         self.crosspoint_depth = crosspoint_depth
         n = num_ports
         self.voqs: list[list[deque[Packet]]] = [
             [deque() for _ in range(n)] for _ in range(n)
         ]
         self._occupancy = np.zeros((n, n), dtype=np.int64)
-        # Crosspoint FIFOs: xpoint[i][j] holds cells in flight.
+        # Crosspoint FIFOs: xpoint[i][j] holds cells in flight; _xp_occ
+        # mirrors their lengths so both arbiters can mask on arrays.
         self.xpoint: list[list[deque[Packet]]] = [
             [deque() for _ in range(n)] for _ in range(n)
         ]
+        self._xp_occ = np.zeros((n, n), dtype=np.int64)
         self._in_ptr = [0] * n  # per-input RR over outputs
         self._out_ptr = [0] * n  # per-output RR over inputs
+        # Bit-parallel eligibility rows for the vectorized arbiter: one
+        # python int per port, bit j of _voq_bits[i] = VOQ (i, j)
+        # non-empty, bit j of _xp_full[i] = crosspoint (i, j) at depth,
+        # bit i of _xp_col[j] = crosspoint (i, j) non-empty. _accept
+        # maintains _voq_bits unconditionally (one |= per copy); the
+        # arbiter maintains the rest, so the object backend never pays
+        # for them.
+        self._full_mask = (1 << n) - 1
+        self._voq_bits = [0] * n
+        self._xp_full = [0] * n
+        self._xp_col = [0] * n
 
     # ------------------------------------------------------------------ #
     def _accept(self, packet: Packet, slot: int) -> None:
         i = packet.input_port
+        bits = self._voq_bits[i]
         for j in packet.destinations:
             self.voqs[i][j].append(packet)
             self._occupancy[i, j] += 1
+            bits |= 1 << j
+        self._voq_bits[i] = bits
 
     def _schedule_and_transmit(self, slot: int) -> SlotResult:
+        if self.backend == "vectorized":
+            return self._schedule_and_transmit_vectorized(slot)
         n = self.num_ports
         result = SlotResult(slot=slot, rounds=1, requests_made=False)
         # --- input arbitration: VOQ -> crosspoint ---
@@ -81,6 +111,7 @@ class BufferedCrossbarSwitch(BaseSwitch):
                     pkt = self.voqs[i][j].popleft()
                     self._occupancy[i, j] -= 1
                     self.xpoint[i][j].append(pkt)
+                    self._xp_occ[i, j] += 1
                     self._in_ptr[i] = (j + 1) % n
                     break
         # --- output arbitration: crosspoint -> line ---
@@ -91,11 +122,75 @@ class BufferedCrossbarSwitch(BaseSwitch):
                 if self.xpoint[i][j]:
                     result.requests_made = True
                     pkt = self.xpoint[i][j].popleft()
+                    self._xp_occ[i, j] -= 1
                     result.deliveries.append(
                         Delivery(packet=pkt, output_port=j, service_slot=slot)
                     )
                     self._out_ptr[j] = (i + 1) % n
                     break
+        return result
+
+    def _schedule_and_transmit_vectorized(self, slot: int) -> SlotResult:
+        """Array twin of the per-slot arbitration for ``backend="vectorized"``.
+
+        Both round-robin arbiters are independent across their ports and
+        each port row of the eligibility matrix fits one machine word at
+        practical N, so the arbitration runs bit-parallel (SWAR): a
+        port's whole scan is ``rotate(mask, ptr)`` plus lowest-set-bit —
+        exactly the cell the object path's pointer scan would stop at,
+        including the "nothing eligible" case, which costs one integer
+        test instead of an N-step scan. Only the matched deque pops stay
+        per-port python — the packet objects have to move.
+        """
+        n = self.num_ports
+        result = SlotResult(slot=slot, rounds=1, requests_made=False)
+        full_mask = self._full_mask
+        voq_bits = self._voq_bits
+        xp_full = self._xp_full
+        xp_col = self._xp_col
+        depth = self.crosspoint_depth
+        # --- input arbitration: VOQ -> crosspoint ---
+        for i in range(n):
+            mask = voq_bits[i] & ~xp_full[i]
+            if not mask:
+                continue
+            result.requests_made = True
+            ptr = self._in_ptr[i]
+            spun = ((mask >> ptr) | (mask << (n - ptr))) & full_mask
+            j = (ptr + (spun & -spun).bit_length() - 1) % n
+            q = self.voqs[i][j]
+            pkt = q.popleft()
+            self._occupancy[i, j] -= 1
+            if not q:
+                voq_bits[i] &= ~(1 << j)
+            xq = self.xpoint[i][j]
+            xq.append(pkt)
+            self._xp_occ[i, j] += 1
+            if len(xq) >= depth:
+                xp_full[i] |= 1 << j
+            xp_col[j] |= 1 << i
+            self._in_ptr[i] = (j + 1) % n
+        # --- output arbitration: crosspoint -> line ---
+        deliveries = result.deliveries
+        for j in range(n):
+            mask = xp_col[j]
+            if not mask:
+                continue
+            result.requests_made = True
+            ptr = self._out_ptr[j]
+            spun = ((mask >> ptr) | (mask << (n - ptr))) & full_mask
+            i = (ptr + (spun & -spun).bit_length() - 1) % n
+            xq = self.xpoint[i][j]
+            pkt = xq.popleft()
+            self._xp_occ[i, j] -= 1
+            if len(xq) < depth:
+                xp_full[i] &= ~(1 << j)
+            if not xq:
+                xp_col[j] &= ~(1 << i)
+            deliveries.append(
+                Delivery(packet=pkt, output_port=j, service_slot=slot)
+            )
+            self._out_ptr[j] = (i + 1) % n
         return result
 
     # ------------------------------------------------------------------ #
@@ -105,11 +200,7 @@ class BufferedCrossbarSwitch(BaseSwitch):
 
     def crosspoint_occupancy(self) -> int:
         """Cells currently held inside the fabric."""
-        return sum(
-            len(self.xpoint[i][j])
-            for i in range(self.num_ports)
-            for j in range(self.num_ports)
-        )
+        return int(self._xp_occ.sum())
 
     def total_backlog(self) -> int:
         return int(self._occupancy.sum()) + self.crosspoint_occupancy()
@@ -119,8 +210,37 @@ class BufferedCrossbarSwitch(BaseSwitch):
             for j in range(self.num_ports):
                 if len(self.voqs[i][j]) != self._occupancy[i, j]:
                     raise SchedulingError(f"occupancy drift at VOQ ({i}, {j})")
+                if len(self.xpoint[i][j]) != self._xp_occ[i, j]:
+                    raise SchedulingError(
+                        f"crosspoint occupancy drift at ({i}, {j})"
+                    )
                 if len(self.xpoint[i][j]) > self.crosspoint_depth:
                     raise SchedulingError(
                         f"crosspoint ({i}, {j}) overflow: "
                         f"{len(self.xpoint[i][j])} > {self.crosspoint_depth}"
                     )
+        if self.backend != "vectorized":
+            return
+        # The bit-parallel rows the vectorized arbiter matches on must
+        # mirror the deques exactly (the object backend never maintains
+        # the crosspoint rows, so they are only meaningful here).
+        n = self.num_ports
+        for i in range(n):
+            voq_bits = sum(1 << j for j in range(n) if self.voqs[i][j])
+            if voq_bits != self._voq_bits[i]:
+                raise SchedulingError(f"VOQ bit-row drift at input {i}")
+            full = sum(
+                1 << j
+                for j in range(n)
+                if len(self.xpoint[i][j]) >= self.crosspoint_depth
+            )
+            if full != self._xp_full[i]:
+                raise SchedulingError(
+                    f"crosspoint full-bit drift at input {i}"
+                )
+        for j in range(n):
+            col = sum(1 << i for i in range(n) if self.xpoint[i][j])
+            if col != self._xp_col[j]:
+                raise SchedulingError(
+                    f"crosspoint column-bit drift at output {j}"
+                )

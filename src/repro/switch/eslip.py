@@ -63,12 +63,24 @@ class ESLIPSwitch(BaseSwitch):
     #: cell AND a unicast cell in the same slot.
     matching_discipline = "output"
 
-    def __init__(self, num_ports: int, *, max_iterations: int | None = None) -> None:
+    def __init__(
+        self,
+        num_ports: int,
+        *,
+        max_iterations: int | None = None,
+        backend: str = "object",
+    ) -> None:
         super().__init__(num_ports)
         if max_iterations is not None and max_iterations < 1:
             raise ConfigurationError(
                 f"max_iterations must be >= 1 or None, got {max_iterations}"
             )
+        if backend not in ("object", "vectorized"):
+            raise ConfigurationError(
+                f"eslip supports the 'object' and 'vectorized' kernel "
+                f"backends, got {backend!r}"
+            )
+        self.backend = backend
         self.max_iterations = max_iterations
         n = num_ports
         self.crossbar = MulticastCrossbar(n)
@@ -79,12 +91,21 @@ class ESLIPSwitch(BaseSwitch):
         self._uni_occ = np.zeros((n, n), dtype=np.int64)
         self.grant_ptr = [0] * n
         self.accept_ptr = [0] * n
-        # Multicast side.
+        # Multicast side. _mc_mask mirrors _mc_residue as an (N, N) bool
+        # matrix so the vectorized grant phase can mask on it directly.
         self.mc_queues: list[deque[Packet]] = [deque() for _ in range(n)]
         self._mc_residue: list[set[int]] = [set() for _ in range(n)]
+        self._mc_mask = np.zeros((n, n), dtype=bool)
         self.mcast_ptr = 0  # the SHARED multicast grant pointer
+        self._port_idx = np.arange(n, dtype=np.int64)
         # Grant split staged by _decide() for _transfer() within one slot.
         self._pending: tuple[dict[int, list[int]], dict[int, int]] | None = None
+
+    def _set_residue(self, i: int, destinations: tuple[int, ...]) -> None:
+        """Reset input ``i``'s HOL multicast residue (set + mask twin)."""
+        self._mc_residue[i] = set(destinations)
+        self._mc_mask[i] = False
+        self._mc_mask[i, list(destinations)] = True
 
     # ------------------------------------------------------------------ #
     def _accept(self, packet: Packet, slot: int) -> None:
@@ -97,7 +118,7 @@ class ESLIPSwitch(BaseSwitch):
             q = self.mc_queues[i]
             q.append(packet)
             if len(q) == 1:
-                self._mc_residue[i] = set(packet.destinations)
+                self._set_residue(i, packet.destinations)
 
     # ------------------------------------------------------------------ #
     def _schedule(self) -> tuple[dict[int, list[int]], dict[int, int], int, bool]:
@@ -172,10 +193,86 @@ class ESLIPSwitch(BaseSwitch):
             rounds += 1
         return mc_grants, uni_match, rounds, requests_made
 
+    def _schedule_vectorized(
+        self,
+    ) -> tuple[dict[int, list[int]], dict[int, int], int, bool]:
+        """Array twin of :meth:`_schedule` for ``backend="vectorized"``.
+
+        Per iteration the grant step becomes two masked argmins over
+        modular-distance keys: every free output's preferred multicast
+        requester under the *shared* pointer, and its round-robin unicast
+        fallback. Keys within one output are distinct, so each argmin is
+        the unique minimum the object path's ``min`` would pick. The
+        accept step is order-sensitive (pointer updates) and stays the
+        same short python loop.
+        """
+        n = self.num_ports
+        idx = self._port_idx
+        input_busy = np.zeros(n, dtype=bool)
+        output_busy = np.zeros(n, dtype=bool)
+        mc_grants: dict[int, list[int]] = {}
+        uni_match: dict[int, int] = {}
+        rounds = 0
+        iteration = 0
+        requests_made = False
+        uni = self._uni_occ > 0
+        while self.max_iterations is None or iteration < self.max_iterations:
+            iteration += 1
+            # ---- grant ----
+            free_in = ~input_busy
+            mc_elig = (self._mc_mask & free_in[:, None]).T
+            uni_elig = (uni & free_in[:, None]).T
+            mc_elig[output_busy] = False
+            uni_elig[output_busy] = False
+            mkey = np.where(mc_elig, (idx[None, :] - self.mcast_ptr) % n, n)
+            mc_pick = mkey.argmin(axis=1)
+            has_mc = mkey.min(axis=1) < n
+            gptr = np.asarray(self.grant_ptr, dtype=np.int64)
+            ukey = np.where(uni_elig, (idx[None, :] - gptr[:, None]) % n, n)
+            uni_pick = ukey.argmin(axis=1)
+            has_uni = ukey.min(axis=1) < n
+            if not (has_mc.any() or has_uni.any()):
+                break
+            requests_made = True
+            grants_mc: list[list[int]] = [[] for _ in range(n)]
+            grants_uni: list[list[int]] = [[] for _ in range(n)]
+            for j in np.flatnonzero(has_mc).tolist():
+                grants_mc[int(mc_pick[j])].append(j)
+            for j in np.flatnonzero(has_uni & ~has_mc).tolist():
+                grants_uni[int(uni_pick[j])].append(j)
+            # ---- accept (same sequential pointer logic as the object path) ----
+            new_match = False
+            for i in range(n):
+                if input_busy[i]:
+                    continue
+                if grants_mc[i]:
+                    mc_grants.setdefault(i, []).extend(grants_mc[i])
+                    for j in grants_mc[i]:
+                        output_busy[j] = True
+                    input_busy[i] = True
+                    new_match = True
+                elif grants_uni[i]:
+                    ptr = self.accept_ptr[i]
+                    j = min(grants_uni[i], key=lambda jj: (jj - ptr) % n)
+                    uni_match[i] = j
+                    output_busy[j] = True
+                    input_busy[i] = True
+                    new_match = True
+                    if iteration == 1:
+                        self.grant_ptr[j] = (i + 1) % n
+                        self.accept_ptr[i] = (j + 1) % n
+            if not new_match:
+                break
+            rounds += 1
+        return mc_grants, uni_match, rounds, requests_made
+
     def _decide(self, slot: int) -> tuple[ScheduleDecision, int]:
         """Build the slot's decision; the grant split is kept for
         :meth:`_transfer` (multicast and unicast queues drain differently)."""
-        mc_grants, uni_match, rounds, requests_made = self._schedule()
+        if self.backend == "vectorized":
+            mc_grants, uni_match, rounds, requests_made = self._schedule_vectorized()
+        else:
+            mc_grants, uni_match, rounds, requests_made = self._schedule()
         decision = ScheduleDecision()
         for i, outs in mc_grants.items():
             decision.add(i, tuple(outs))
@@ -205,13 +302,14 @@ class ESLIPSwitch(BaseSwitch):
                         f"output {j} not in input {i}'s multicast residue"
                     )
                 residue.discard(j)
+                self._mc_mask[i, j] = False
                 result.deliveries.append(
                     Delivery(packet=pkt, output_port=j, service_slot=slot)
                 )
             if not residue:
                 q.popleft()
                 if q:
-                    self._mc_residue[i] = set(q[0].destinations)
+                    self._set_residue(i, q[0].destinations)
                 # ESLIP rule: the shared pointer moves past an input only
                 # when its HOL multicast cell completes.
                 if self.mcast_ptr == i:

@@ -60,10 +60,52 @@ class UnicastVOQSwitch(BaseSwitch):
         self._occupancy = np.zeros((num_ports, num_ports), dtype=np.int64)
         self._hol_arrival = np.full((num_ports, num_ports), -1, dtype=np.int64)
         self._peak_queue = [0] * num_ports
+        # Vectorized-backend bookkeeping: accepted copies accumulate as
+        # flat VOQ indices (and new-HOL writes as coordinate lists) and
+        # fold into the view matrices in one bincount/fancy write per
+        # slot instead of one numpy scalar read-modify-write per copy;
+        # per-input backlog for the peak statistic is tracked as plain
+        # ints. The object backend keeps the original per-copy scalar
+        # writes — that representation difference is exactly what the
+        # kernel benchmark measures.
+        self._pend_flat: list[int] = []
+        self._pend_hol_r: list[int] = []
+        self._pend_hol_c: list[int] = []
+        self._pend_hol_v: list[int] = []
+        self._input_backlog = [0] * num_ports
 
     # ------------------------------------------------------------------ #
+    def _flush_pending(self) -> None:
+        """Fold pending accepted copies into the scheduler view arrays."""
+        n = self.num_ports
+        if self._pend_flat:
+            counts = np.bincount(self._pend_flat, minlength=n * n)
+            self._occupancy += counts.reshape(n, n)
+            self._pend_flat.clear()
+        if self._pend_hol_r:
+            self._hol_arrival[self._pend_hol_r, self._pend_hol_c] = self._pend_hol_v
+            self._pend_hol_r.clear()
+            self._pend_hol_c.clear()
+            self._pend_hol_v.clear()
+
     def _accept(self, packet: Packet, slot: int) -> None:
         i = packet.input_port
+        if self.backend == "vectorized":
+            n = self.num_ports
+            base = i * n
+            for j in packet.destinations:
+                q = self.queues[i][j]
+                if not q:
+                    self._pend_hol_r.append(i)
+                    self._pend_hol_c.append(j)
+                    self._pend_hol_v.append(packet.arrival_slot)
+                q.append(packet)
+                self._pend_flat.append(base + j)
+            backlog = self._input_backlog
+            backlog[i] += packet.fanout
+            if backlog[i] > self._peak_queue[i]:
+                self._peak_queue[i] = backlog[i]
+            return
         for j in packet.destinations:
             q = self.queues[i][j]
             if not q:
@@ -75,16 +117,44 @@ class UnicastVOQSwitch(BaseSwitch):
             self._peak_queue[i] = size
 
     def _decide(self, slot: int) -> tuple[ScheduleDecision, int]:
+        if self.backend == "vectorized":
+            self._flush_pending()
+            view = UnicastVOQView(
+                occupancy=self._occupancy,
+                hol_arrival=self._hol_arrival,
+                current_slot=slot,
+            )
+            return self.scheduler.schedule_vectorized(view), 0
         view = UnicastVOQView(
             occupancy=self._occupancy, hol_arrival=self._hol_arrival, current_slot=slot
         )
-        if self.backend == "vectorized":
-            return self.scheduler.schedule_vectorized(view), 0
         return self.scheduler.schedule(view), 0
+
+    def _configure_fabric(self, decision: ScheduleDecision) -> None:
+        """Set the crossbar; the vectorized backend takes the array twin.
+
+        The decision was already validated (index ranges, one driver per
+        output) by the template method, so the vectorized path builds the
+        driver vector directly and hands it to
+        :meth:`~repro.fabric.crossbar.MulticastCrossbar.configure_drivers`,
+        skipping :meth:`configure`'s per-grant re-validation. Accounting
+        and the failed-crosspoint constraint are identical.
+        """
+        if self.backend == "vectorized":
+            driver = [-1] * self.num_ports
+            for i, grant in decision.grants.items():
+                for j in grant.output_ports:
+                    driver[j] = i
+            self.crossbar.configure_drivers(np.array(driver, dtype=np.int64))
+            return
+        self.crossbar.configure(decision)
 
     def _transfer(
         self, decision: ScheduleDecision, result: SlotResult, slot: int
     ) -> None:
+        if self.backend == "vectorized":
+            self._transfer_vectorized(decision, result, slot)
+            return
         for i, grant in decision.grants.items():
             if grant.fanout != 1:
                 raise SchedulingError(
@@ -101,15 +171,65 @@ class UnicastVOQSwitch(BaseSwitch):
                 Delivery(packet=packet, output_port=j, service_slot=slot)
             )
 
+    def _transfer_vectorized(
+        self, decision: ScheduleDecision, result: SlotResult, slot: int
+    ) -> None:
+        """Array twin of :meth:`_transfer`: same deques, batched matrices.
+
+        The deque pops and :class:`~repro.packet.Delivery` records are
+        per-grant either way; what batches is the view-array bookkeeping —
+        one fancy-indexed decrement of the occupancy matrix and one
+        fancy-indexed HOL-arrival refill instead of two numpy scalar
+        read-modify-writes per grant.
+        """
+        if not decision.grants:
+            return
+        rows: list[int] = []
+        cols: list[int] = []
+        refill: list[int] = []
+        deliveries = result.deliveries
+        for i, grant in decision.grants.items():
+            if grant.fanout != 1:
+                raise SchedulingError(
+                    f"unicast scheduler granted fanout {grant.fanout} to input {i}"
+                )
+            j = grant.output_ports[0]
+            q = self.queues[i][j]
+            if not q:
+                raise SchedulingError(f"grant for empty VOQ ({i}, {j})")
+            packet = q.popleft()
+            rows.append(i)
+            cols.append(j)
+            refill.append(q[0].arrival_slot if q else -1)
+            deliveries.append(
+                Delivery(packet=packet, output_port=j, service_slot=slot)
+            )
+        backlog = self._input_backlog
+        for i in rows:
+            backlog[i] -= 1
+        self._occupancy[rows, cols] -= 1
+        self._hol_arrival[rows, cols] = refill
+
     # ------------------------------------------------------------------ #
     def queue_sizes(self) -> list[int]:
         """Queued unicast copies per input (each copy owns a data cell)."""
+        if self.backend == "vectorized":
+            self._flush_pending()
+            return list(self._input_backlog)
         return [int(self._occupancy[i].sum()) for i in range(self.num_ports)]
 
     def total_backlog(self) -> int:
+        if self.backend == "vectorized":
+            self._flush_pending()
+            return sum(self._input_backlog)
         return int(self._occupancy.sum())
 
     def check_invariants(self) -> None:
+        if self.backend == "vectorized":
+            self._flush_pending()
+            for i, backlog in enumerate(self._input_backlog):
+                if backlog != int(self._occupancy[i].sum()):
+                    raise SchedulingError(f"input backlog drift at input {i}")
         for i in range(self.num_ports):
             for j in range(self.num_ports):
                 q = self.queues[i][j]

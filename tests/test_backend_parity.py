@@ -1,0 +1,44 @@
+"""Object-vs-vectorized parity for every newly vectorized pairing.
+
+One trace-pinned :func:`repro.fast.parity.run_pair` per registry pairing
+at a moderate and a heavy load: both kernel backends must produce
+identical summaries on the identical arrival sequence. (The original
+FIFOMS/iSLIP trio has its own deeper suites; TATRA is object-only and
+covered by the demotion tests.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fast.parity import compare_summaries, run_pair
+from repro.traffic.bernoulli import BernoulliMulticastTraffic
+
+#: Pairings whose vectorized path arrived with the repro.fast fold.
+NEWLY_VECTORIZED = (
+    "pim",
+    "maxweight-lqf",
+    "maxweight-ocf",
+    "wba",
+    "siq-fifo",
+    "greedy-mcast",
+    "oqfifo",
+    "fifoms-prio",
+    "cioq-islip",
+    "2drr",
+    "serena",
+    "cicq",
+    "eslip",
+)
+
+#: (p, b) Bernoulli operating points: moderate and near-saturation.
+LOADS = ((0.3, 0.3), (0.6, 0.4))
+
+
+@pytest.mark.parametrize("load", LOADS, ids=["moderate", "heavy"])
+@pytest.mark.parametrize("algorithm", NEWLY_VECTORIZED)
+def test_backends_identical_on_pinned_trace(algorithm, load):
+    p, b = load
+    traffic = BernoulliMulticastTraffic(8, p=p, b=b, rng=42)
+    ref, fast = run_pair(algorithm, traffic, 1200, seed=5)
+    assert compare_summaries(ref, fast) == []

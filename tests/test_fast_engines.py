@@ -48,7 +48,14 @@ class TestExactParity:
     def test_unknown_algorithm(self):
         tr = BernoulliMulticastTraffic(4, p=0.2, b=0.3, rng=0)
         with pytest.raises(ConfigurationError):
-            run_pair("wba", tr, 100)  # no fast engine exists for WBA
+            run_pair("no-such-algo", tr, 100)
+
+    def test_formerly_unpaired_algorithm_now_works(self):
+        # Before the kernel-seam fold run_pair only knew the 3 fast
+        # engines; now any registry pairing runs both backends.
+        tr = BernoulliMulticastTraffic(4, p=0.2, b=0.3, rng=0)
+        ref, fast = run_pair("wba", tr, 400)
+        assert compare_summaries(ref, fast) == []
 
 
 class TestFastEngineBehaviour:
@@ -107,6 +114,52 @@ class TestFastEngineBehaviour:
             FastFIFOMSEngine(
                 BernoulliMulticastTraffic(4, p=0.1, b=0.5), tie_break="coin"
             )
+
+
+class TestDeprecationShims:
+    """The old import paths resolve and warn; results ride the seam."""
+
+    def test_engines_warn_and_run_on_kernel_seam(self):
+        tr = BernoulliMulticastTraffic(4, p=0.2, b=0.3, rng=0)
+        with pytest.warns(DeprecationWarning, match="kernel seam"):
+            engine = FastFIFOMSEngine(
+                tr, SimulationConfig(num_slots=50, stability_window=0)
+            )
+        assert engine.switch.backend == "vectorized"
+
+    def test_package_level_imports_resolve(self):
+        from repro.fast import (  # noqa: F401
+            FAST_ALGORITHMS,
+            FastFIFOMSEngine as A,
+            FastISLIPEngine as B,
+            FastTATRAEngine as C,
+            compare_summaries as D,
+            run_fast_simulation as E,
+            run_pair as F,
+        )
+
+        assert FAST_ALGORITHMS == ("fifoms", "islip", "tatra")
+
+    def test_runner_warns(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            from repro.fast.runner import run_fast_simulation
+
+            run_fast_simulation(
+                "islip", 4, {"model": "bernoulli", "p": 0.2, "b": 0.3},
+                num_slots=50,
+            )
+
+    def test_shim_bit_identical_to_direct_seam_run(self):
+        from repro.fast.runner import run_fast_simulation
+        from repro.sim.runner import run_simulation
+
+        spec = {"model": "bernoulli", "p": 0.3, "b": 0.3}
+        with pytest.warns(DeprecationWarning):
+            shim = run_fast_simulation("fifoms", 8, spec, num_slots=1500, seed=6)
+        direct = run_simulation(
+            "fifoms", 8, spec, num_slots=1500, seed=6, backend="vectorized"
+        )
+        assert compare_summaries(shim, direct) == []
 
 
 class TestRunFastSimulation:

@@ -51,10 +51,18 @@ class TestResolveBackend:
         with pytest.raises(ConfigurationError, match="does not support"):
             resolve_backend(sched, "simd")
 
-    def test_object_only_pairings_reject_vectorized(self):
-        for name in ("eslip", "cioq-islip", "oqfifo"):
-            with pytest.raises(ConfigurationError, match="only the 'object'"):
-                make_switch(name, 4, backend="vectorized")
+    def test_tatra_demotion_rejects_vectorized_with_reason(self):
+        with pytest.raises(ConfigurationError, match="inherently sequential"):
+            make_switch("tatra", 4, backend="vectorized")
+
+    def test_every_other_pairing_constructs_vectorized(self):
+        from repro.schedulers.registry import available_schedulers
+
+        for name in available_schedulers():
+            if name == "tatra":
+                continue
+            sw = make_switch(name, 4, backend="vectorized")
+            assert sw.backend == "vectorized", name
 
     def test_registry_injects_backend(self):
         assert make_switch("fifoms", 4).backend == "object"

@@ -1,0 +1,99 @@
+"""Chunked slot batching: ``slot_chunk`` must never change results.
+
+The chunked engine loop hands K slots per ``step_chunk()`` call; these
+tests pin that the resulting summary is bit-identical to the per-slot
+loop for several K (including ones that straddle the invariant-check and
+stability-window cadences), on both kernel backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.runner import run_simulation
+
+TRAFFIC = {"model": "bernoulli", "p": 0.4, "b": 0.3}
+
+
+def _summary(algorithm, backend, slot_chunk, *, slots=1500, check_every=0):
+    cfg = SimulationConfig(
+        num_slots=slots,
+        warmup_fraction=0.5,
+        stability_window=700,  # deliberately coprime-ish with the chunks
+        check_invariants_every=check_every,
+        slot_chunk=slot_chunk,
+    )
+    return run_simulation(
+        algorithm, 8, TRAFFIC, seed=11, config=cfg, backend=backend
+    )
+
+
+class TestChunkedEquivalence:
+    @pytest.mark.parametrize("algorithm", ["fifoms", "islip", "oqfifo"])
+    @pytest.mark.parametrize("chunk", [2, 7, 64, 5000])
+    def test_bit_identical_to_per_slot_loop(self, algorithm, chunk):
+        base = _summary(algorithm, "object", 1)
+        chunked = _summary(algorithm, "object", chunk)
+        assert chunked.to_json() == base.to_json()
+
+    def test_vectorized_backend_chunked(self):
+        base = _summary("fifoms", "vectorized", 1)
+        chunked = _summary("fifoms", "vectorized", 32)
+        assert chunked.to_json() == base.to_json()
+
+    def test_chunks_respect_invariant_cadence(self):
+        # check_invariants_every=13 never divides chunk=8 evenly: the
+        # engine must clamp chunks at the cadence boundaries.
+        base = _summary("fifoms", "object", 1, check_every=13)
+        chunked = _summary("fifoms", "object", 8, check_every=13)
+        assert chunked.to_json() == base.to_json()
+
+    def test_unstable_run_stops_at_same_slot(self):
+        overload = {"model": "bernoulli", "p": 0.95, "b": 0.9}
+        cfg_args = dict(
+            num_slots=4000,
+            warmup_fraction=0.0,
+            stability_window=200,
+            max_backlog=300,
+        )
+        base = run_simulation(
+            "siq-fifo", 8, overload, seed=3,
+            config=SimulationConfig(slot_chunk=1, **cfg_args),
+        )
+        chunked = run_simulation(
+            "siq-fifo", 8, overload, seed=3,
+            config=SimulationConfig(slot_chunk=150, **cfg_args),
+        )
+        assert base.unstable and chunked.unstable
+        assert chunked.to_json() == base.to_json()
+
+
+class TestChunkPlumbing:
+    def test_invalid_slot_chunk_rejected(self):
+        with pytest.raises(ConfigurationError, match="slot_chunk"):
+            SimulationConfig(slot_chunk=0)
+
+    def test_step_chunk_default_returns_pairs(self):
+        from repro.schedulers.registry import make_switch
+
+        sw = make_switch("fifoms", 4)
+        pairs = sw.step_chunk([[None] * 4, [None] * 4], 0)
+        assert len(pairs) == 2
+        for k, (result, sizes) in enumerate(pairs):
+            assert result.slot == k
+            assert sizes == [0, 0, 0, 0]
+
+    def test_chunked_loop_skipped_with_faults(self):
+        # Fault injection needs per-slot advance(); the engine must fall
+        # back to the per-slot loop rather than chunk around it.
+        summary = run_simulation(
+            "fifoms", 8, TRAFFIC, seed=5,
+            config=SimulationConfig(
+                num_slots=600, warmup_fraction=0.0, slot_chunk=50
+            ),
+            faults="input-outage",
+        )
+        assert summary.slots_run == 600
