@@ -41,6 +41,8 @@ from concurrent.futures.process import BrokenProcessPool
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import CampaignError, CampaignInterrupted
 from repro.experiments.campaign import (
     CampaignResult,
@@ -58,6 +60,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import clock_ns
 from repro.campaign.store import CampaignStore, PointRecord, point_key
 from repro.report.export import write_csv
+from repro.stats.summary import SimulationSummary
 from repro.utils.fileio import atomic_write_text
 from repro.utils.rng import make_rng
 
@@ -280,7 +283,7 @@ class CampaignSupervisor:
     # ------------------------------------------------------------------ #
     # Attempt rounds
     # ------------------------------------------------------------------ #
-    def _backoff_pause(self, attempt: int, rng) -> float:
+    def _backoff_pause(self, attempt: int, rng: np.random.Generator) -> float:
         """Seeded equal-jitter exponential backoff for attempt round N."""
         base = min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 2))
         return base * (0.5 + 0.5 * float(rng.random()))
@@ -305,7 +308,11 @@ class CampaignSupervisor:
         return self._run_serial(jobs, done)
 
     def _complete(
-        self, job: _Job, summary, elapsed_s: float, done: dict[str, PointRecord]
+        self,
+        job: _Job,
+        summary: SimulationSummary,
+        elapsed_s: float,
+        done: dict[str, PointRecord],
     ) -> None:
         """Durably journal one finished point before anything else moves."""
         job.attempts += 1

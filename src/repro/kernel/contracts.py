@@ -1,0 +1,130 @@
+"""Runtime side of ``kernel_contracts.json`` — the compiled-tier entry contract.
+
+``repro-sim lint --contracts`` writes a manifest of symbolic array
+contracts (names, shapes over the port-count symbol ``N``, dtypes,
+per-pairing readiness verdicts) derived by the abstract interpreter in
+:mod:`repro.lint.shapes`.  This module is the *consumer* half: it
+resolves the symbolic shapes against concrete dimension bindings and
+checks them against live numpy arrays, so the equivalence harness can
+assert — on the full grid — that what the static analysis promised is
+what the running kernel actually allocates.
+
+Shape tokens are the interpreter's rendering: a decimal literal
+(``"4"``), a symbol (``"N"``), a ``*``-product (``"N*N"``, ``"2*N"``),
+or ``"?"`` for a dimension the analysis could not pin down (unknown
+entries are skipped, never failed).
+
+Import discipline: this is kernel-package code — stdlib + numpy only.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "load_manifest",
+    "resolve_dim",
+    "resolve_shape",
+    "check_state_arrays",
+    "check_live_state",
+]
+
+
+def load_manifest(path: str | Path) -> dict[str, object]:
+    """Read a ``kernel_contracts.json`` written by ``lint --contracts``."""
+    with open(path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if not isinstance(manifest, dict) or "pairings" not in manifest:
+        raise ValueError(f"{path} is not a kernel contract manifest")
+    return manifest
+
+
+def resolve_dim(token: str, bindings: dict[str, int]) -> int | None:
+    """Concrete size for one shape token, or None when unresolvable."""
+    product = 1
+    for factor in token.split("*"):
+        factor = factor.strip()
+        if not factor or factor == "?":
+            return None
+        if factor.lstrip("-").isdigit():
+            product *= int(factor)
+        elif factor in bindings:
+            product *= bindings[factor]
+        else:
+            return None
+    return product
+
+
+def resolve_shape(
+    tokens: list[str], bindings: dict[str, int]
+) -> tuple[int, ...] | None:
+    """Concrete shape for a token list, or None if any token is open."""
+    if tokens == ["?"]:
+        return None  # unknown rank
+    dims: list[int] = []
+    for token in tokens:
+        size = resolve_dim(token, bindings)
+        if size is None:
+            return None
+        dims.append(size)
+    return tuple(dims)
+
+
+def check_state_arrays(
+    state: object, manifest: dict[str, object], *, num_ports: int
+) -> list[str]:
+    """Mismatches between the manifest's ``state`` block and a live state.
+
+    Every fully-resolved contract entry must exist on ``state`` as an
+    ndarray with exactly the promised shape and dtype; entries with open
+    dimensions or dtypes are skipped.  Returns human-readable mismatch
+    strings (empty = contract holds).
+    """
+    bindings = {"N": int(num_ports)}
+    problems: list[str] = []
+    entries = manifest.get("state", [])
+    if not isinstance(entries, list):
+        return [f"manifest state block has type {type(entries).__name__}"]
+    for entry in entries:
+        name = str(entry["name"])
+        expected_shape = resolve_shape(list(entry["shape"]), bindings)
+        expected_dtype = str(entry["dtype"])
+        live = getattr(state, name, None)
+        if live is None:
+            problems.append(f"state.{name}: promised array is missing")
+            continue
+        if not isinstance(live, np.ndarray):
+            problems.append(
+                f"state.{name}: promised ndarray, found {type(live).__name__}"
+            )
+            continue
+        if expected_shape is not None and live.shape != expected_shape:
+            problems.append(
+                f"state.{name}: shape {live.shape} != contract {expected_shape}"
+            )
+        if expected_dtype != "?" and str(live.dtype) != expected_dtype:
+            problems.append(
+                f"state.{name}: dtype {live.dtype} != contract {expected_dtype}"
+            )
+    return problems
+
+
+def check_live_state(
+    switch: object, manifest: dict[str, object], *, num_ports: int
+) -> list[str] | None:
+    """Check a running switch against the manifest, if it exposes state.
+
+    Duck-walks the switch for the struct-of-arrays kernel state
+    (``switch._backend.state`` on the multicast VOQ seam).  Returns
+    mismatch strings, or None when this switch has no SoA state to
+    check (unicast/self-scheduled switches hold their arrays privately;
+    the manifest's per-pairing blocks cover those statically).
+    """
+    backend = getattr(switch, "_backend", None)
+    state = getattr(backend, "state", None)
+    if state is None:
+        return None
+    return check_state_arrays(state, manifest, num_ports=num_ports)

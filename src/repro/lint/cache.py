@@ -53,8 +53,10 @@ def lint_package_signature(rule_ids: tuple[str, ...]) -> str:
     h = hashlib.sha256()
     h.update(f"format={CACHE_FORMAT};rules={','.join(rule_ids)};".encode())
     package_dir = Path(__file__).resolve().parent
-    for source in sorted(package_dir.glob("*.py")):
-        h.update(source.name.encode())
+    # rglob, not glob: analyzer modules added in subpackages must also
+    # invalidate stale caches, or a new rule's findings could be masked.
+    for source in sorted(package_dir.rglob("*.py")):
+        h.update(source.relative_to(package_dir).as_posix().encode())
         h.update(source.read_bytes())
     return h.hexdigest()
 

@@ -187,7 +187,8 @@ class ForwardFlow:
         elif isinstance(stmt, ast.Delete):
             for target in stmt.targets:
                 key = dotted_name(target)
-                env.pop(key, None)
+                if key is not None:
+                    env.pop(key, None)
         # Import/Global/Nonlocal/Pass/Break/Continue: no tag traffic.
 
     # ------------------------------------------------------------------ #

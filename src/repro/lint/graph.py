@@ -167,24 +167,24 @@ def _declared_backends(cls: ast.ClassDef) -> tuple[tuple[str, ...] | None, int |
         for target in targets:
             if isinstance(target, ast.Name) and target.id == "supported_backends":
                 if isinstance(value, (ast.Tuple, ast.List)):
-                    names = tuple(
+                    literal = tuple(
                         el.value
                         for el in value.elts
                         if isinstance(el, ast.Constant) and isinstance(el.value, str)
                     )
-                    return names, stmt.lineno
+                    return literal, stmt.lineno
                 return (), stmt.lineno
         if (
             isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
             and stmt.name == "supported_backends"
         ):
-            names: list[str] = []
+            returned: list[str] = []
             for node in ast.walk(stmt):
                 if isinstance(node, ast.Return) and node.value is not None:
                     for sub in ast.walk(node.value):
                         if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
-                            names.append(sub.value)
-            seen: dict[str, None] = dict.fromkeys(names)
+                            returned.append(sub.value)
+            seen: dict[str, None] = dict.fromkeys(returned)
             return tuple(seen), stmt.lineno
     return None, None
 

@@ -1,0 +1,106 @@
+"""Compile-readiness rules (KC family) over the kernel-seam interpreter.
+
+Five rules certify that the vectorized twins are ready for a nopython
+compiled tier (the ROADMAP's top open item).  All of them read the one
+shared :func:`repro.lint.shapes.seam_analysis` pass — an abstract
+interpretation of every hot function with symbolic shapes and a numpy
+dtype lattice — and translate its typed issues into findings:
+
+============  =============================================================
+``KC001``     object-dtype array creation or promotion on a hot path
+``KC002``     provable shape/broadcast mismatch at an operator or call
+``KC003``     dtype instability across round-loop iterations
+``KC004``     python dict/set mutation inside the per-slot round loop
+``KC005``     nopython-unsupported construct (closure over mutable state,
+              ``**kwargs``, string formatting outside ``raise``)
+============  =============================================================
+
+The interpreter is optimistic: unknown stays unknown, so every finding
+here is *provable* from the source — there is no "might be" tier.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.lint.base import Finding, Project, Rule
+from repro.lint.shapes import issue_rule_id, seam_analysis
+
+__all__ = [
+    "ObjectDtypeRule",
+    "BroadcastMismatchRule",
+    "DtypeStabilityRule",
+    "PySlotMutationRule",
+    "NopythonConstructRule",
+]
+
+
+class _SeamRule(Rule):
+    """Shared driver: surface one issue kind from the seam analysis."""
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for fa in seam_analysis(project).functions:
+            for issue in fa.issues:
+                if issue_rule_id(issue) != self.rule_id:
+                    continue
+                yield self.finding(
+                    fa.module,
+                    issue.lineno,
+                    f"{fa.qualname}: {issue.message}",
+                )
+
+
+class ObjectDtypeRule(_SeamRule):
+    rule_id = "KC001"
+    title = "object-dtype array created or promoted on a hot path"
+    rationale = (
+        "A nopython compiler cannot type object arrays; one silent "
+        "promotion (e.g. mixing a python str into an arithmetic ufunc, "
+        "or dtype=object construction) hard-blocks the compiled tier "
+        "and falls back to boxed element access at runtime."
+    )
+
+
+class BroadcastMismatchRule(_SeamRule):
+    rule_id = "KC002"
+    title = "provable shape/broadcast mismatch at an operator or call"
+    rationale = (
+        "The schedulers are fixed-shape array programs over N-port "
+        "state, so shape errors are statically decidable; today they "
+        "only surface as runtime ValueError in the equivalence grid. "
+        "Flagged only when both shapes are known and can never agree."
+    )
+
+
+class DtypeStabilityRule(_SeamRule):
+    rule_id = "KC003"
+    title = "binding changes dtype across round-loop iterations"
+    rationale = (
+        "A type-specializing compiler assigns each binding one machine "
+        "type for the whole loop; an accumulator that widens (int64 -> "
+        "float64) or narrows on a later iteration cannot be compiled "
+        "and silently costs a boxing round-trip in interpreted numpy."
+    )
+
+
+class PySlotMutationRule(_SeamRule):
+    rule_id = "KC004"
+    title = "python dict/set mutation inside the per-slot round loop"
+    rationale = (
+        "The iterative round loop (`while`) is the region a compiled "
+        "tier replaces; untyped dict/set traffic inside it cannot be "
+        "lowered. Decision accumulators are exempt (they are the "
+        "declared python-side output), as are prologue/epilogue `for` "
+        "loops, which stage outside the compiled region."
+    )
+
+
+class NopythonConstructRule(_SeamRule):
+    rule_id = "KC005"
+    title = "construct unsupported in nopython compilation"
+    rationale = (
+        "Closures reading enclosing mutable bindings, **kwargs "
+        "signatures, and string formatting (outside raise statements) "
+        "are rejected by nopython front-ends; they must stage out of "
+        "the hot function before a compiled twin can exist."
+    )

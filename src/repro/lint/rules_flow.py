@@ -98,7 +98,7 @@ class _WorkerFlow(ForwardFlow):
     GEN = "generator"
     EXECUTOR = "process-pool"
 
-    def __init__(self, rule: "GeneratorIntoWorkerRule", module: ModuleInfo):
+    def __init__(self, rule: "GeneratorIntoWorkerRule", module: ModuleInfo) -> None:
         super().__init__()
         self.rule = rule
         self.module = module
@@ -205,7 +205,7 @@ class _OrderFlow(ForwardFlow):
 
     clearing_calls = ForwardFlow.clearing_calls | {"sum", "len"}
 
-    def __init__(self, rule: "OrderFlowRule", module: ModuleInfo):
+    def __init__(self, rule: "OrderFlowRule", module: ModuleInfo) -> None:
         super().__init__()
         self.rule = rule
         self.module = module

@@ -33,7 +33,12 @@ import ast
 from collections.abc import Iterator
 
 from repro.lint.base import Finding, Project, Rule, dotted_name
-from repro.lint.graph import ClassSymbol, ProjectGraph, project_graph
+from repro.lint.graph import (
+    ClassSymbol,
+    ModuleNode,
+    ProjectGraph,
+    project_graph,
+)
 
 __all__ = [
     "VectorizedEntryPointRule",
@@ -270,7 +275,7 @@ class KernelClosurePurityRule(Rule):
                 )
 
     @staticmethod
-    def _edge_line(graph: ProjectGraph, node, next_module: str) -> int:
+    def _edge_line(graph: ProjectGraph, node: ModuleNode, next_module: str) -> int:
         for edge in node.imports:
             resolved = graph.resolve_module(edge.target)
             if resolved is not None and resolved.name == next_module:

@@ -452,7 +452,7 @@ class _RaceFlow(ForwardFlow):
 
     EXECUTOR = "process-pool"
 
-    def __init__(self, rule: "SubmitThenMutateRule", module: ModuleInfo):
+    def __init__(self, rule: "SubmitThenMutateRule", module: ModuleInfo) -> None:
         super().__init__()
         self.rule = rule
         self.module = module

@@ -1,0 +1,2493 @@
+"""Abstract shape/dtype interpreter over the vectorized kernel seam.
+
+The compiled-tier roadmap item (ROADMAP.md) needs every vectorized twin
+to be an *array program*: fixed symbolic shapes, stable numeric dtypes,
+no python-object fallbacks inside the per-slot round loop. Those are
+static properties, and this module decides them without running anything:
+
+* a **symbolic shape domain** — :class:`Dim` values are products of named
+  dimensions (``N`` from ``SwitchState.num_ports``, ``F`` for
+  fanout-bound axes) and integer literals, rendered ``"N"``, ``"N*N"``,
+  ``"4"`` or ``"?"`` when unknown;
+* a **dtype lattice** — the chain :data:`DTYPE_CHAIN` ordered by
+  promotion cost, with :func:`dtype_join`/:func:`dtype_meet` as the
+  lattice operations (``object`` is ⊤: anything that promotes there has
+  left the compilable world);
+* an **intra-procedural abstract interpreter** —
+  :class:`ShapeInterpreter` walks a function body once, tracking an
+  :class:`AbstractValue` per local through assignments, numpy
+  constructors/ufuncs/reductions, fancy indexing, ``bincount``/
+  ``cumsum``-style calls and branches, recording :class:`ShapeIssue`
+  records for provable compile-blockers;
+* **contracts** — :func:`switch_state_contract` replays
+  ``SwitchState.__init__`` (resolved through the project graph from
+  ``repro/kernel/state.py``) with ``num_ports`` bound to the symbol
+  ``N``, so every scratch matrix carries its symbolic shape, and
+  :func:`build_contract_manifest` emits the machine-readable
+  ``kernel_contracts.json`` the equivalence harness cross-checks against
+  live arrays and the future compiled tier consumes as its entry
+  contract.
+
+The interpreter is deliberately *optimistic*: unknown stays unknown, and
+issues are recorded only for provable facts (an explicit ``object``
+dtype, two unequal literal dims asked to broadcast, a binding whose
+dtype provably changes across a round-loop iteration). False positives
+on the real twins would poison the self-check; false negatives merely
+surface later in the equivalence grid, which still runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.base import ModuleInfo, Project, dotted_name
+from repro.lint.graph import (
+    ClassSymbol,
+    ProjectGraph,
+    module_dotted_name,
+    project_graph,
+)
+
+__all__ = [
+    "DTYPE_CHAIN",
+    "dtype_join",
+    "dtype_meet",
+    "dtype_leq",
+    "Dim",
+    "broadcast_dim",
+    "broadcast_shapes",
+    "AbstractValue",
+    "ShapeIssue",
+    "ShapeInterpreter",
+    "FunctionAnalysis",
+    "SeamAnalysis",
+    "seam_analysis",
+    "switch_state_contract",
+    "build_contract_manifest",
+    "nopython_scan",
+    "issue_rule_id",
+]
+
+# --------------------------------------------------------------------- #
+# Dtype lattice
+# --------------------------------------------------------------------- #
+#: Chain lattice of abstract dtypes, bottom to top. The order is a
+#: *promotion-cost* order, not numpy's exact promotion table: joining two
+#: dtypes yields the later of the two, which over-approximates (never
+#: under-approximates) the width numpy would pick, and ``object`` — the
+#: one dtype a nopython tier cannot represent at all — is the top.
+DTYPE_CHAIN: tuple[str, ...] = (
+    "bottom",
+    "bool",
+    "uint8",
+    "int8",
+    "uint16",
+    "int16",
+    "uint32",
+    "int32",
+    "uint64",
+    "int64",
+    "float32",
+    "float64",
+    "complex128",
+    "object",
+)
+
+_DTYPE_RANK: dict[str, int] = {name: i for i, name in enumerate(DTYPE_CHAIN)}
+
+
+def dtype_join(a: str, b: str) -> str:
+    """Least upper bound of two chain dtypes (the wider of the two).
+
+    The empty string is the "unknown dtype" sentinel and absorbs: once a
+    value's dtype is unknown, no join can make it known again.
+    """
+    if not a or not b:
+        return ""
+    return a if _DTYPE_RANK[a] >= _DTYPE_RANK[b] else b
+
+
+def dtype_meet(a: str, b: str) -> str:
+    """Greatest lower bound of two chain dtypes (the narrower)."""
+    if not a or not b:
+        return ""
+    return a if _DTYPE_RANK[a] <= _DTYPE_RANK[b] else b
+
+
+def dtype_leq(a: str, b: str) -> bool:
+    """Chain order: ``a`` fits wherever ``b`` does."""
+    return _DTYPE_RANK[a] <= _DTYPE_RANK[b]
+
+
+def _join_known(a: str, b: str) -> str:
+    """Join that tolerates the empty string as "unknown" (absorbing)."""
+    if not a or not b:
+        return ""
+    return dtype_join(a, b)
+
+
+#: AST spellings of dtype arguments -> abstract dtype names. Both the
+#: ``np.float64`` attribute form and builtin/str forms appear in the
+#: kernel seam.
+_DTYPE_SPELLINGS: dict[str, str] = {
+    "bool": "bool",
+    "bool_": "bool",
+    "uint8": "uint8",
+    "int8": "int8",
+    "uint16": "uint16",
+    "int16": "int16",
+    "uint32": "uint32",
+    "int32": "int32",
+    "uint64": "uint64",
+    "int64": "int64",
+    "int": "int64",
+    "intp": "int64",
+    "float32": "float32",
+    "float64": "float64",
+    "float": "float64",
+    "double": "float64",
+    "complex128": "complex128",
+    "complex": "complex128",
+    "object": "object",
+    "object_": "object",
+    "str": "object",
+}
+
+
+# --------------------------------------------------------------------- #
+# Symbolic dimensions and shapes
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True, slots=True)
+class Dim:
+    """One symbolic array dimension: ``coeff * prod(syms)`` or unknown.
+
+    ``syms`` is kept sorted so structurally equal products compare equal
+    (``N*F == F*N``); ``known=False`` is the ``"?"`` element that absorbs
+    everything it multiplies.
+    """
+
+    coeff: int = 1
+    syms: tuple[str, ...] = ()
+    known: bool = True
+
+    @staticmethod
+    def literal(value: int) -> "Dim":
+        return Dim(coeff=int(value))
+
+    @staticmethod
+    def sym(name: str) -> "Dim":
+        return Dim(syms=(name,))
+
+    @staticmethod
+    def unknown() -> "Dim":
+        return Dim(known=False)
+
+    @property
+    def is_one(self) -> bool:
+        return self.known and self.coeff == 1 and not self.syms
+
+    def __mul__(self, other: "Dim") -> "Dim":
+        if not self.known or not other.known:
+            return Dim.unknown()
+        return Dim(
+            coeff=self.coeff * other.coeff,
+            syms=tuple(sorted(self.syms + other.syms)),
+        )
+
+    def render(self) -> str:
+        """Manifest spelling: ``"N"``, ``"N*N"``, ``"4"``, ``"?"``."""
+        if not self.known:
+            return "?"
+        if not self.syms:
+            return str(self.coeff)
+        product = "*".join(self.syms)
+        if self.coeff == 1:
+            return product
+        return f"{self.coeff}*{product}"
+
+
+def broadcast_dim(a: Dim, b: Dim) -> tuple[Dim, bool]:
+    """Broadcast one aligned dimension pair -> (result, compatible?).
+
+    Incompatibility is reported only when *provable*: two known dims,
+    neither 1, that cannot be equal (different literals, or a literal
+    against a pure product — the symbols name port counts, which the
+    kernel validates to be >= 2). Symbol-vs-symbol disagreements stay
+    compatible-but-unknown; the runtime cross-check owns those.
+    """
+    if not a.known or not b.known:
+        return Dim.unknown(), True
+    if a == b:
+        return a, True
+    if a.is_one:
+        return b, True
+    if b.is_one:
+        return a, True
+    if not a.syms and not b.syms:
+        return Dim.unknown(), False
+    return Dim.unknown(), True
+
+
+def broadcast_shapes(
+    a: tuple[Dim, ...] | None, b: tuple[Dim, ...] | None
+) -> tuple[tuple[Dim, ...] | None, bool]:
+    """Numpy-style right-aligned broadcast of two symbolic shapes.
+
+    Either side being of unknown rank (``None``) yields an unknown,
+    compatible result — only fully-known shapes can prove a mismatch.
+    """
+    if a is None or b is None:
+        return None, True
+    out: list[Dim] = []
+    ok = True
+    la, lb = len(a), len(b)
+    for k in range(max(la, lb)):
+        da = a[la - 1 - k] if k < la else Dim.literal(1)
+        db = b[lb - 1 - k] if k < lb else Dim.literal(1)
+        d, good = broadcast_dim(da, db)
+        ok = ok and good
+        out.append(d)
+    out.reverse()
+    return tuple(out), ok
+
+
+def render_shape(shape: tuple[Dim, ...] | None) -> list[str]:
+    """Manifest spelling of a shape; unknown rank renders ``["?"]``."""
+    if shape is None:
+        return ["?"]
+    return [d.render() for d in shape]
+
+
+# --------------------------------------------------------------------- #
+# Abstract values and issues
+# --------------------------------------------------------------------- #
+@dataclass(slots=True)
+class AbstractValue:
+    """One abstract runtime value.
+
+    ``kind`` is the coarse classification (``array``, ``int``, ``float``,
+    ``bool``, ``str``, ``none``, ``list``, ``tuple``, ``dict``, ``set``,
+    ``struct``, ``decision``, ``dtype``, ``slice``, ``range``,
+    ``unknown``); arrays carry ``shape``/``dtype``, symbolic int scalars
+    carry ``dim``, containers carry ``elems``/``elem``, structs carry
+    ``attrs``. ``tag`` names the value's provenance (``"state"``,
+    ``"decision"``, a contract class name) — the KC004 decision
+    exemption and the manifest's state-attr recording key off it.
+    """
+
+    kind: str = "unknown"
+    shape: tuple[Dim, ...] | None = None
+    dtype: str = ""
+    dim: Dim | None = None
+    elems: tuple["AbstractValue", ...] | None = None
+    elem: "AbstractValue | None" = None
+    attrs: dict[str, "AbstractValue"] = field(default_factory=dict)
+    tag: str = ""
+
+
+def unknown_value() -> AbstractValue:
+    """The lattice top: nothing is known about the value."""
+    return AbstractValue()
+
+
+def array_value(shape: tuple[Dim, ...] | None, dtype: str) -> AbstractValue:
+    """An ndarray with symbolic ``shape`` (None = unknown rank)."""
+    return AbstractValue(kind="array", shape=shape, dtype=dtype)
+
+
+def int_value(dim: Dim | None = None, dtype: str = "int64") -> AbstractValue:
+    """A python/numpy integer scalar; ``dim`` carries a known size."""
+    return AbstractValue(kind="int", dim=dim, dtype=dtype)
+
+
+def float_value() -> AbstractValue:
+    """A float scalar (float64 in every numpy context we model)."""
+    return AbstractValue(kind="float", dtype="float64")
+
+
+def bool_value() -> AbstractValue:
+    """A bool scalar."""
+    return AbstractValue(kind="bool", dtype="bool")
+
+
+def str_value() -> AbstractValue:
+    """A str (never hot-path data; tracked to keep calls precise)."""
+    return AbstractValue(kind="str")
+
+
+def none_value() -> AbstractValue:
+    """The ``None`` singleton."""
+    return AbstractValue(kind="none")
+
+
+def list_value(
+    elems: tuple[AbstractValue, ...] | None = None,
+    elem: AbstractValue | None = None,
+    tag: str = "",
+) -> AbstractValue:
+    """A list: known per-element values, or one summary ``elem``."""
+    return AbstractValue(kind="list", elems=elems, elem=elem, tag=tag)
+
+
+def tuple_value(
+    elems: tuple[AbstractValue, ...] | None = None,
+    elem: AbstractValue | None = None,
+) -> AbstractValue:
+    """A tuple: known per-element values, or one summary ``elem``."""
+    return AbstractValue(kind="tuple", elems=elems, elem=elem)
+
+
+def dict_value(tag: str = "") -> AbstractValue:
+    """A python dict (contents unmodeled; the *mutations* matter)."""
+    return AbstractValue(kind="dict", tag=tag)
+
+
+def set_value(tag: str = "") -> AbstractValue:
+    """A python set (contents unmodeled; the *mutations* matter)."""
+    return AbstractValue(kind="set", tag=tag)
+
+
+def struct_value(
+    attrs: dict[str, AbstractValue] | None = None, tag: str = ""
+) -> AbstractValue:
+    """An object with typed attributes (SwitchState, views, self)."""
+    return AbstractValue(kind="struct", attrs=attrs if attrs else {}, tag=tag)
+
+
+def decision_value() -> AbstractValue:
+    """A :class:`~repro.core.matching.ScheduleDecision` twin: its
+    containers are *output* state owned by the decision protocol, exempt
+    from the per-slot-loop mutation rule (the compiled tier returns
+    grants through this object either way)."""
+    return AbstractValue(
+        kind="decision",
+        attrs={
+            "grants": dict_value(tag="decision"),
+            "round_grants": list_value(tag="decision"),
+        },
+        tag="decision",
+    )
+
+
+def _copy_value(av: AbstractValue) -> AbstractValue:
+    return AbstractValue(
+        kind=av.kind,
+        shape=av.shape,
+        dtype=av.dtype,
+        dim=av.dim,
+        elems=av.elems,
+        elem=av.elem,
+        attrs=dict(av.attrs),
+        tag=av.tag,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ShapeIssue:
+    """One provable compile-readiness violation inside one function.
+
+    ``kind`` is the issue family (``object-dtype``, ``broadcast``,
+    ``dtype-unstable``, ``py-mutation``, ``nopython``); the KC rules map
+    families to rule ids via :func:`issue_rule_id`.
+    """
+
+    kind: str
+    lineno: int
+    message: str
+
+
+_ISSUE_RULE_IDS: dict[str, str] = {
+    "object-dtype": "KC001",
+    "broadcast": "KC002",
+    "dtype-unstable": "KC003",
+    "py-mutation": "KC004",
+    "nopython": "KC005",
+}
+
+
+def issue_rule_id(issue: ShapeIssue) -> str:
+    """The KC rule id that owns an issue family."""
+    return _ISSUE_RULE_IDS[issue.kind]
+
+
+#: Mutating method names on python dict/set receivers. List mutation is
+#: deliberately not policed: the compiled tier handles typed lists, and
+#: every twin builds per-port grant lists. Untyped dict/set traffic in
+#: the round loop is what actually blocks a nopython build.
+_MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+
+#: Numpy module aliases recognized in attribute chains.
+_NUMPY_HEADS = ("np", "numpy")
+
+#: ``np.<attr>`` spellings that evaluate to plain float scalars.
+_NUMPY_FLOAT_CONSTS = frozenset({"inf", "nan", "e", "pi", "euler_gamma"})
+
+_COMPARISON_UFUNCS = frozenset(
+    {"equal", "not_equal", "less", "greater", "less_equal", "greater_equal"}
+)
+_ARITH_UFUNCS = frozenset(
+    {
+        "add",
+        "subtract",
+        "multiply",
+        "minimum",
+        "maximum",
+        "fmin",
+        "fmax",
+        "mod",
+        "remainder",
+        "floor_divide",
+        "power",
+        "bitwise_and",
+        "bitwise_or",
+        "bitwise_xor",
+        "left_shift",
+        "right_shift",
+    }
+)
+_LOGICAL_UFUNCS = frozenset({"logical_and", "logical_or", "logical_xor"})
+_PREDICATE_UFUNCS = frozenset({"isfinite", "isnan", "isinf", "signbit"})
+
+
+def _operand_dtype(av: AbstractValue) -> str:
+    """Abstract dtype contributed by one operand of an array op."""
+    if av.kind == "array":
+        return av.dtype
+    if av.kind == "int":
+        return av.dtype or "int64"
+    if av.kind == "float":
+        return "float64"
+    if av.kind == "bool":
+        return "bool"
+    if av.kind == "str":
+        return "object"
+    return ""
+
+
+def _shape_of(av: AbstractValue) -> tuple[Dim, ...] | None:
+    """Broadcast shape contributed by an operand (scalars are rank-0)."""
+    if av.kind == "array":
+        return av.shape
+    if av.kind in ("int", "float", "bool"):
+        return ()
+    return None
+
+
+def _scalar_of(dtype: str) -> AbstractValue:
+    """Scalar abstract value produced by fully reducing a ``dtype`` array."""
+    if dtype == "bool":
+        return bool_value()
+    if dtype and dtype_leq(dtype, "int64"):
+        return int_value(dtype=dtype)
+    if dtype in ("float32", "float64"):
+        return float_value()
+    return unknown_value()
+
+
+def _shapes_provably_differ(
+    a: tuple[Dim, ...] | None, b: tuple[Dim, ...] | None
+) -> bool:
+    """Can these two shapes *never* be equal? (rank or literal clash)."""
+    if a is None or b is None:
+        return False
+    if len(a) != len(b):
+        return True
+    for da, db in zip(a, b):
+        if (
+            da.known
+            and db.known
+            and not da.syms
+            and not db.syms
+            and da.coeff != db.coeff
+        ):
+            return True
+    return False
+
+
+class ShapeInterpreter:
+    """Single-pass abstract interpreter over one function body.
+
+    The walk mirrors :class:`repro.lint.dataflow.ForwardFlow`: statements
+    execute once in order, branches union their environments, and loop
+    bodies run a single abstract iteration (the dtype-stability check
+    compares the environment before and after that iteration, which
+    catches exactly the accumulators whose *first* trip already changes
+    their dtype — the only kind a type-specializing compiler rejects).
+    """
+
+    def __init__(
+        self,
+        *,
+        class_resolver: "object | None" = None,
+    ) -> None:
+        #: Local bindings, keyed by plain name.
+        self.env: dict[str, AbstractValue] = {}
+        #: Provable compile-readiness violations, in program order.
+        self.issues: list[ShapeIssue] = []
+        #: ``state.<attr>`` array reads (contract surface of the twin).
+        self.state_reads: dict[str, AbstractValue] = {}
+        self.loop_depth = 0
+        self.while_depth = 0
+        #: Optional ``name -> AbstractValue`` factory for constructor
+        #: calls (``ScheduleDecision()``, ``SwitchState(...)``); the seam
+        #: analysis injects contracts resolved through the project graph.
+        self._class_resolver = class_resolver
+
+    # ------------------------------------------------------------------ #
+    # Issues
+    # ------------------------------------------------------------------ #
+    def _issue(self, kind: str, node: ast.AST, message: str) -> None:
+        lineno = getattr(node, "lineno", 1)
+        self.issues.append(ShapeIssue(kind=kind, lineno=int(lineno), message=message))
+
+    def _mutation(self, node: ast.AST, recv: AbstractValue, desc: str) -> None:
+        """Record a python dict/set mutation inside the round loop."""
+        if self.while_depth > 0 and recv.tag != "decision":
+            self._issue(
+                "py-mutation",
+                node,
+                f"python {recv.kind} {desc} inside the iterative round "
+                f"loop; a nopython tier cannot type untyped "
+                f"{recv.kind} traffic on the per-slot hot path",
+            )
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+    def run(self, body: list[ast.stmt]) -> None:
+        """Interpret a statement list against the current environment."""
+        for stmt in body:
+            self._exec(stmt)
+
+    def eval_expr(self, node: ast.expr) -> AbstractValue:
+        """Evaluate one expression in the current environment."""
+        return self._eval(node)
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._bind_target(target, value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind_target(stmt.target, self._eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            load = ast.copy_location(
+                ast.Name(id=stmt.target.id, ctx=ast.Load()), stmt.target
+            ) if isinstance(stmt.target, ast.Name) else stmt.target
+            old = self._eval(load)
+            new = self._binop_values(stmt, stmt.op, old, self._eval(stmt.value))
+            if isinstance(stmt.target, ast.Name):
+                self.env[stmt.target.id] = new
+            elif isinstance(stmt.target, ast.Attribute):
+                base = self._eval(stmt.target.value)
+                if base.kind in ("struct", "decision"):
+                    base.attrs[stmt.target.attr] = new
+            elif isinstance(stmt.target, ast.Subscript):
+                base = self._eval(stmt.target.value)
+                if base.kind == "dict":
+                    self._mutation(stmt, base, "item assignment")
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self._exec_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._exec_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._exec_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._eval(stmt.value)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._eval(item.context_expr)
+            self.run(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.run(stmt.body)
+            for handler in stmt.handlers:
+                self.run(handler.body)
+            self.run(stmt.orelse)
+            self.run(stmt.finalbody)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        elif isinstance(stmt, ast.Assert):
+            self._eval(stmt.test)
+        # Nested defs/classes and imports are opaque to the interpreter;
+        # the nopython scan owns closures.
+
+    def _exec_if(self, stmt: ast.If) -> None:
+        self._eval(stmt.test)
+        base = self.env
+        body_env = dict(base)
+        self.env = body_env
+        self.run(stmt.body)
+        else_env = dict(base)
+        self.env = else_env
+        self.run(stmt.orelse)
+        merged: dict[str, AbstractValue] = dict(body_env)
+        for name in sorted(else_env):
+            other = else_env[name]
+            mine = merged.get(name)
+            merged[name] = other if mine is None else _merge_values(mine, other)
+        self.env = merged
+
+    def _exec_while(self, stmt: ast.While) -> None:
+        self._eval(stmt.test)
+        before = {
+            name: av.dtype
+            for name, av in self.env.items()
+            if av.kind in ("array", "int", "float", "bool") and av.dtype
+        }
+        self.loop_depth += 1
+        self.while_depth += 1
+        self.run(stmt.body)
+        self.while_depth -= 1
+        self.loop_depth -= 1
+        for name in sorted(before):
+            after = self.env.get(name)
+            if after is None or not after.dtype:
+                continue
+            if after.dtype != before[name]:
+                self._issue(
+                    "dtype-unstable",
+                    stmt,
+                    f"binding {name!r} changes dtype across round-loop "
+                    f"iterations ({before[name]} -> {after.dtype}); a "
+                    f"type-specializing compiler cannot fix its layout",
+                )
+        self.run(stmt.orelse)
+
+    def _exec_for(self, stmt: ast.For) -> None:
+        iter_av = self._eval(stmt.iter)
+        self._bind_loop_target(stmt.target, iter_av)
+        self.loop_depth += 1
+        self.run(stmt.body)
+        self.loop_depth -= 1
+        self.run(stmt.orelse)
+
+    def _bind_loop_target(self, target: ast.expr, iter_av: AbstractValue) -> None:
+        elem: AbstractValue
+        if iter_av.kind == "range":
+            elem = int_value()
+        elif iter_av.kind in ("list", "tuple") and iter_av.elem is not None:
+            elem = _copy_value(iter_av.elem)
+        elif iter_av.kind == "array" and iter_av.shape is not None:
+            if len(iter_av.shape) <= 1:
+                elem = _scalar_of(iter_av.dtype)
+            else:
+                elem = array_value(iter_av.shape[1:], iter_av.dtype)
+        elif iter_av.kind == "enumerate" and iter_av.elem is not None:
+            elem = _copy_value(iter_av.elem)
+        else:
+            elem = unknown_value()
+        self._bind_target(target, elem)
+
+    def _bind_target(self, target: ast.expr, value: AbstractValue) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elems = value.elems
+            if elems is not None and len(elems) == len(target.elts):
+                for sub, av in zip(target.elts, elems):
+                    self._bind_target(sub, _copy_value(av))
+            else:
+                inner = value.elem
+                for sub in target.elts:
+                    self._bind_target(
+                        sub,
+                        _copy_value(inner) if inner is not None else unknown_value(),
+                    )
+        elif isinstance(target, ast.Attribute):
+            base = self._eval(target.value)
+            if base.kind in ("struct", "decision"):
+                base.attrs[target.attr] = value
+        elif isinstance(target, ast.Subscript):
+            base = self._eval(target.value)
+            if base.kind == "dict":
+                self._mutation(target, base, "item assignment")
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, unknown_value())
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+    def _eval(self, node: ast.expr) -> AbstractValue:
+        if isinstance(node, ast.Constant):
+            return _constant_value(node.value)
+        if isinstance(node, ast.Name):
+            found = self.env.get(node.id)
+            return found if found is not None else unknown_value()
+        if isinstance(node, ast.Attribute):
+            return self._attribute(node)
+        if isinstance(node, ast.BinOp):
+            return self._binop_values(
+                node, node.op, self._eval(node.left), self._eval(node.right)
+            )
+        if isinstance(node, ast.UnaryOp):
+            operand = self._eval(node.operand)
+            if isinstance(node.op, ast.Not):
+                return bool_value()
+            if operand.kind == "array":
+                return array_value(operand.shape, operand.dtype)
+            if operand.kind in ("int", "float", "bool"):
+                if operand.kind == "int":
+                    return int_value(dtype=operand.dtype or "int64")
+                return float_value() if operand.kind == "float" else int_value()
+            return unknown_value()
+        if isinstance(node, ast.BoolOp):
+            merged = self._eval(node.values[0])
+            for value in node.values[1:]:
+                merged = _merge_values(merged, self._eval(value))
+            return merged
+        if isinstance(node, ast.Compare):
+            return self._compare(node)
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Subscript):
+            return self._subscript(node)
+        if isinstance(node, ast.Tuple):
+            return tuple_value(elems=tuple(self._eval(e) for e in node.elts))
+        if isinstance(node, ast.List):
+            return list_value(elems=tuple(self._eval(e) for e in node.elts))
+        if isinstance(node, ast.Set):
+            for elt in node.elts:
+                self._eval(elt)
+            return set_value()
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    self._eval(key)
+            for value in node.values:
+                self._eval(value)
+            return dict_value()
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            return _merge_values(self._eval(node.body), self._eval(node.orelse))
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for comp in node.generators:
+                self._eval(comp.iter)
+            return (
+                list_value()
+                if isinstance(node, ast.ListComp)
+                else set_value()
+                if isinstance(node, ast.SetComp)
+                else unknown_value()
+            )
+        if isinstance(node, ast.DictComp):
+            for comp in node.generators:
+                self._eval(comp.iter)
+            return dict_value()
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, ast.JoinedStr):
+            return str_value()
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(node.value)
+            self._bind_target(node.target, value)
+            return value
+        return unknown_value()
+
+    def _attribute(self, node: ast.Attribute) -> AbstractValue:
+        dn = dotted_name(node)
+        if dn is not None:
+            head, _, rest = dn.partition(".")
+            if head in _NUMPY_HEADS and rest:
+                leaf = dn.rsplit(".", 1)[-1]
+                if leaf in _NUMPY_FLOAT_CONSTS:
+                    return float_value()
+                if leaf == "newaxis":
+                    return none_value()
+                if leaf in _DTYPE_SPELLINGS:
+                    return AbstractValue(kind="dtype", dtype=_DTYPE_SPELLINGS[leaf])
+                return unknown_value()
+        base = self._eval(node.value)
+        if base.kind in ("struct", "decision"):
+            attr = base.attrs.get(node.attr)
+            if attr is None:
+                return unknown_value()
+            if base.tag and attr.kind == "array":
+                self.state_reads.setdefault(node.attr, attr)
+            return attr
+        if base.kind == "array":
+            if node.attr == "T":
+                shape = None if base.shape is None else tuple(reversed(base.shape))
+                return array_value(shape, base.dtype)
+            if node.attr == "shape":
+                elems = (
+                    None
+                    if base.shape is None
+                    else tuple(int_value(dim=d) for d in base.shape)
+                )
+                return tuple_value(elems=elems, elem=int_value())
+            if node.attr == "size":
+                if base.shape is None:
+                    return int_value()
+                total = Dim.literal(1)
+                for d in base.shape:
+                    total = total * d
+                return int_value(dim=total)
+            if node.attr == "ndim":
+                if base.shape is None:
+                    return int_value()
+                return int_value(dim=Dim.literal(len(base.shape)))
+            if node.attr == "dtype":
+                return AbstractValue(kind="dtype", dtype=base.dtype)
+            return unknown_value()
+        return unknown_value()
+
+    def _binop_values(
+        self,
+        node: ast.AST,
+        op: ast.operator,
+        left: AbstractValue,
+        right: AbstractValue,
+    ) -> AbstractValue:
+        if left.kind == "array" or right.kind == "array":
+            shape, ok = broadcast_shapes(_shape_of(left), _shape_of(right))
+            if not ok:
+                self._issue(
+                    "broadcast",
+                    node,
+                    f"operands have incompatible shapes "
+                    f"{render_shape(_shape_of(left))} and "
+                    f"{render_shape(_shape_of(right))}",
+                )
+            dt = _join_known(_operand_dtype(left), _operand_dtype(right))
+            if isinstance(op, ast.Div) and dt:
+                dt = _join_known(dt, "float64")
+            if dt == "object":
+                self._issue(
+                    "object-dtype",
+                    node,
+                    "array operation promotes to object dtype on the hot path",
+                )
+            return array_value(shape, dt)
+        lk, rk = left.kind, right.kind
+        if lk in ("int", "bool") and rk in ("int", "bool"):
+            if isinstance(op, ast.Div):
+                return float_value()
+            dim: Dim | None = None
+            if (
+                isinstance(op, ast.Mult)
+                and left.dim is not None
+                and right.dim is not None
+            ):
+                dim = left.dim * right.dim
+            dt = _join_known(left.dtype or "int64", right.dtype or "int64")
+            if dt in ("", "bool"):
+                dt = "int64"
+            return int_value(dim=dim, dtype=dt)
+        if lk in ("int", "float", "bool") and rk in ("int", "float", "bool"):
+            return float_value()
+        if lk == "str" and isinstance(op, (ast.Mod, ast.Add)):
+            return str_value()
+        if lk == "list" and rk == "list" and isinstance(op, ast.Add):
+            return list_value(elem=left.elem or right.elem)
+        if isinstance(op, ast.Mult) and (lk == "list" or rk == "list"):
+            seq = left if lk == "list" else right
+            if seq.elems is not None and len(seq.elems) == 1:
+                return list_value(elem=_copy_value(seq.elems[0]))
+            return list_value(elem=seq.elem)
+        return unknown_value()
+
+    def _compare(self, node: ast.Compare) -> AbstractValue:
+        values = [self._eval(node.left)]
+        values.extend(self._eval(comp) for comp in node.comparators)
+        cur = _shape_of(values[0])
+        for value in values[1:]:
+            cur, ok = broadcast_shapes(cur, _shape_of(value))
+            if not ok:
+                self._issue(
+                    "broadcast",
+                    node,
+                    "comparison operands have incompatible shapes",
+                )
+        if any(v.kind == "array" for v in values):
+            return array_value(cur, "bool")
+        return bool_value()
+
+    def _subscript(self, node: ast.Subscript) -> AbstractValue:
+        base = self._eval(node.value)
+        sl = node.slice
+        if base.kind == "array":
+            return self._index_array(base, sl)
+        if base.kind in ("list", "tuple"):
+            if isinstance(sl, ast.Slice):
+                self._eval_slice(sl)
+                if base.kind == "list":
+                    return list_value(elem=base.elem)
+                return tuple_value(elem=base.elem)
+            self._eval(sl)
+            if (
+                base.elems is not None
+                and isinstance(sl, ast.Constant)
+                and isinstance(sl.value, int)
+                and -len(base.elems) <= sl.value < len(base.elems)
+            ):
+                return _copy_value(base.elems[sl.value])
+            if base.elem is not None:
+                return _copy_value(base.elem)
+            if base.elems:
+                first = base.elems[0]
+                if all(
+                    e.kind == first.kind and e.dtype == first.dtype
+                    for e in base.elems
+                ):
+                    return _copy_value(first)
+            return unknown_value()
+        if base.kind == "dict":
+            self._eval(sl)
+            return unknown_value()
+        if isinstance(sl, ast.Slice):
+            self._eval_slice(sl)
+        else:
+            self._eval(sl)
+        return unknown_value()
+
+    def _eval_slice(self, sl: ast.Slice) -> None:
+        for part in (sl.lower, sl.upper, sl.step):
+            if part is not None:
+                self._eval(part)
+
+    def _index_array(self, base: AbstractValue, sl: ast.expr) -> AbstractValue:
+        items = list(sl.elts) if isinstance(sl, ast.Tuple) else [sl]
+        dims = None if base.shape is None else list(base.shape)
+        out: list[Dim] = []
+        pos = 0
+        degraded = dims is None
+        for item in items:
+            if isinstance(item, ast.Constant) and item.value is Ellipsis:
+                degraded = True
+                continue
+            if isinstance(item, ast.Slice):
+                self._eval_slice(item)
+                if degraded:
+                    continue
+                assert dims is not None
+                if pos >= len(dims):
+                    degraded = True
+                    continue
+                if item.lower is None and item.upper is None and item.step is None:
+                    out.append(dims[pos])
+                else:
+                    out.append(Dim.unknown())
+                pos += 1
+                continue
+            av = self._eval(item)
+            if av.kind == "none":
+                if not degraded:
+                    out.append(Dim.literal(1))
+                continue
+            if av.kind in ("array", "list", "tuple"):
+                # Boolean-mask or fancy indexing: the result rank/length
+                # is data-dependent — degrade to unknown shape.
+                degraded = True
+                continue
+            if degraded:
+                continue
+            assert dims is not None
+            if pos >= len(dims):
+                degraded = True
+                continue
+            pos += 1  # scalar index consumes one axis
+        if degraded or dims is None:
+            return array_value(None, base.dtype)
+        out.extend(dims[pos:])
+        if not out:
+            return _scalar_of(base.dtype)
+        return array_value(tuple(out), base.dtype)
+
+    # ------------------------------------------------------------------ #
+    # Calls
+    # ------------------------------------------------------------------ #
+    def _eval_args(self, node: ast.Call) -> None:
+        for arg in node.args:
+            self._eval(arg)
+        for kw in node.keywords:
+            self._eval(kw.value)
+
+    def _kw(self, node: ast.Call, name: str) -> "ast.expr | None":
+        for kw in node.keywords:
+            if kw.arg == name:
+                return kw.value
+        return None
+
+    def _call(self, node: ast.Call) -> AbstractValue:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            dn = dotted_name(func)
+            if dn is not None:
+                head, _, rest = dn.partition(".")
+                if head in _NUMPY_HEADS and rest:
+                    return self._numpy_call(node, dn.rsplit(".", 1)[-1])
+            recv = self._eval(func.value)
+            return self._method_call(node, recv, func.attr)
+        if isinstance(func, ast.Name):
+            return self._name_call(node, func.id)
+        self._eval(func)
+        self._eval_args(node)
+        return unknown_value()
+
+    # -- shared helpers -------------------------------------------------- #
+    def _check_object_dtype(self, node: ast.AST, dtype: str, what: str) -> None:
+        if dtype == "object":
+            self._issue(
+                "object-dtype",
+                node,
+                f"{what} creates an object-dtype array on the hot path; a "
+                f"nopython tier cannot type it",
+            )
+
+    def _dtype_from_node(self, expr: ast.expr) -> str:
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            return _DTYPE_SPELLINGS.get(expr.value, "")
+        if isinstance(expr, ast.Name):
+            return _DTYPE_SPELLINGS.get(expr.id, "")
+        if isinstance(expr, ast.Attribute):
+            dn = dotted_name(expr)
+            if dn is not None:
+                head, _, rest = dn.partition(".")
+                if head in _NUMPY_HEADS and rest:
+                    return _DTYPE_SPELLINGS.get(dn.rsplit(".", 1)[-1], "")
+        av = self._eval(expr)
+        if av.kind == "dtype":
+            return av.dtype
+        return ""
+
+    def _dtype_kw(self, node: ast.Call) -> str:
+        expr = self._kw(node, "dtype")
+        if expr is None:
+            return ""
+        return self._dtype_from_node(expr)
+
+    def _dim_from_expr(self, expr: ast.expr) -> Dim:
+        if (
+            isinstance(expr, ast.Constant)
+            and isinstance(expr.value, int)
+            and not isinstance(expr.value, bool)
+        ):
+            return Dim.literal(expr.value)
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Mult):
+            return self._dim_from_expr(expr.left) * self._dim_from_expr(expr.right)
+        av = self._eval(expr)
+        if av.kind == "int" and av.dim is not None:
+            return av.dim
+        return Dim.unknown()
+
+    def _shape_from_node(self, expr: ast.expr) -> "tuple[Dim, ...] | None":
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            return tuple(self._dim_from_expr(e) for e in expr.elts)
+        av = self._eval(expr)
+        if av.kind == "tuple" and av.elems is not None:
+            return tuple(
+                e.dim if e.kind == "int" and e.dim is not None else Dim.unknown()
+                for e in av.elems
+            )
+        if av.kind == "int":
+            return (av.dim if av.dim is not None else Dim.unknown(),)
+        return None
+
+    def _axis_literal(self, expr: "ast.expr | None") -> "int | None":
+        if expr is None:
+            return None
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, int):
+            return int(expr.value)
+        if (
+            isinstance(expr, ast.UnaryOp)
+            and isinstance(expr.op, ast.USub)
+            and isinstance(expr.operand, ast.Constant)
+            and isinstance(expr.operand.value, int)
+        ):
+            return -int(expr.operand.value)
+        return None
+
+    def _reduced_shape(
+        self,
+        shape: "tuple[Dim, ...] | None",
+        axis_expr: "ast.expr | None",
+    ) -> "tuple[Dim, ...] | None":
+        if shape is None:
+            return None
+        axis = self._axis_literal(axis_expr)
+        if axis is None or not -len(shape) <= axis < len(shape):
+            return None
+        axis %= len(shape)
+        return shape[:axis] + shape[axis + 1 :]
+
+    def _finish_with_out(
+        self, node: ast.Call, result: AbstractValue
+    ) -> AbstractValue:
+        out_expr = self._kw(node, "out")
+        where_expr = self._kw(node, "where")
+        if where_expr is not None:
+            self._eval(where_expr)
+        if out_expr is None:
+            return result
+        out = self._eval(out_expr)
+        if out.kind != "array":
+            return result
+        if result.kind == "array" and _shapes_provably_differ(out.shape, result.shape):
+            self._issue(
+                "broadcast",
+                node,
+                f"out= array shape {render_shape(out.shape)} cannot hold "
+                f"result shape {render_shape(result.shape)}",
+            )
+        return out
+
+    def _binary_ufunc(
+        self, node: ast.Call, *, bool_result: bool = False, to_float: bool = False
+    ) -> AbstractValue:
+        a = self._eval(node.args[0]) if node.args else unknown_value()
+        b = self._eval(node.args[1]) if len(node.args) > 1 else unknown_value()
+        shape, ok = broadcast_shapes(_shape_of(a), _shape_of(b))
+        if not ok:
+            self._issue(
+                "broadcast",
+                node,
+                f"ufunc operands have incompatible shapes "
+                f"{render_shape(_shape_of(a))} and {render_shape(_shape_of(b))}",
+            )
+        if bool_result:
+            dt = "bool"
+        else:
+            dt = _join_known(_operand_dtype(a), _operand_dtype(b))
+            if to_float and dt:
+                dt = _join_known(dt, "float64")
+        if dt == "object":
+            self._issue(
+                "object-dtype", node, "ufunc promotes to object dtype on the hot path"
+            )
+        return self._finish_with_out(node, array_value(shape, dt))
+
+    # -- numpy functions -------------------------------------------------- #
+    def _numpy_call(self, node: ast.Call, leaf: str) -> AbstractValue:
+        args = node.args
+        if leaf in ("zeros", "ones", "empty"):
+            shape = self._shape_from_node(args[0]) if args else ()
+            dt = self._dtype_kw(node) or "float64"
+            self._check_object_dtype(node, dt, f"np.{leaf}")
+            return array_value(shape, dt)
+        if leaf == "full":
+            shape = self._shape_from_node(args[0]) if args else ()
+            fill = self._eval(args[1]) if len(args) > 1 else unknown_value()
+            dt = self._dtype_kw(node) or _operand_dtype(fill)
+            self._check_object_dtype(node, dt, "np.full")
+            return array_value(shape, dt)
+        if leaf in ("eye", "identity"):
+            n = self._dim_from_expr(args[0]) if args else Dim.unknown()
+            m = n
+            if leaf == "eye" and len(args) > 1:
+                m = self._dim_from_expr(args[1])
+            dt = self._dtype_kw(node) or "float64"
+            self._check_object_dtype(node, dt, f"np.{leaf}")
+            return array_value((n, m), dt)
+        if leaf in ("zeros_like", "ones_like", "empty_like", "full_like"):
+            base = self._eval(args[0]) if args else unknown_value()
+            if leaf == "full_like" and len(args) > 1:
+                self._eval(args[1])
+            dt = self._dtype_kw(node) or (base.dtype if base.kind == "array" else "")
+            self._check_object_dtype(node, dt, f"np.{leaf}")
+            shape = base.shape if base.kind == "array" else None
+            return array_value(shape, dt)
+        if leaf in ("array", "asarray", "ascontiguousarray", "asfortranarray"):
+            base = self._eval(args[0]) if args else unknown_value()
+            dt = self._dtype_kw(node)
+            shape: "tuple[Dim, ...] | None" = None
+            if base.kind == "array":
+                dt = dt or base.dtype
+                shape = base.shape
+            elif base.kind in ("list", "tuple"):
+                if base.elems is not None:
+                    scalar = all(
+                        e.kind in ("int", "float", "bool") for e in base.elems
+                    )
+                    if scalar:
+                        shape = (Dim.literal(len(base.elems)),)
+                        if not dt:
+                            kinds = {e.kind for e in base.elems}
+                            dt = (
+                                "float64"
+                                if "float" in kinds
+                                else "int64"
+                                if "int" in kinds
+                                else "bool"
+                                if kinds == {"bool"}
+                                else ""
+                            )
+                elif base.elem is not None and base.elem.kind in (
+                    "int",
+                    "float",
+                    "bool",
+                ):
+                    shape = (Dim.unknown(),)
+                    if not dt:
+                        dt = _operand_dtype(base.elem)
+            self._check_object_dtype(node, dt, f"np.{leaf}")
+            return array_value(shape, dt)
+        if leaf == "arange":
+            self._eval_args(node)
+            dt = self._dtype_kw(node) or "int64"
+            if len(args) == 1:
+                return array_value((self._dim_from_expr(args[0]),), dt)
+            return array_value((Dim.unknown(),), dt)
+        if leaf == "where":
+            cond = self._eval(args[0]) if args else unknown_value()
+            a = self._eval(args[1]) if len(args) > 1 else unknown_value()
+            b = self._eval(args[2]) if len(args) > 2 else unknown_value()
+            shape, ok = broadcast_shapes(_shape_of(cond), _shape_of(a))
+            shape, ok2 = broadcast_shapes(shape, _shape_of(b))
+            if not (ok and ok2):
+                self._issue(
+                    "broadcast", node, "np.where operands have incompatible shapes"
+                )
+            dt = _join_known(_operand_dtype(a), _operand_dtype(b))
+            if dt == "object":
+                self._issue(
+                    "object-dtype",
+                    node,
+                    "np.where promotes to object dtype on the hot path",
+                )
+            return array_value(shape, dt)
+        if leaf == "copyto":
+            dst = self._eval(args[0]) if args else unknown_value()
+            src = self._eval(args[1]) if len(args) > 1 else unknown_value()
+            where_expr = self._kw(node, "where")
+            shapes = [_shape_of(src)]
+            if where_expr is not None:
+                shapes.append(_shape_of(self._eval(where_expr)))
+            for other in shapes:
+                _, ok = broadcast_shapes(_shape_of(dst), other)
+                if not ok:
+                    self._issue(
+                        "broadcast",
+                        node,
+                        "np.copyto source does not broadcast to destination",
+                    )
+            return none_value()
+        if leaf in _COMPARISON_UFUNCS:
+            return self._binary_ufunc(node, bool_result=True)
+        if leaf in _ARITH_UFUNCS:
+            return self._binary_ufunc(node)
+        if leaf in ("true_divide", "divide"):
+            return self._binary_ufunc(node, to_float=True)
+        if leaf in _LOGICAL_UFUNCS:
+            return self._binary_ufunc(node, bool_result=True)
+        if leaf == "logical_not" or leaf in _PREDICATE_UFUNCS:
+            base = self._eval(args[0]) if args else unknown_value()
+            return self._finish_with_out(
+                node, array_value(_shape_of(base), "bool")
+            )
+        if leaf == "nonzero":
+            base = self._eval(args[0]) if args else unknown_value()
+            per_axis = array_value((Dim.unknown(),), "int64")
+            if base.kind == "array" and base.shape is not None:
+                return tuple_value(
+                    elems=tuple(_copy_value(per_axis) for _ in base.shape),
+                    elem=per_axis,
+                )
+            return tuple_value(elem=per_axis)
+        if leaf == "flatnonzero":
+            self._eval_args(node)
+            return array_value((Dim.unknown(),), "int64")
+        if leaf == "bincount":
+            if args:
+                self._eval(args[0])
+            minlength = self._kw(node, "minlength")
+            dim = (
+                self._dim_from_expr(minlength)
+                if minlength is not None
+                else Dim.unknown()
+            )
+            return array_value((dim,), "int64")
+        if leaf in ("cumsum", "cumprod"):
+            base = self._eval(args[0]) if args else unknown_value()
+            dt = base.dtype if base.kind == "array" else ""
+            if dt == "bool":
+                dt = "int64"
+            axis_expr = self._kw(node, "axis")
+            if axis_expr is not None and base.kind == "array":
+                self._eval(axis_expr)
+                return array_value(base.shape, dt)
+            if base.kind == "array" and base.shape is not None:
+                total = Dim.literal(1)
+                for d in base.shape:
+                    total = total * d
+                return array_value((total,), dt)
+            return array_value(None, dt)
+        if leaf == "lexsort":
+            self._eval_args(node)
+            return array_value((Dim.unknown(),), "int64")
+        if leaf == "argsort":
+            base = self._eval(args[0]) if args else unknown_value()
+            shape = base.shape if base.kind == "array" else None
+            return array_value(shape, "int64")
+        if leaf == "sort":
+            base = self._eval(args[0]) if args else unknown_value()
+            shape = base.shape if base.kind == "array" else None
+            return array_value(shape, base.dtype if base.kind == "array" else "")
+        if leaf in ("sum", "min", "max", "amin", "amax", "prod"):
+            base = self._eval(args[0]) if args else unknown_value()
+            if base.kind != "array":
+                return unknown_value()
+            axis_expr = self._kw(node, "axis") or (
+                args[1] if len(args) > 1 else None
+            )
+            dt = base.dtype
+            if dt == "bool" and leaf in ("sum", "prod"):
+                dt = "int64"
+            if axis_expr is None:
+                return self._finish_with_out(node, _scalar_of(dt))
+            return self._finish_with_out(
+                node, array_value(self._reduced_shape(base.shape, axis_expr), dt)
+            )
+        if leaf in ("argmin", "argmax"):
+            base = self._eval(args[0]) if args else unknown_value()
+            if base.kind != "array":
+                return unknown_value()
+            axis_expr = self._kw(node, "axis") or (
+                args[1] if len(args) > 1 else None
+            )
+            if axis_expr is None:
+                return int_value()
+            return self._finish_with_out(
+                node,
+                array_value(self._reduced_shape(base.shape, axis_expr), "int64"),
+            )
+        if leaf == "count_nonzero":
+            base = self._eval(args[0]) if args else unknown_value()
+            axis_expr = self._kw(node, "axis") or (
+                args[1] if len(args) > 1 else None
+            )
+            if axis_expr is None or base.kind != "array":
+                return int_value()
+            return array_value(
+                self._reduced_shape(base.shape, axis_expr), "int64"
+            )
+        if leaf in ("abs", "absolute", "sign", "floor", "ceil", "rint"):
+            base = self._eval(args[0]) if args else unknown_value()
+            if base.kind == "array":
+                return self._finish_with_out(
+                    node, array_value(base.shape, base.dtype)
+                )
+            return _copy_value(base) if base.kind in ("int", "float") else unknown_value()
+        if leaf in ("sqrt", "exp", "log", "log2", "log10"):
+            base = self._eval(args[0]) if args else unknown_value()
+            if base.kind == "array":
+                dt = _join_known(base.dtype, "float64") if base.dtype else ""
+                return self._finish_with_out(node, array_value(base.shape, dt))
+            return float_value()
+        if leaf in ("iinfo", "finfo"):
+            self._eval_args(node)
+            bound = int_value() if leaf == "iinfo" else float_value()
+            return struct_value(
+                attrs={
+                    "min": _copy_value(bound),
+                    "max": _copy_value(bound),
+                    "eps": float_value(),
+                    "bits": int_value(),
+                }
+            )
+        if leaf in _DTYPE_SPELLINGS:
+            self._eval_args(node)
+            dt = _DTYPE_SPELLINGS[leaf]
+            if dt == "bool":
+                return bool_value()
+            if dtype_leq(dt, "int64") and dt != "bottom":
+                return int_value(dtype=dt)
+            if dt in ("float32", "float64"):
+                return float_value()
+            return unknown_value()
+        self._eval_args(node)
+        return unknown_value()
+
+    # -- methods ----------------------------------------------------------- #
+    def _method_call(
+        self, node: ast.Call, recv: AbstractValue, name: str
+    ) -> AbstractValue:
+        if recv.kind in ("dict", "set") and name in _MUTATOR_METHODS:
+            self._eval_args(node)
+            self._mutation(node, recv, f".{name}()")
+            if name in ("pop", "popitem", "setdefault"):
+                return unknown_value()
+            return none_value()
+        if recv.kind == "array":
+            return self._array_method(node, recv, name)
+        if recv.kind == "list":
+            self._eval_args(node)
+            if name in (
+                "append",
+                "extend",
+                "insert",
+                "clear",
+                "remove",
+                "sort",
+                "reverse",
+            ):
+                return none_value()
+            if name == "pop":
+                return _copy_value(recv.elem) if recv.elem is not None else unknown_value()
+            if name == "copy":
+                return list_value(elem=recv.elem)
+            if name in ("index", "count"):
+                return int_value()
+            return unknown_value()
+        if recv.kind == "dict":
+            self._eval_args(node)
+            if name in ("items", "keys", "values"):
+                return list_value(tag=recv.tag)
+            return unknown_value()
+        if recv.kind in ("struct", "decision"):
+            self._eval_args(node)
+            return self._struct_method(recv, name)
+        if recv.kind == "str":
+            self._eval_args(node)
+            if name in ("format", "join", "strip", "lower", "upper", "replace"):
+                return str_value()
+            return unknown_value()
+        self._eval_args(node)
+        return unknown_value()
+
+    def _struct_method(self, recv: AbstractValue, name: str) -> AbstractValue:
+        n = Dim.sym("N")
+        if recv.tag == "view:unicast":
+            if name == "request_matrix":
+                return array_value((n, n), "bool")
+            if name == "hol_age":
+                return array_value((n, n), "int64")
+        if recv.tag == "view:siq":
+            if name == "member_matrix":
+                return array_value((Dim.unknown(), n), "bool")
+            if name == "fanouts":
+                return list_value(elem=int_value())
+        if recv.tag == "state":
+            if name == "admit":
+                return bool_value()
+            if name == "serve":
+                return tuple_value(elems=(unknown_value(), bool_value()))
+        if recv.kind == "decision" and name == "add":
+            return none_value()
+        return unknown_value()
+
+    def _array_method(
+        self, node: ast.Call, recv: AbstractValue, name: str
+    ) -> AbstractValue:
+        args = node.args
+        if name in ("min", "max", "sum", "prod", "mean", "std", "var"):
+            axis_expr = self._kw(node, "axis") or (args[0] if args else None)
+            dt = recv.dtype
+            if name in ("mean", "std", "var"):
+                dt = "float64"
+            elif dt == "bool" and name in ("sum", "prod"):
+                dt = "int64"
+            if axis_expr is None:
+                return self._finish_with_out(node, _scalar_of(dt))
+            return self._finish_with_out(
+                node, array_value(self._reduced_shape(recv.shape, axis_expr), dt)
+            )
+        if name in ("argmin", "argmax"):
+            axis_expr = self._kw(node, "axis") or (args[0] if args else None)
+            if axis_expr is None:
+                return int_value()
+            return self._finish_with_out(
+                node,
+                array_value(self._reduced_shape(recv.shape, axis_expr), "int64"),
+            )
+        if name in ("any", "all"):
+            axis_expr = self._kw(node, "axis") or (args[0] if args else None)
+            if axis_expr is None:
+                return bool_value()
+            return self._finish_with_out(
+                node,
+                array_value(self._reduced_shape(recv.shape, axis_expr), "bool"),
+            )
+        if name == "tolist":
+            if recv.shape is not None and len(recv.shape) <= 1:
+                return list_value(elem=_scalar_of(recv.dtype))
+            if recv.shape is not None:
+                return list_value(elem=list_value(elem=_scalar_of(recv.dtype)))
+            return list_value()
+        if name == "item":
+            self._eval_args(node)
+            return _scalar_of(recv.dtype)
+        if name == "copy":
+            return array_value(recv.shape, recv.dtype)
+        if name == "astype":
+            dt = self._dtype_from_node(args[0]) if args else ""
+            self._check_object_dtype(node, dt, ".astype")
+            return array_value(recv.shape, dt)
+        if name == "reshape":
+            if len(args) == 1 and isinstance(args[0], (ast.Tuple, ast.List)):
+                shape = self._shape_from_node(args[0])
+            else:
+                shape = tuple(self._dim_from_expr(a) for a in args)
+            return array_value(shape, recv.dtype)
+        if name == "fill":
+            self._eval_args(node)
+            return none_value()
+        if name == "nonzero":
+            per_axis = array_value((Dim.unknown(),), "int64")
+            if recv.shape is not None:
+                return tuple_value(
+                    elems=tuple(_copy_value(per_axis) for _ in recv.shape),
+                    elem=per_axis,
+                )
+            return tuple_value(elem=per_axis)
+        if name in ("ravel", "flatten"):
+            if recv.shape is None:
+                return array_value(None, recv.dtype)
+            total = Dim.literal(1)
+            for d in recv.shape:
+                total = total * d
+            return array_value((total,), recv.dtype)
+        if name == "transpose":
+            if args:
+                self._eval_args(node)
+                return array_value(None, recv.dtype)
+            shape = None if recv.shape is None else tuple(reversed(recv.shape))
+            return array_value(shape, recv.dtype)
+        if name in ("cumsum", "cumprod"):
+            dt = "int64" if recv.dtype == "bool" else recv.dtype
+            axis_expr = self._kw(node, "axis") or (args[0] if args else None)
+            if axis_expr is not None:
+                return array_value(recv.shape, dt)
+            if recv.shape is None:
+                return array_value(None, dt)
+            total = Dim.literal(1)
+            for d in recv.shape:
+                total = total * d
+            return array_value((total,), dt)
+        if name == "argsort":
+            self._eval_args(node)
+            return array_value(recv.shape, "int64")
+        if name == "sort":
+            self._eval_args(node)
+            return none_value()
+        if name in ("clip", "round", "take"):
+            self._eval_args(node)
+            return array_value(None if name == "take" else recv.shape, recv.dtype)
+        self._eval_args(node)
+        return unknown_value()
+
+    # -- plain-name calls --------------------------------------------------- #
+    def _name_call(self, node: ast.Call, name: str) -> AbstractValue:
+        args = node.args
+        if name == "range":
+            self._eval_args(node)
+            return AbstractValue(kind="range", elem=int_value())
+        if name == "len":
+            arg = self._eval(args[0]) if args else unknown_value()
+            return int_value(dim=_len_dim(arg))
+        if name == "enumerate":
+            inner = self._eval(args[0]) if args else unknown_value()
+            return AbstractValue(
+                kind="enumerate",
+                elem=tuple_value(elems=(int_value(), _elem_of(inner))),
+            )
+        if name == "zip":
+            elems = tuple(_elem_of(self._eval(a)) for a in args)
+            return list_value(elem=tuple_value(elems=elems))
+        if name == "sorted":
+            inner = self._eval(args[0]) if args else unknown_value()
+            for kw in node.keywords:
+                self._eval(kw.value)
+            return list_value(elem=_elem_of(inner))
+        if name == "reversed":
+            inner = self._eval(args[0]) if args else unknown_value()
+            return list_value(elem=_elem_of(inner))
+        if name == "list":
+            inner = self._eval(args[0]) if args else none_value()
+            return list_value(elem=_elem_of(inner) if args else None)
+        if name == "tuple":
+            inner = self._eval(args[0]) if args else none_value()
+            return tuple_value(elem=_elem_of(inner) if args else None)
+        if name == "dict":
+            self._eval_args(node)
+            return dict_value()
+        if name in ("set", "frozenset"):
+            self._eval_args(node)
+            return set_value()
+        if name == "int":
+            arg = self._eval(args[0]) if args else none_value()
+            return int_value(dim=arg.dim if arg.kind == "int" else None)
+        if name == "float":
+            self._eval_args(node)
+            return float_value()
+        if name == "bool":
+            self._eval_args(node)
+            return bool_value()
+        if name in ("str", "repr"):
+            self._eval_args(node)
+            return str_value()
+        if name in ("min", "max"):
+            values = [self._eval(a) for a in args]
+            for kw in node.keywords:
+                self._eval(kw.value)
+            if len(values) == 1:
+                elem = _elem_of(values[0])
+                return elem if elem.kind in ("int", "float", "bool") else unknown_value()
+            merged = values[0] if values else unknown_value()
+            for value in values[1:]:
+                merged = _merge_values(merged, value)
+            if merged.kind in ("int", "float", "bool"):
+                return merged
+            return unknown_value()
+        if name == "abs":
+            arg = self._eval(args[0]) if args else unknown_value()
+            if arg.kind == "array":
+                return array_value(arg.shape, arg.dtype)
+            if arg.kind in ("int", "float"):
+                return _copy_value(arg)
+            return unknown_value()
+        if name in ("sum", "divmod", "getattr", "iter", "next", "vars", "id"):
+            self._eval_args(node)
+            return unknown_value()
+        if name in ("isinstance", "hasattr", "callable", "issubclass"):
+            self._eval_args(node)
+            return bool_value()
+        if name == "print":
+            self._eval_args(node)
+            return none_value()
+        if name == "check_port_count":
+            # Validation guard from repro.utils: returns its argument.
+            first = self._eval(args[0]) if args else unknown_value()
+            for extra in args[1:]:
+                self._eval(extra)
+            return first
+        resolver = self._class_resolver
+        if resolver is not None:
+            arg_values = [self._eval(a) for a in args]
+            kw_values = {
+                kw.arg: self._eval(kw.value)
+                for kw in node.keywords
+                if kw.arg is not None
+            }
+            made = resolver(name, arg_values, kw_values)  # type: ignore[operator]
+            if made is not None:
+                return made
+            return unknown_value()
+        self._eval_args(node)
+        return unknown_value()
+
+
+def _constant_value(value: object) -> AbstractValue:
+    if value is None:
+        return none_value()
+    if isinstance(value, bool):
+        return bool_value()
+    if isinstance(value, int):
+        return int_value(dim=Dim.literal(value))
+    if isinstance(value, float):
+        return float_value()
+    if isinstance(value, str):
+        return str_value()
+    return unknown_value()
+
+
+def _elem_of(av: AbstractValue) -> AbstractValue:
+    """Abstract value produced by iterating ``av`` once."""
+    if av.kind == "range":
+        return int_value()
+    if av.kind in ("list", "tuple", "enumerate"):
+        if av.elem is not None:
+            return _copy_value(av.elem)
+        if av.elems:
+            first = av.elems[0]
+            if all(
+                e.kind == first.kind and e.dtype == first.dtype for e in av.elems
+            ):
+                return _copy_value(first)
+    if av.kind == "array" and av.shape is not None:
+        if len(av.shape) <= 1:
+            return _scalar_of(av.dtype)
+        return array_value(av.shape[1:], av.dtype)
+    return unknown_value()
+
+
+def _len_dim(av: AbstractValue) -> "Dim | None":
+    if av.kind == "array" and av.shape is not None and av.shape:
+        return av.shape[0]
+    if av.kind in ("list", "tuple") and av.elems is not None:
+        return Dim.literal(len(av.elems))
+    return None
+
+
+def _merge_values(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Join two branch values; disagreement degrades toward unknown."""
+    if a is b:
+        return a
+    if a.kind != b.kind:
+        return unknown_value()
+    if a.kind == "array":
+        shape: "tuple[Dim, ...] | None"
+        if (
+            a.shape is not None
+            and b.shape is not None
+            and len(a.shape) == len(b.shape)
+        ):
+            # Same rank: keep it, joining per-dimension (agreement stays,
+            # disagreement degrades to "?" without losing the rank).
+            shape = tuple(
+                x if x == y else Dim.unknown()
+                for x, y in zip(a.shape, b.shape)
+            )
+        else:
+            shape = a.shape if a.shape == b.shape else None
+        return array_value(shape, _join_known(a.dtype, b.dtype))
+    if a.kind == "int":
+        dim = a.dim if a.dim == b.dim else None
+        dt = _join_known(a.dtype, b.dtype)
+        return int_value(dim=dim, dtype=dt or "int64")
+    if a.kind in ("float", "bool", "str", "none", "range"):
+        return _copy_value(a)
+    if a.kind == "dict":
+        return dict_value(tag=a.tag if a.tag == b.tag else "")
+    if a.kind == "set":
+        return set_value(tag=a.tag if a.tag == b.tag else "")
+    if a.kind == "list":
+        elem = a.elem if _same_summary(a.elem, b.elem) else None
+        return list_value(elem=_copy_value(elem) if elem is not None else None)
+    if a.kind == "tuple":
+        if (
+            a.elems is not None
+            and b.elems is not None
+            and len(a.elems) == len(b.elems)
+        ):
+            return tuple_value(
+                elems=tuple(_merge_values(x, y) for x, y in zip(a.elems, b.elems))
+            )
+        return tuple_value()
+    if a.kind in ("struct", "decision"):
+        # Branches share the same underlying object in the common case
+        # (handled above); distinct objects with the same tag keep the
+        # body-branch view — an acceptable over-approximation.
+        return a if a.tag == b.tag else unknown_value()
+    return unknown_value()
+
+
+def _same_summary(a: "AbstractValue | None", b: "AbstractValue | None") -> bool:
+    if a is None or b is None:
+        return a is b
+    return a.kind == b.kind and a.dtype == b.dtype and a.shape == b.shape
+
+
+# ---------------------------------------------------------------------- #
+# KC005: nopython-unsupported constructs (pure AST, no interpretation)
+# ---------------------------------------------------------------------- #
+def _param_names(args: ast.arguments) -> list[str]:
+    names = [a.arg for a in args.posonlyargs]
+    names.extend(a.arg for a in args.args)
+    names.extend(a.arg for a in args.kwonlyargs)
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def _assigned_names(fn: ast.FunctionDef) -> set[str]:
+    names = set(_param_names(fn.args))
+    for sub in ast.walk(fn):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+            names.add(sub.id)
+    return names
+
+
+def _free_names(nested: "ast.FunctionDef | ast.Lambda") -> set[str]:
+    bound = set(_param_names(nested.args))
+    loaded: set[str] = set()
+    body = nested.body if isinstance(nested.body, list) else [nested.body]
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Name):
+                if isinstance(sub.ctx, ast.Store):
+                    bound.add(sub.id)
+                elif isinstance(sub.ctx, ast.Load):
+                    loaded.add(sub.id)
+    return loaded - bound
+
+
+def nopython_scan(fn: ast.FunctionDef) -> list[ShapeIssue]:
+    """Flag constructs a nopython compiler rejects outright.
+
+    Three families: ``**kwargs`` signatures (untypable call records),
+    closures that read bindings of the enclosing hot function (numba
+    freezes closure cells; reading mutable enclosing state compiles
+    wrong or not at all), and string formatting (f-strings, ``%`` on a
+    literal, ``str.format``) — except inside ``raise`` statements, which
+    stage out of the compiled region as error paths.
+    """
+    issues: list[ShapeIssue] = []
+    if fn.args.kwarg is not None:
+        issues.append(
+            ShapeIssue(
+                kind="nopython",
+                lineno=fn.lineno,
+                message=f"**{fn.args.kwarg.arg} in the signature cannot be "
+                f"typed by a nopython compiler",
+            )
+        )
+    raise_nodes: set[int] = set()
+    for sub in ast.walk(fn):
+        if isinstance(sub, ast.Raise):
+            for inner in ast.walk(sub):
+                raise_nodes.add(id(inner))
+    assigned = _assigned_names(fn)
+    for sub in ast.walk(fn):
+        if sub is fn:
+            continue
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            free = sorted(_free_names(sub) & assigned)
+            if free:
+                label = (
+                    "lambda" if isinstance(sub, ast.Lambda) else f"def {sub.name}"
+                )
+                issues.append(
+                    ShapeIssue(
+                        kind="nopython",
+                        lineno=sub.lineno,
+                        message=f"{label} closes over enclosing binding(s) "
+                        f"{', '.join(free)}; nopython closures cannot read "
+                        f"mutable enclosing state",
+                    )
+                )
+            continue
+        if id(sub) in raise_nodes:
+            continue
+        if isinstance(sub, ast.JoinedStr):
+            issues.append(
+                ShapeIssue(
+                    kind="nopython",
+                    lineno=sub.lineno,
+                    message="f-string formatting on the hot path (only "
+                    "raise-statement messages are exempt)",
+                )
+            )
+        elif (
+            isinstance(sub, ast.BinOp)
+            and isinstance(sub.op, ast.Mod)
+            and isinstance(sub.left, ast.Constant)
+            and isinstance(sub.left.value, str)
+        ):
+            issues.append(
+                ShapeIssue(
+                    kind="nopython",
+                    lineno=sub.lineno,
+                    message="%-formatting on the hot path (only "
+                    "raise-statement messages are exempt)",
+                )
+            )
+        elif (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "format"
+            and isinstance(sub.func.value, ast.Constant)
+            and isinstance(sub.func.value.value, str)
+        ):
+            issues.append(
+                ShapeIssue(
+                    kind="nopython",
+                    lineno=sub.lineno,
+                    message="str.format on the hot path (only "
+                    "raise-statement messages are exempt)",
+                )
+            )
+    return issues
+
+
+# ---------------------------------------------------------------------- #
+# Contracts: SwitchState / view / class-instance abstract values
+# ---------------------------------------------------------------------- #
+def _class_def(csym: ClassSymbol) -> "ast.ClassDef | None":
+    for stmt in csym.info.tree.body:
+        if isinstance(stmt, ast.ClassDef) and stmt.name == csym.name:
+            return stmt
+    return None
+
+
+def _module_constants(info: ModuleInfo) -> dict[str, AbstractValue]:
+    """Module-level scalar constants (``EMPTY_TS = np.inf`` and kin)."""
+    interp = ShapeInterpreter()
+    consts: dict[str, AbstractValue] = {}
+    for stmt in info.tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                value = interp.eval_expr(stmt.value)
+                if value.kind in ("int", "float", "bool", "str"):
+                    consts[target.id] = value
+    return consts
+
+
+class _ContractBuilder:
+    """Resolves constructor calls to abstract instances via the graph."""
+
+    _MAX_DEPTH = 3
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.graph = project_graph(project)
+        self._depth = 0
+
+    # The interpreter calls this for every unrecognized Name call.
+    def resolver(
+        self,
+        name: str,
+        args: list[AbstractValue],
+        kwargs: dict[str, AbstractValue],
+    ) -> "AbstractValue | None":
+        del args, kwargs
+        if name == "ScheduleDecision":
+            return decision_value()
+        if name == "UnicastVOQView":
+            return self.unicast_view()
+        if name == "SIQHolView":
+            return self.siq_view()
+        if name == "SwitchState":
+            return self.state_contract()
+        csym = self.graph.resolve_class(name)
+        if csym is None:
+            return None
+        if name.endswith(("Scheduler", "Switch", "Backend", "State")):
+            return self.class_contract(csym, tag=name)
+        return struct_value(tag=name)
+
+    def state_contract(self) -> AbstractValue:
+        csym = self.graph.resolve_class("SwitchState")
+        if csym is None:
+            return struct_value(tag="state")
+        return self.class_contract(csym, tag="state")
+
+    def unicast_view(self) -> AbstractValue:
+        n = Dim.sym("N")
+        return struct_value(
+            tag="view:unicast",
+            attrs={
+                "occupancy": array_value((n, n), "int64"),
+                "hol_arrival": array_value((n, n), "int64"),
+                "current_slot": int_value(),
+                "num_ports": int_value(dim=n),
+            },
+        )
+
+    def siq_view(self) -> AbstractValue:
+        return struct_value(
+            tag="view:siq",
+            attrs={
+                "num_ports": int_value(dim=Dim.sym("N")),
+                "current_slot": int_value(),
+                "inputs": list_value(),
+                "residue_bits": list_value(elem=int_value()),
+                "arrivals": list_value(),
+            },
+        )
+
+    def class_contract(self, csym: ClassSymbol, tag: str) -> AbstractValue:
+        """Abstract ``self`` after running the class's ``__init__`` chain."""
+        self_av = struct_value(tag=tag)
+        if self._depth >= self._MAX_DEPTH:
+            return self_av
+        self._depth += 1
+        try:
+            for owner, init in self._init_chain(csym):
+                interp = ShapeInterpreter(class_resolver=self.resolver)
+                interp.env.update(_module_constants(owner.info))
+                params = _param_names(init.args)
+                if params:
+                    interp.env[params[0]] = self_av
+                for pname in params[1:]:
+                    interp.env[pname] = _seed_by_name(pname)
+                interp.run(init.body)
+        finally:
+            self._depth -= 1
+        return self_av
+
+    def _init_chain(
+        self, csym: ClassSymbol
+    ) -> list[tuple[ClassSymbol, ast.FunctionDef]]:
+        """``__init__`` bodies base-most first (approximate MRO walk)."""
+        chain: list[tuple[ClassSymbol, ast.FunctionDef]] = []
+        seen: set[tuple[str, str]] = set()
+
+        def visit(sym: ClassSymbol) -> None:
+            key = (sym.module, sym.name)
+            if key in seen:
+                return
+            seen.add(key)
+            for base in sym.bases:
+                parent = self.graph.resolve_class(base)
+                if parent is not None:
+                    visit(parent)
+            cdef = _class_def(sym)
+            if cdef is None:
+                return
+            for stmt in cdef.body:
+                if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__":
+                    chain.append((sym, stmt))
+                    return
+
+        visit(csym)
+        return chain
+
+
+def _seed_by_name(pname: str) -> AbstractValue:
+    if pname in ("num_ports", "n", "ports"):
+        return int_value(dim=Dim.sym("N"))
+    if pname in ("slot", "current_slot"):
+        return int_value()
+    return unknown_value()
+
+
+def _annotation_name(ann: "ast.expr | None") -> str:
+    if ann is None:
+        return ""
+    if isinstance(ann, ast.Name):
+        return ann.id
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        return ann.value
+    if isinstance(ann, ast.Attribute):
+        return ann.attr
+    if isinstance(ann, ast.BinOp):  # "X | None" unions
+        return _annotation_name(ann.left)
+    return ""
+
+
+def _seed_param(
+    builder: _ContractBuilder, pname: str, ann: "ast.expr | None"
+) -> AbstractValue:
+    label = _annotation_name(ann)
+    if "SwitchState" in label:
+        return builder.state_contract()
+    if "UnicastVOQView" in label:
+        return builder.unicast_view()
+    if "SIQHolView" in label:
+        return builder.siq_view()
+    if "ScheduleDecision" in label:
+        return decision_value()
+    if pname == "state":
+        return builder.state_contract()
+    if pname == "decision":
+        return decision_value()
+    if label == "ndarray" or pname in ("occ", "occupancy"):
+        return array_value(None, "")
+    return _seed_by_name(pname)
+
+
+def switch_state_contract(project: Project) -> AbstractValue:
+    """Abstract ``SwitchState`` instance resolved from ``kernel/state.py``."""
+    return _ContractBuilder(project).state_contract()
+
+
+# ---------------------------------------------------------------------- #
+# Hot-function discovery and per-function analysis
+# ---------------------------------------------------------------------- #
+#: Kernel-seam methods that run once per slot (or per packet) and are
+#: therefore compiled-tier candidates even without a twin-style name.
+_KERNEL_HOT_METHODS = frozenset({"admit", "serve", "schedule", "commit", "driver_row"})
+
+
+@dataclass(eq=False)
+class HotFunction:
+    """One function on the kernel seam selected for interpretation."""
+
+    module: ModuleInfo
+    cls: str
+    name: str
+    node: ast.FunctionDef
+
+
+def _is_kernel_seam_module(info: ModuleInfo) -> bool:
+    return info.abspath.endswith(
+        ("repro/kernel/state.py", "repro/kernel/vectorized.py")
+    )
+
+
+def _is_hot_name(name: str, kernel_class: bool) -> bool:
+    if name == "schedule_state" or "vectorized" in name:
+        return True
+    return kernel_class and name in _KERNEL_HOT_METHODS
+
+
+def iter_hot_functions(project: Project) -> list[HotFunction]:
+    """Vectorized twins plus kernel-seam methods, deterministic order."""
+    out: list[HotFunction] = []
+    for info in project.modules:
+        if info.is_test_module:
+            continue
+        if info.abspath.endswith("repro/kernel/equivalence.py"):
+            continue
+        if "repro/lint/" in info.abspath:
+            continue  # the analyzer itself is not kernel-seam code
+        kernel_class = _is_kernel_seam_module(info)
+        for stmt in info.tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                for sub in stmt.body:
+                    if isinstance(sub, ast.FunctionDef) and _is_hot_name(
+                        sub.name, kernel_class
+                    ):
+                        out.append(HotFunction(info, stmt.name, sub.name, sub))
+            elif isinstance(stmt, ast.FunctionDef) and _is_hot_name(
+                stmt.name, False
+            ):
+                out.append(HotFunction(info, "", stmt.name, stmt))
+    out.sort(key=lambda hot: (hot.module.path, hot.node.lineno))
+    return out
+
+
+@dataclass(eq=False)
+class FunctionAnalysis:
+    """Interpretation result for one hot function."""
+
+    module: ModuleInfo
+    cls: str
+    name: str
+    lineno: int
+    issues: tuple[ShapeIssue, ...]
+    #: Arrays read off contract-tagged structs (state / views / self).
+    arrays: dict[str, AbstractValue]
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.cls}.{self.name}" if self.cls else self.name
+
+
+@dataclass(eq=False)
+class SeamAnalysis:
+    """All hot-function analyses for one lint project, in path order."""
+
+    functions: tuple[FunctionAnalysis, ...]
+
+    def find(self, abspath: str, cls: str, name: str) -> "FunctionAnalysis | None":
+        """The analysis for one (file, class, method), or None."""
+        for fa in self.functions:
+            if fa.module.abspath == abspath and fa.cls == cls and fa.name == name:
+                return fa
+        return None
+
+
+def _analyze_function(builder: _ContractBuilder, hot: HotFunction) -> FunctionAnalysis:
+    interp = ShapeInterpreter(class_resolver=builder.resolver)
+    interp.env.update(_module_constants(hot.module))
+    args = hot.node.args
+    positional = list(args.posonlyargs) + list(args.args)
+    if hot.cls and positional:
+        csym = builder.graph.resolve_class(hot.cls)
+        self_av = (
+            builder.class_contract(csym, tag=hot.cls)
+            if csym is not None
+            else struct_value(tag=hot.cls)
+        )
+        interp.env[positional[0].arg] = self_av
+        positional = positional[1:]
+    for param in positional:
+        interp.env[param.arg] = _seed_param(builder, param.arg, param.annotation)
+    for param in args.kwonlyargs:
+        interp.env[param.arg] = _seed_param(builder, param.arg, param.annotation)
+    interp.run(hot.node.body)
+    issues = list(interp.issues)
+    issues.extend(nopython_scan(hot.node))
+    issues.sort(key=lambda issue: (issue.lineno, issue.kind, issue.message))
+    return FunctionAnalysis(
+        module=hot.module,
+        cls=hot.cls,
+        name=hot.name,
+        lineno=hot.node.lineno,
+        issues=tuple(issues),
+        arrays=dict(interp.state_reads),
+    )
+
+
+def seam_analysis(project: Project) -> SeamAnalysis:
+    """Interpret every hot function once per project (memoized)."""
+    cached = project.shapes_cache
+    if isinstance(cached, SeamAnalysis):
+        return cached
+    builder = _ContractBuilder(project)
+    functions = tuple(
+        _analyze_function(builder, hot) for hot in iter_hot_functions(project)
+    )
+    analysis = SeamAnalysis(functions=functions)
+    project.shapes_cache = analysis
+    return analysis
+
+
+# ---------------------------------------------------------------------- #
+# kernel_contracts.json: per-pairing readiness manifest
+# ---------------------------------------------------------------------- #
+def _registry_module(project: Project) -> "ModuleInfo | None":
+    for info in project.modules:
+        if info.abspath.endswith("repro/schedulers/registry.py"):
+            return info
+    return None
+
+
+def _registration_calls(info: ModuleInfo) -> "list[tuple[str, ast.expr | None]]":
+    out: list[tuple[str, "ast.expr | None"]] = []
+    for sub in ast.walk(info.tree):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id == "register_switch_factory"
+            and sub.args
+            and isinstance(sub.args[0], ast.Constant)
+            and isinstance(sub.args[0].value, str)
+        ):
+            factory = sub.args[1] if len(sub.args) > 1 else None
+            out.append((sub.args[0].value, factory))
+    return out
+
+
+def _factory_def(info: ModuleInfo, expr: "ast.expr | None") -> "ast.FunctionDef | None":
+    name: "str | None" = None
+    if isinstance(expr, ast.Name):
+        name = expr.id
+    elif isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        name = expr.func.id
+    if name is None:
+        return None
+    for stmt in info.tree.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _constructed_classes(graph: ProjectGraph, fn: ast.AST) -> list[ClassSymbol]:
+    """Classes instantiated (by bare name) anywhere inside ``fn``."""
+    found: list[ClassSymbol] = []
+    keys: set[tuple[str, str]] = set()
+    for sub in ast.walk(fn):
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name):
+            csym = graph.resolve_class(sub.func.id)
+            if csym is not None:
+                key = (csym.module, csym.name)
+                if key not in keys:
+                    keys.add(key)
+                    found.append(csym)
+    return found
+
+
+def _object_only_reason(csym: ClassSymbol) -> str:
+    cdef = _class_def(csym)
+    if cdef is None:
+        return ""
+    for stmt in cdef.body:
+        value: "ast.expr | None" = None
+        if isinstance(stmt, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == "object_only_reason"
+                for t in stmt.targets
+            ):
+                value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "object_only_reason"
+            ):
+                value = stmt.value
+        if (
+            value is not None
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+        ):
+            return value.value
+    return ""
+
+
+def _method_def(cdef: ast.ClassDef, name: str) -> "ast.FunctionDef | None":
+    for stmt in cdef.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _mentions_vectorized(fn: ast.FunctionDef) -> bool:
+    for sub in ast.walk(fn):
+        if isinstance(sub, ast.Constant) and sub.value == "vectorized":
+            return True
+    return False
+
+
+def _entry_for(
+    graph: ProjectGraph, classes: list[ClassSymbol]
+) -> "tuple[ClassSymbol, ast.FunctionDef] | None":
+    """The pairing's vectorized entry point, by declaration strength.
+
+    1. A scheduler exposing ``schedule_state``/``schedule_vectorized``.
+    2. A method whose *name* contains ``vectorized`` (switch-internal
+       twins like ``_schedule_vectorized``).
+    3. A method that *branches* on the ``"vectorized"`` backend string
+       (single-body switches like the output-queued fabric).
+
+    Classes constructed inside a collected class's ``__init__`` count
+    too (switches that build their scheduler internally).
+    """
+    expanded = list(classes)
+    keys = {(c.module, c.name) for c in expanded}
+    for csym in classes:
+        cdef = _class_def(csym)
+        init = _method_def(cdef, "__init__") if cdef is not None else None
+        if init is None:
+            continue
+        for inner in _constructed_classes(graph, init):
+            key = (inner.module, inner.name)
+            if key not in keys:
+                keys.add(key)
+                expanded.append(inner)
+    for csym in expanded:
+        cdef = _class_def(csym)
+        if cdef is None:
+            continue
+        for mname in ("schedule_state", "schedule_vectorized"):
+            fn = _method_def(cdef, mname)
+            if fn is not None:
+                return (csym, fn)
+    ranked: list[tuple[int, int, int, ClassSymbol, ast.FunctionDef]] = []
+    for index, csym in enumerate(expanded):
+        cdef = _class_def(csym)
+        if cdef is None:
+            continue
+        for stmt in cdef.body:
+            if isinstance(stmt, ast.FunctionDef) and "vectorized" in stmt.name:
+                rank = 0 if "schedule" in stmt.name else 1
+                ranked.append((rank, index, stmt.lineno, csym, stmt))
+    if ranked:
+        ranked.sort(key=lambda item: item[:3])
+        best = ranked[0]
+        return (best[3], best[4])
+    for index, csym in enumerate(expanded):
+        cdef = _class_def(csym)
+        if cdef is None:
+            continue
+        for stmt in cdef.body:
+            if (
+                isinstance(stmt, ast.FunctionDef)
+                and "schedule" in stmt.name
+                and _mentions_vectorized(stmt)
+            ):
+                ranked.append((0, index, stmt.lineno, csym, stmt))
+    if ranked:
+        ranked.sort(key=lambda item: item[:3])
+        best = ranked[0]
+        return (best[3], best[4])
+    return None
+
+
+def _render_arrays(arrays: dict[str, AbstractValue]) -> list[dict[str, object]]:
+    out: list[dict[str, object]] = []
+    for name in sorted(arrays):
+        av = arrays[name]
+        out.append(
+            {
+                "name": name,
+                "shape": render_shape(av.shape),
+                "dtype": av.dtype or "?",
+            }
+        )
+    return out
+
+
+def build_contract_manifest(project: Project) -> dict[str, object]:
+    """Machine-readable compile-readiness manifest for every pairing.
+
+    The equivalence harness cross-checks the ``state`` block (and any
+    per-pairing arrays) against live ndarrays at runtime; a future
+    compiled tier consumes the ``pairings`` verdicts as its entry
+    contract.
+    """
+    graph = project_graph(project)
+    analysis = seam_analysis(project)
+    builder = _ContractBuilder(project)
+    pairings: list[dict[str, object]] = []
+    registry = _registry_module(project)
+    registrations = _registration_calls(registry) if registry is not None else []
+    for name, factory_expr in sorted(registrations):
+        record: dict[str, object] = {"pairing": name}
+        factory = (
+            _factory_def(registry, factory_expr) if registry is not None else None
+        )
+        classes = _constructed_classes(graph, factory) if factory is not None else []
+        reason = ""
+        for csym in classes:
+            reason = _object_only_reason(csym)
+            if reason:
+                break
+        if reason:
+            record.update(
+                {
+                    "entry": None,
+                    "verdict": "object-only",
+                    "reason": reason,
+                    "blockers": [],
+                    "arrays": [],
+                }
+            )
+            pairings.append(record)
+            continue
+        entry = _entry_for(graph, classes)
+        if entry is None:
+            record.update(
+                {
+                    "entry": None,
+                    "verdict": "blocked",
+                    "blockers": ["no vectorized entry point found"],
+                    "arrays": [],
+                }
+            )
+            pairings.append(record)
+            continue
+        csym, fndef = entry
+        fa = analysis.find(csym.info.abspath, csym.name, fndef.name)
+        if fa is None:
+            fa = _analyze_function(
+                builder, HotFunction(csym.info, csym.name, fndef.name, fndef)
+            )
+        blockers = [
+            f"{issue_rule_id(issue)}:{issue.lineno}: {issue.message}"
+            for issue in fa.issues
+        ]
+        record.update(
+            {
+                "entry": f"{csym.info.path}:{csym.name}.{fndef.name}",
+                "verdict": "ready" if not blockers else "blocked",
+                "blockers": blockers,
+                "arrays": _render_arrays(fa.arrays),
+            }
+        )
+        pairings.append(record)
+    state_av = builder.state_contract()
+    state_arrays = _render_arrays(
+        {
+            attr: av
+            for attr, av in state_av.attrs.items()
+            if av.kind == "array"
+        }
+    )
+    return {
+        "version": 1,
+        "dims": {"N": "num_ports"},
+        "state": state_arrays,
+        "pairings": pairings,
+    }

@@ -1,0 +1,178 @@
+"""Tests for the kernel contract manifest and its runtime cross-check.
+
+The manifest (``kernel_contracts.json``) is derived by the abstract
+interpreter in :mod:`repro.lint.shapes` and consumed by
+:mod:`repro.kernel.contracts`: this suite pins both halves — every
+registry pairing gets a readiness verdict, the named baselines stay
+honest (eslip blocked, tatra object-only), symbolic shapes resolve to
+the concrete arrays a live :class:`SwitchState` allocates, and the
+``lint --contracts`` CLI emits the file CI uploads.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.kernel import check_live_state, check_state_arrays, load_manifest
+from repro.kernel.contracts import resolve_dim, resolve_shape
+from repro.kernel.state import SwitchState
+from repro.lint import build_contract_manifest, load_project
+from repro.schedulers.registry import available_schedulers, make_switch
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    return build_contract_manifest(load_project(["src/repro"]))
+
+
+class TestResolve:
+    def test_resolve_dim(self):
+        bindings = {"N": 8, "F": 3}
+        assert resolve_dim("N", bindings) == 8
+        assert resolve_dim("4", bindings) == 4
+        assert resolve_dim("N*N", bindings) == 64
+        assert resolve_dim("2*N", bindings) == 16
+        assert resolve_dim("F*N", bindings) == 24
+        assert resolve_dim("?", bindings) is None
+        assert resolve_dim("M", bindings) is None
+
+    def test_resolve_shape(self):
+        bindings = {"N": 8}
+        assert resolve_shape(["N", "N"], bindings) == (8, 8)
+        assert resolve_shape([], bindings) == ()
+        assert resolve_shape(["?"], bindings) is None
+        assert resolve_shape(["N", "?"], bindings) is None
+
+
+class TestManifest:
+    def test_covers_every_registry_pairing(self, manifest):
+        names = [p["pairing"] for p in manifest["pairings"]]
+        assert names == sorted(names)
+        assert set(names) == set(available_schedulers())
+
+    def test_every_pairing_has_a_verdict(self, manifest):
+        for pairing in manifest["pairings"]:
+            assert pairing["verdict"] in ("ready", "blocked", "object-only")
+            if pairing["verdict"] == "ready":
+                assert pairing["entry"] and pairing["blockers"] == []
+            elif pairing["verdict"] == "blocked":
+                assert pairing["blockers"]
+            else:
+                assert pairing["reason"]
+
+    def test_named_baselines(self, manifest):
+        by_name = {p["pairing"]: p for p in manifest["pairings"]}
+        assert by_name["eslip"]["verdict"] == "blocked"
+        blocker_rules = {b.split(":", 1)[0] for b in by_name["eslip"]["blockers"]}
+        assert blocker_rules <= {"KC004", "KC005"}
+        assert by_name["tatra"]["verdict"] == "object-only"
+        assert by_name["fifoms"]["verdict"] == "ready"
+        assert by_name["fifoms"]["entry"].endswith(
+            "fifoms.py:FIFOMSScheduler.schedule_state"
+        )
+
+    def test_state_block_names_soa_arrays(self, manifest):
+        entries = {e["name"]: e for e in manifest["state"]}
+        assert "hol_ts" in entries
+        assert entries["hol_ts"]["shape"] == ["N", "N"]
+        assert entries["hol_ts"]["dtype"] == "float64"
+
+    def test_ready_entries_record_arrays(self, manifest):
+        ready = [p for p in manifest["pairings"] if p["verdict"] == "ready"]
+        assert ready
+        with_arrays = [p for p in ready if p["arrays"]]
+        # Most vectorized twins read at least one contract array.
+        assert len(with_arrays) >= len(ready) // 2
+        for pairing in with_arrays:
+            for entry in pairing["arrays"]:
+                assert set(entry) == {"name", "shape", "dtype"}
+
+
+class TestLiveCrossCheck:
+    def test_live_switch_state_matches_contract(self, manifest):
+        state = SwitchState(8)
+        assert check_state_arrays(state, manifest, num_ports=8) == []
+
+    def test_shape_mismatch_detected(self, manifest):
+        state = SwitchState(8)
+        state.hol_ts = np.zeros((4, 4))
+        problems = check_state_arrays(state, manifest, num_ports=8)
+        assert any("hol_ts" in p and "shape" in p for p in problems)
+
+    def test_dtype_mismatch_detected(self, manifest):
+        state = SwitchState(8)
+        state.hol_ts = state.hol_ts.astype(np.float32)
+        problems = check_state_arrays(state, manifest, num_ports=8)
+        assert any("hol_ts" in p and "dtype" in p for p in problems)
+
+    def test_missing_array_detected(self, manifest):
+        state = SwitchState(8)
+        del state.hol_ts
+        problems = check_state_arrays(state, manifest, num_ports=8)
+        assert any("missing" in p for p in problems)
+
+    def test_check_live_state_walks_backend(self, manifest):
+        switch = make_switch("fifoms", 8, backend="vectorized")
+        assert check_live_state(switch, manifest, num_ports=8) == []
+
+    def test_check_live_state_skips_stateless_switches(self, manifest):
+        switch = make_switch("islip", 8)
+        assert check_live_state(switch, manifest, num_ports=8) is None
+
+
+class TestCliAndFile:
+    def test_checked_in_manifest_is_current(self, manifest):
+        """kernel_contracts.json must match a fresh derivation."""
+        on_disk = load_manifest("kernel_contracts.json")
+        assert on_disk == json.loads(json.dumps(manifest))
+
+    def test_load_manifest_rejects_non_manifest(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_manifest(bogus)
+
+    def test_cli_contracts_flag(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "contracts.json"
+        code = main(
+            [
+                "lint",
+                "--contracts",
+                "--contracts-out",
+                str(out),
+                "src/repro",
+            ]
+        )
+        assert code == 0
+        written = json.loads(out.read_text(encoding="utf-8"))
+        assert {p["pairing"] for p in written["pairings"]} == set(
+            available_schedulers()
+        )
+
+
+class TestEquivalenceIntegration:
+    TRAFFIC = {"model": "bernoulli", "p": 0.3, "b": 0.25}
+
+    def test_run_case_enforces_contract(self, manifest):
+        from repro.kernel.equivalence import EquivalenceCase, run_case
+
+        case = EquivalenceCase(algorithm="fifoms", traffic=self.TRAFFIC, seed=7)
+        report = run_case(case, num_ports=4, num_slots=50, manifest=manifest)
+        assert report.ok
+
+    def test_run_case_raises_on_violated_contract(self, manifest):
+        from repro.errors import EquivalenceError
+        from repro.kernel.equivalence import EquivalenceCase, run_case
+
+        broken = json.loads(json.dumps(manifest))
+        for entry in broken["state"]:
+            if entry["name"] == "hol_ts":
+                entry["dtype"] = "float32"
+        case = EquivalenceCase(algorithm="fifoms", traffic=self.TRAFFIC, seed=7)
+        with pytest.raises(EquivalenceError, match="contract"):
+            run_case(case, num_ports=4, num_slots=10, manifest=broken)

@@ -1,0 +1,253 @@
+"""Tests for the compile-readiness lint rules (KC001-KC005).
+
+Same fixture discipline as tests/test_lint.py: every rule gets positive
+(violation flagged), clean (not flagged) and suppression-comment cases
+on small structured temp trees.  The fixtures are synthetic
+``schedule_vectorized`` twins / ``schedule_state`` kernels, because the
+KC family only analyzes hot seam functions — identical code under a
+cold name must never fire.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import Finding, run_lint
+from repro.lint.rules_compile import (
+    BroadcastMismatchRule,
+    DtypeStabilityRule,
+    NopythonConstructRule,
+    ObjectDtypeRule,
+    PySlotMutationRule,
+)
+
+
+def lint_tree(tmp_path, files: dict[str, str], rules) -> list[Finding]:
+    """Write ``files`` (relpath -> source) under ``tmp_path`` and lint."""
+    for rel, src in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(src), encoding="utf-8")
+    return run_lint([tmp_path], rules=rules).findings
+
+
+class TestObjectDtypeRule:
+    RULE = ObjectDtypeRule
+
+    def test_flags_object_allocation_in_hot_twin(self, tmp_path):
+        src = """
+            import numpy as np
+
+            def schedule_vectorized(state):
+                cells = np.empty((4, 4), dtype=object)
+                return cells
+        """
+        findings = lint_tree(tmp_path, {"repro/schedulers/x.py": src}, [self.RULE()])
+        assert [f.rule_id for f in findings] == ["KC001"]
+        assert "object-dtype" in findings[0].message
+
+    def test_cold_function_not_analyzed(self, tmp_path):
+        src = """
+            import numpy as np
+
+            def build_report(state):
+                cells = np.empty((4, 4), dtype=object)
+                return cells
+        """
+        assert lint_tree(tmp_path, {"repro/schedulers/x.py": src}, [self.RULE()]) == []
+
+    def test_numeric_allocation_clean(self, tmp_path):
+        src = """
+            import numpy as np
+
+            def schedule_vectorized(state):
+                return np.zeros((4, 4), dtype=np.int64)
+        """
+        assert lint_tree(tmp_path, {"repro/schedulers/x.py": src}, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        src = """
+            # lint: disable=KC001
+            import numpy as np
+
+            def schedule_vectorized(state):
+                return np.empty((4, 4), dtype=object)
+        """
+        assert lint_tree(tmp_path, {"repro/schedulers/x.py": src}, [self.RULE()]) == []
+
+
+class TestBroadcastMismatchRule:
+    RULE = BroadcastMismatchRule
+
+    def test_flags_provable_mismatch(self, tmp_path):
+        src = """
+            import numpy as np
+
+            def schedule_vectorized(state):
+                a = np.zeros((3, 3))
+                b = np.zeros((4, 4))
+                return a + b
+        """
+        findings = lint_tree(tmp_path, {"repro/schedulers/x.py": src}, [self.RULE()])
+        assert [f.rule_id for f in findings] == ["KC002"]
+
+    def test_symbolic_shapes_clean(self, tmp_path):
+        src = """
+            import numpy as np
+
+            def schedule_vectorized(state, num_ports: int):
+                a = np.zeros((num_ports, num_ports))
+                b = np.zeros(num_ports)
+                return a + b
+        """
+        assert lint_tree(tmp_path, {"repro/schedulers/x.py": src}, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        src = """
+            # lint: disable=KC002
+            import numpy as np
+
+            def schedule_vectorized(state):
+                return np.zeros((3, 3)) + np.zeros((4, 4))
+        """
+        assert lint_tree(tmp_path, {"repro/schedulers/x.py": src}, [self.RULE()]) == []
+
+
+class TestDtypeStabilityRule:
+    RULE = DtypeStabilityRule
+
+    def test_flags_widening_accumulator(self, tmp_path):
+        src = """
+            import numpy as np
+
+            def schedule_vectorized(state):
+                acc = np.zeros(4, dtype=np.int64)
+                go = True
+                while go:
+                    acc = acc * 0.5
+                    go = False
+                return acc
+        """
+        findings = lint_tree(tmp_path, {"repro/schedulers/x.py": src}, [self.RULE()])
+        assert [f.rule_id for f in findings] == ["KC003"]
+
+    def test_stable_accumulator_clean(self, tmp_path):
+        src = """
+            import numpy as np
+
+            def schedule_vectorized(state):
+                acc = np.zeros(4, dtype=np.int64)
+                go = True
+                while go:
+                    acc = acc + 1
+                    go = False
+                return acc
+        """
+        assert lint_tree(tmp_path, {"repro/schedulers/x.py": src}, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        src = """
+            # lint: disable=KC003
+            import numpy as np
+
+            def schedule_vectorized(state):
+                acc = np.zeros(4, dtype=np.int64)
+                go = True
+                while go:
+                    acc = acc * 0.5
+                    go = False
+                return acc
+        """
+        assert lint_tree(tmp_path, {"repro/schedulers/x.py": src}, [self.RULE()]) == []
+
+
+class TestPySlotMutationRule:
+    RULE = PySlotMutationRule
+
+    def test_flags_dict_mutation_in_round_loop(self, tmp_path):
+        src = """
+            def schedule_vectorized(state):
+                pending = {}
+                progress = True
+                while progress:
+                    pending[0] = 1
+                    progress = False
+                return pending
+        """
+        findings = lint_tree(tmp_path, {"repro/schedulers/x.py": src}, [self.RULE()])
+        assert [f.rule_id for f in findings] == ["KC004"]
+
+    def test_mutation_outside_round_loop_clean(self, tmp_path):
+        src = """
+            def schedule_vectorized(state):
+                pending = {}
+                pending[0] = 1
+                for i in range(4):
+                    pending[i] = i
+                return pending
+        """
+        assert lint_tree(tmp_path, {"repro/schedulers/x.py": src}, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        src = """
+            # lint: disable=KC004
+            def schedule_vectorized(state):
+                pending = {}
+                progress = True
+                while progress:
+                    pending.setdefault(0, []).append(1)
+                    progress = False
+                return pending
+        """
+        assert lint_tree(tmp_path, {"repro/schedulers/x.py": src}, [self.RULE()]) == []
+
+
+class TestNopythonConstructRule:
+    RULE = NopythonConstructRule
+
+    def test_flags_closure_and_fstring(self, tmp_path):
+        src = """
+            def schedule_vectorized(state):
+                grants = []
+                pick = lambda i: grants[i]
+                label = f"slot {state}"
+                return pick, label
+        """
+        findings = lint_tree(tmp_path, {"repro/schedulers/x.py": src}, [self.RULE()])
+        assert [f.rule_id for f in findings] == ["KC005", "KC005"]
+
+    def test_fstring_in_raise_clean(self, tmp_path):
+        src = """
+            def schedule_vectorized(state, num_ports: int):
+                if num_ports < 2:
+                    raise ValueError(f"need >= 2 ports, got {num_ports}")
+                return num_ports
+        """
+        assert lint_tree(tmp_path, {"repro/schedulers/x.py": src}, [self.RULE()]) == []
+
+    def test_suppression_comment(self, tmp_path):
+        src = """
+            # lint: disable=KC005
+            def schedule_vectorized(state, **overrides):
+                return overrides
+        """
+        assert lint_tree(tmp_path, {"repro/schedulers/x.py": src}, [self.RULE()]) == []
+
+
+class TestRuleMetadata:
+    def test_all_rules_registered_by_default(self):
+        from repro.lint import default_rules
+
+        ids = {rule.rule_id for rule in default_rules()}
+        assert {"KC001", "KC002", "KC003", "KC004", "KC005"} <= ids
+
+    def test_titles_and_rationales_present(self):
+        for rule_cls in (
+            ObjectDtypeRule,
+            BroadcastMismatchRule,
+            DtypeStabilityRule,
+            PySlotMutationRule,
+            NopythonConstructRule,
+        ):
+            rule = rule_cls()
+            assert rule.title and rule.rationale
